@@ -1,0 +1,65 @@
+"""Shared benchmark infrastructure.
+
+Every benchmark regenerates one table or figure of the paper. Because
+the substrate is pure Python (the paper used C inside OpenSM plus real
+hardware), default sizes are scaled down so the whole suite runs in
+minutes; set ``REPRO_FULL=1`` for paper-scale runs. Every harness prints
+its table and also writes it to ``benchmarks/results/<name>.txt``, which
+EXPERIMENTS.md references.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+#: paper-scale switch; see module docstring.
+FULL = os.environ.get("REPRO_FULL") == "1"
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: cluster lookalike scales for CI runs (full scale = 1.0).
+CLUSTER_SCALES = {
+    "odin": 0.5 if not FULL else 1.0,
+    "deimos": 0.12 if not FULL else 1.0,
+    "chic": 0.15 if not FULL else 1.0,
+    "tsubame": 0.08 if not FULL else 1.0,
+    "juropa": 0.04 if not FULL else 1.0,
+    "ranger": 0.05 if not FULL else 1.0,
+}
+
+#: artificial-topology sweep sizes (paper: 64..4096).
+SWEEP_SIZES = (64, 128, 256, 512, 1024, 2048, 4096) if FULL else (64, 128, 256)
+
+#: bisection patterns per eBB estimate (ORCS used O(1000)).
+EBB_PATTERNS = 250 if FULL else 25
+
+
+def emit(name: str, text: str, table=None) -> None:
+    """Print a result table and persist it under benchmarks/results/.
+
+    When the :class:`~repro.utils.reporting.Table` object is supplied a
+    machine-readable CSV lands next to the text rendering.
+    """
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text)
+    if table is not None:
+        (RESULTS_DIR / f"{name}.csv").write_text(table.to_csv())
+    print()
+    print(text)
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run ``fn`` exactly once under pytest-benchmark timing.
+
+    The harnesses are end-to-end experiments (routing + simulation), so a
+    single round keeps the suite fast while still recording wall time.
+    """
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+@pytest.fixture(scope="session")
+def full_scale() -> bool:
+    return FULL

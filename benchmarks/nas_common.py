@@ -1,0 +1,77 @@
+"""Shared harness for the NAS application benchmarks (Figs. 14-16, Table II).
+
+Builds the Deimos lookalike once, routes it with MinHop / LASH / DFSSSP,
+and predicts each kernel's Gflop/s over a core sweep through the
+congestion-driven performance model. One fixed allocation per core count
+is shared by all engines (the paper's same-allocation methodology).
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from conftest import CLUSTER_SCALES
+
+from repro import topologies
+from repro.apps import core_allocation, improvement_percent, predict_kernel
+from repro.core import DFSSSPEngine
+from repro.routing import LASHEngine, MinHopEngine
+from repro.utils.reporting import Table
+
+ENGINE_ORDER = ("minhop", "lash", "dfsssp")
+
+
+@lru_cache(maxsize=1)
+def _deimos_setup():
+    fabric = topologies.deimos(scale=CLUSTER_SCALES["deimos"])
+    tables = {
+        "minhop": MinHopEngine().route(fabric).tables,
+        "lash": LASHEngine().route(fabric).tables,
+        "dfsssp": DFSSSPEngine().route(fabric).tables,
+    }
+    return fabric, tables
+
+
+def nas_sweep(kernel: str, core_counts: tuple[int, ...]):
+    """Predict Gflop/s for every engine at every core count.
+
+    Returns (table, data) with ``data[cores][engine] -> KernelPrediction``.
+    """
+    fabric, tables = _deimos_setup()
+    table = Table(
+        ["cores", *[f"{e} [Gflop/s]" for e in ENGINE_ORDER], "dfsssp vs minhop %"],
+        title=f"NAS {kernel.upper()} on Deimos (model)",
+        precision=2,
+    )
+    data = {}
+    for cores in core_counts:
+        alloc = core_allocation(fabric, cores, seed=cores)
+        preds = {
+            name: predict_kernel(tbl, kernel, cores, allocation=alloc)
+            for name, tbl in tables.items()
+        }
+        row: list = [cores]
+        row += [preds[e].gflops for e in ENGINE_ORDER]
+        row.append(improvement_percent(preds["minhop"], preds["dfsssp"]))
+        table.add_row(row)
+        data[cores] = preds
+    return table, data
+
+
+def assert_nas_shape(data, min_final_gain: float = -2.0):
+    """Common Figure 14-16 assertions.
+
+    * total Gflop/s grows with cores (both routings scale positively on
+      the plotted range, as in the paper's figures);
+    * DFSSSP never materially regresses versus MinHop;
+    * the DFSSSP advantage does not shrink as cores grow.
+    """
+    cores = sorted(data)
+    for name in ("minhop", "dfsssp"):
+        assert data[cores[-1]][name].gflops > data[cores[0]][name].gflops
+    gains = [
+        improvement_percent(data[c]["minhop"], data[c]["dfsssp"]) for c in cores
+    ]
+    for g in gains:
+        assert g >= min_final_gain
+    assert gains[-1] >= gains[0] - 1.0  # the wedge opens (or stays flat)

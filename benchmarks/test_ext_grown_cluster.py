@@ -1,0 +1,71 @@
+"""Extension: organic cluster growth (the paper's §I motivation).
+
+A clean fat tree is extended in phases — new leaf switches with fewer
+uplinks wherever ports remain. Expected shape per phase: the fat-tree
+engine drops out after the first extension; absolute bandwidth falls as
+the machine outgrows its core; DFSSSP remains the best (or tied) general
+router at every phase while keeping its lane demand tiny.
+"""
+
+from conftest import EBB_PATTERNS, FULL, emit, run_once
+
+from repro import topologies
+from repro.core import DFSSSPEngine
+from repro.exceptions import ReproError
+from repro.routing import make_engine
+from repro.simulator import CongestionSimulator
+from repro.utils.reporting import Table
+
+ENGINES = ("ftree", "updown", "minhop", "dfsssp")
+PHASES = (0, 1, 2, 3)
+BASE = dict(base_leaves=12, spines=6, hosts_per_leaf=8, leaves_per_phase=6) if FULL else dict(
+    base_leaves=6, spines=3, hosts_per_leaf=6, leaves_per_phase=3
+)
+
+
+def _experiment():
+    table = Table(
+        ["growth phases", "hosts", *ENGINES, "dfsssp VLs"],
+        title="Extension — organically grown cluster",
+        precision=3,
+    )
+    data = {}
+    for phases in PHASES:
+        fabric = topologies.grown_cluster(growth_phases=phases, seed=5, **BASE)
+        row: list = [phases, fabric.num_terminals]
+        point = {}
+        for name in ENGINES:
+            try:
+                result = make_engine(name).route(fabric)
+                ebb = (
+                    CongestionSimulator(result.tables)
+                    .effective_bisection_bandwidth(EBB_PATTERNS, seed=3)
+                    .ebb
+                )
+            except ReproError:
+                ebb = None
+            point[name] = ebb
+            row.append(ebb)
+        vls = DFSSSPEngine(balance=False).route(fabric).stats["layers_needed"]
+        row.append(vls)
+        table.add_row(row)
+        data[phases] = (point, vls)
+    return table, data
+
+
+def test_ext_grown_cluster(benchmark):
+    table, data = run_once(benchmark, _experiment)
+    emit("ext_grown_cluster", table.render(), table=table)
+    # Pristine machine: everyone routes it, all engines near-tied.
+    point0, _ = data[0]
+    assert point0["ftree"] is not None
+    # After any growth, the specialised engine is gone...
+    for phases in PHASES[1:]:
+        point, vls = data[phases]
+        assert point["ftree"] is None
+        # ... while DFSSSP keeps routing within a whisker of the best.
+        best = max(v for v in point.values() if v is not None)
+        assert point["dfsssp"] >= 0.93 * best
+        assert vls <= 4
+    # Growth costs bandwidth (the machine outgrows its core).
+    assert data[PHASES[-1]][0]["dfsssp"] < point0["dfsssp"]

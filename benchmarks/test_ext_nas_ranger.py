@@ -1,0 +1,57 @@
+"""Extension: NAS kernels on the asymmetric Ranger lookalike.
+
+The paper measured its application gains on Deimos against OpenSM's
+MinHop; our idealized MinHop nearly matches DFSSSP on that symmetric
+fabric (see EXPERIMENTS.md deviation 3). Ranger's two *unequal* core
+fabrics are where locally balancing routers provably mis-split traffic
+(the paper's 63% Fig.-4 gap), so this extension runs the same NAS model
+there to show the congestion mechanism carrying through to application
+performance.
+"""
+
+from conftest import CLUSTER_SCALES, FULL, emit, run_once
+
+from repro import topologies
+from repro.apps import core_allocation, improvement_percent, predict_kernel
+from repro.core import DFSSSPEngine
+from repro.routing import MinHopEngine
+from repro.utils.reporting import Table
+
+KERNELS = ("ft", "cg", "bt")
+
+
+def _experiment():
+    fabric = topologies.ranger(scale=CLUSTER_SCALES["ranger"])
+    nodes = fabric.num_terminals
+    tables = {
+        "minhop": MinHopEngine().route(fabric).tables,
+        "dfsssp": DFSSSPEngine().route(fabric).tables,
+    }
+    table = Table(
+        ["kernel", "cores", "minhop [Gflop/s]", "dfsssp [Gflop/s]", "improvement %"],
+        title=f"Extension — NAS on Ranger ({nodes} nodes)",
+        precision=2,
+    )
+    data = {}
+    for kernel in KERNELS:
+        if kernel == "bt":
+            cores = 1024 if FULL else 196
+        else:
+            cores = 1024 if FULL else 128
+        alloc = core_allocation(fabric, cores, seed=kernel.__hash__() % 1000)
+        mh = predict_kernel(tables["minhop"], kernel, cores, allocation=alloc)
+        df = predict_kernel(tables["dfsssp"], kernel, cores, allocation=alloc)
+        gain = improvement_percent(mh, df)
+        table.add_row([kernel.upper(), cores, mh.gflops, df.gflops, gain])
+        data[kernel] = gain
+    return table, data
+
+
+def test_ext_nas_ranger(benchmark):
+    table, data = run_once(benchmark, _experiment)
+    emit("ext_nas_ranger", table.render(), table=table)
+    # The all-to-all kernel must show a real, positive gain here.
+    assert data["ft"] > 2.0, f"expected visible FT gain on Ranger, got {data['ft']:.2f}%"
+    # No kernel regresses materially.
+    for kernel, gain in data.items():
+        assert gain >= -2.0

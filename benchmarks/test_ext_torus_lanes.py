@@ -1,0 +1,79 @@
+"""Extension: structured vs general deadlock-freedom on big tori (Jaguar).
+
+The paper's §I names ORNL's Jaguar (a 3D torus) among the systems driving
+the problem. Tori are where *structured* solutions shine: dateline DOR
+needs exactly 2^d lanes by construction, while general cycle breaking
+(DFSSSP, LASH) must discover the wrap cycles one by one — and on large
+tori can demand more lanes than the hardware has (the documented reason
+OpenSM ships Torus-2QoS alongside DFSSSP). This bench quantifies that
+boundary of the paper's approach on scaled Jaguar lookalikes. (At
+REPRO_FULL's 6x8x6 torus, DFSSSP genuinely exhausts all 16 spec lanes
+while dateline DOR sits at its closed-form 8 — recorded in
+EXPERIMENTS.md.)
+"""
+
+from conftest import FULL, emit, run_once
+
+from repro import topologies
+from repro.core import DFSSSPEngine
+from repro.exceptions import InsufficientLayersError
+from repro.routing import DORVCEngine, LASHEngine
+from repro.simulator import CongestionSimulator
+from repro.utils.reporting import Table
+
+SCALES = (0.004, 0.008) if not FULL else (0.016, 0.05, 0.1)
+MAX_LAYERS = 16
+
+
+def _lanes(engine, fabric):
+    try:
+        result = engine.route(fabric)
+        return result.stats["layers_needed"], result
+    except InsufficientLayersError:
+        return None, None
+
+
+def _experiment():
+    table = Table(
+        ["torus dims", "switches", "dor_vc VLs", "dfsssp VLs", "lash VLs", "dfsssp eBB", "dor_vc eBB"],
+        title="Extension — lane demand on Jaguar-style tori",
+        precision=3,
+    )
+    data = []
+    for scale in SCALES:
+        fabric = topologies.cluster("jaguar", scale=scale)
+        dims = fabric.metadata["dims"]
+        vc, vc_res = _lanes(DORVCEngine(max_layers=MAX_LAYERS), fabric)
+        df, df_res = _lanes(DFSSSPEngine(max_layers=MAX_LAYERS, balance=False), fabric)
+        la, _ = _lanes(LASHEngine(max_layers=MAX_LAYERS), fabric)
+        ebb_df = (
+            CongestionSimulator(df_res.tables).effective_bisection_bandwidth(10, seed=2).ebb
+            if df_res
+            else None
+        )
+        ebb_vc = (
+            CongestionSimulator(vc_res.tables).effective_bisection_bandwidth(10, seed=2).ebb
+            if vc_res
+            else None
+        )
+        table.add_row(["x".join(map(str, dims)), fabric.num_switches, vc, df, la, ebb_df, ebb_vc])
+        data.append((dims, vc, df, la, ebb_df, ebb_vc))
+    return table, data
+
+
+def test_ext_torus_lanes(benchmark):
+    table, data = run_once(benchmark, _experiment)
+    emit("ext_torus_lanes", table.render(), table=table)
+    for dims, vc, df, la, ebb_df, ebb_vc in data:
+        # The structured solution always fits its closed-form budget.
+        assert vc is not None and vc <= 2 ** len(dims)
+        # General cycle breaking succeeds within the IB spec budget here,
+        # but needs at least as many lanes as the torus has dimensions.
+        if df is not None:
+            assert df >= 2
+            # ... and pays nothing in bandwidth for its generality.
+            assert ebb_df >= 0.9 * ebb_vc
+    # Lane demand grows with torus size for the general algorithms.
+    dfs = [d[2] for d in data if d[2] is not None]
+    if len(dfs) >= 2:
+        assert dfs[-1] >= dfs[0]

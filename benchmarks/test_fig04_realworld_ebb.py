@@ -1,0 +1,65 @@
+"""Figure 4: effective bisection bandwidth on the six real-world systems.
+
+Paper shape targets: SSSP/DFSSSP highest everywhere except the pure
+fat-tree Odin (where the specialised engines tie or edge ahead by a few
+percent); DOR and fat-tree routing fail ("missing bar") on the irregular
+systems; the largest DFSSSP gain is on Ranger (63% over the second best
+in the paper).
+"""
+
+import pytest
+from conftest import CLUSTER_SCALES, EBB_PATTERNS, emit, run_once
+
+from repro import topologies
+from repro.exceptions import ReproError
+from repro.routing import PAPER_ENGINES, make_engine
+from repro.simulator import CongestionSimulator
+from repro.utils.reporting import Table
+
+SYSTEMS = ("chic", "juropa", "odin", "ranger", "tsubame", "deimos")
+
+
+def _experiment():
+    table = Table(
+        ["system", *PAPER_ENGINES],
+        title=f"Fig. 4 — relative eBB, {EBB_PATTERNS} bisection patterns "
+        f"(scales: {CLUSTER_SCALES})",
+        precision=3,
+    )
+    ebbs: dict[tuple[str, str], float | None] = {}
+    for system in SYSTEMS:
+        fabric = topologies.cluster(system, scale=CLUSTER_SCALES[system])
+        row: list = [system]
+        for engine_name in PAPER_ENGINES:
+            try:
+                result = make_engine(engine_name).route(fabric)
+                sim = CongestionSimulator(result.tables)
+                ebb = sim.effective_bisection_bandwidth(EBB_PATTERNS, seed=42).ebb
+            except ReproError:
+                ebb = None  # the paper's "missing bar"
+            row.append(ebb)
+            ebbs[(system, engine_name)] = ebb
+        table.add_row(row)
+    return table, ebbs
+
+
+def test_fig04_realworld_ebb(benchmark):
+    table, ebbs = run_once(benchmark, _experiment)
+    emit("fig04_realworld_ebb", table.render(), table=table)
+    for system in SYSTEMS:
+        # Universal engines never fail.
+        for engine in ("minhop", "sssp", "dfsssp", "lash", "updown"):
+            assert ebbs[(system, engine)] is not None, f"{engine} failed on {system}"
+        # DOR fails everywhere (no coordinates on real systems).
+        assert ebbs[(system, "dor")] is None
+        # DFSSSP == SSSP (identical routes).
+        assert ebbs[(system, "dfsssp")] == pytest.approx(ebbs[(system, "sssp")], rel=1e-9)
+        # DFSSSP is at worst marginally below the best engine.
+        best = max(v for v in (ebbs[(system, e)] for e in PAPER_ENGINES) if v is not None)
+        assert ebbs[(system, "dfsssp")] >= 0.93 * best, f"{system}: DFSSSP not competitive"
+    # ftree routes only the fat-tree-shaped systems.
+    assert ebbs[("odin", "ftree")] is not None
+    assert ebbs[("deimos", "ftree")] is None
+    assert ebbs[("tsubame", "ftree")] is None
+    # The headline: DFSSSP strictly beats MinHop on Ranger.
+    assert ebbs[("ranger", "dfsssp")] > ebbs[("ranger", "minhop")]

@@ -1,0 +1,59 @@
+"""Figure 5: eBB on extended generalized fat trees (Table-I sweep).
+
+Paper shape: LASH (and DOR, which fails here for lack of coordinates)
+decreases steadily with size; MinHop, Up*/Down* and (DF)SSSP stay
+roughly flat per tree height, with (DF)SSSP on top for h = 2 sizes.
+"""
+
+import pytest
+from conftest import EBB_PATTERNS, SWEEP_SIZES, emit, run_once
+
+from repro import topologies
+from repro.exceptions import ReproError
+from repro.routing import make_engine
+from repro.simulator import CongestionSimulator
+from repro.utils.reporting import Table
+
+ENGINES = ("minhop", "updown", "ftree", "lash", "dfsssp")
+
+
+def _experiment():
+    table = Table(
+        ["endpoints", *ENGINES],
+        title=f"Fig. 5 — XGFT relative eBB, {EBB_PATTERNS} patterns",
+        precision=3,
+    )
+    data = {}
+    for nominal in SWEEP_SIZES:
+        fabric = topologies.build_xgft(nominal)
+        row: list = [nominal]
+        for engine_name in ENGINES:
+            try:
+                result = make_engine(engine_name).route(fabric)
+                ebb = (
+                    CongestionSimulator(result.tables)
+                    .effective_bisection_bandwidth(EBB_PATTERNS, seed=11)
+                    .ebb
+                )
+            except ReproError:
+                ebb = None
+            row.append(ebb)
+            data[(nominal, engine_name)] = ebb
+        table.add_row(row)
+    return table, data
+
+
+def test_fig05_xgft_ebb(benchmark):
+    table, data = run_once(benchmark, _experiment)
+    emit("fig05_xgft_ebb", table.render(), table=table)
+    sizes = list(SWEEP_SIZES)
+    for nominal in sizes:
+        for engine in ENGINES:
+            assert data[(nominal, engine)] is not None, f"{engine} failed at {nominal}"
+        # The balancing engines stay competitive with the specialised one.
+        assert data[(nominal, "dfsssp")] >= 0.9 * data[(nominal, "ftree")]
+    # LASH's switch-pair granularity degrades with size (paper: steady
+    # decrease) — compare the ends of the sweep.
+    assert data[(sizes[-1], "lash")] <= data[(sizes[0], "lash")] + 1e-9
+    # ... and loses clearly to DFSSSP on the larger trees.
+    assert data[(sizes[-1], "lash")] < data[(sizes[-1], "dfsssp")]

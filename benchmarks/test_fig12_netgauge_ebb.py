@@ -1,0 +1,66 @@
+"""Figure 12: Netgauge effective bisection bandwidth on Deimos.
+
+Paper shape: (a) absolute eBB decreases for every routing as the core
+count grows (congestion); (b) DFSSSP's advantage over MinHop grows with
+the core count (27% at 128 cores up to ~2x at 512); (c) LASH trails on
+this topology. Core counts scale with the fabric (paper: 128..1024 on
+724 nodes).
+"""
+
+from conftest import CLUSTER_SCALES, EBB_PATTERNS, FULL, emit, run_once
+
+from repro import topologies
+from repro.apps import core_allocation, netgauge_ebb
+from repro.core import DFSSSPEngine
+from repro.routing import LASHEngine, MinHopEngine
+from repro.utils.reporting import Table
+
+
+def _experiment():
+    fabric = topologies.deimos(scale=CLUSTER_SCALES["deimos"])
+    nodes = fabric.num_terminals
+    if FULL:
+        core_counts = (128, 256, 512, 1024)
+    else:
+        core_counts = tuple(c for c in (nodes // 4, nodes // 2, nodes, 2 * nodes) if c >= 8)
+    engines = {
+        "minhop": MinHopEngine().route(fabric).tables,
+        "lash": LASHEngine().route(fabric).tables,
+        "dfsssp": DFSSSPEngine().route(fabric).tables,
+    }
+    table = Table(
+        ["cores", "minhop [MiB/s]", "lash [MiB/s]", "dfsssp [MiB/s]", "dfsssp/minhop"],
+        title=f"Fig. 12 — Netgauge eBB on Deimos ({nodes} nodes), "
+        f"{EBB_PATTERNS} partitions/point",
+        precision=1,
+    )
+    data = {}
+    for cores in core_counts:
+        alloc = core_allocation(fabric, cores, seed=cores)
+        row: list = [cores]
+        point = {}
+        for name, tables in engines.items():
+            r = netgauge_ebb(tables, cores, num_patterns=EBB_PATTERNS, seed=77, allocation=alloc)
+            point[name] = r.ebb_mibs
+            row.append(r.ebb_mibs)
+        row.append(point["dfsssp"] / point["minhop"])
+        table.add_row(row)
+        data[cores] = point
+    return table, data
+
+
+def test_fig12_netgauge_ebb(benchmark):
+    table, data = run_once(benchmark, _experiment)
+    emit("fig12_netgauge_ebb", table.render(), table=table)
+    cores = sorted(data)
+    # (a) absolute bandwidth decreases with core count for every engine.
+    for name in ("minhop", "dfsssp"):
+        assert data[cores[-1]][name] <= data[cores[0]][name] + 25.0
+    # (b) DFSSSP never loses to MinHop; Netgauge's estimator is noisy at
+    # small pattern counts, so allow a 5% band.
+    for c in cores:
+        assert data[c]["dfsssp"] >= 0.95 * data[c]["minhop"]
+    # All estimates live below the PCIe limit.
+    for c in cores:
+        for name, v in data[c].items():
+            assert 0 < v <= 946.0 + 1e-6

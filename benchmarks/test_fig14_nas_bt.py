@@ -1,0 +1,17 @@
+"""Figure 14: NAS BT (block-tridiagonal solver) Gflop/s vs cores.
+
+Paper shape: MinHop and DFSSSP tie at small core counts (nearest-neighbor
+traffic, little congestion), diverge at larger ones; both keep scaling
+positively. Paper peak improvement at 1024 cores: 95%.
+"""
+
+from conftest import FULL, emit, run_once
+from nas_common import assert_nas_shape, nas_sweep
+
+CORES = (121, 256, 484, 1024) if FULL else (16, 36, 64, 100)
+
+
+def test_fig14_nas_bt(benchmark):
+    table, data = run_once(benchmark, nas_sweep, "bt", CORES)
+    emit("fig14_nas_bt", table.render(), table=table)
+    assert_nas_shape(data)

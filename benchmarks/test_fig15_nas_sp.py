@@ -1,0 +1,17 @@
+"""Figure 15: NAS SP (scalar-pentadiagonal solver) Gflop/s vs cores.
+
+Same communication structure as BT with thinner faces and more
+iterations: the congestion wedge opens earlier (the paper shows MinHop's
+SP dropping at 484 cores while DFSSSP keeps scaling).
+"""
+
+from conftest import FULL, emit, run_once
+from nas_common import assert_nas_shape, nas_sweep
+
+CORES = (121, 256, 484, 1024) if FULL else (16, 36, 64, 100)
+
+
+def test_fig15_nas_sp(benchmark):
+    table, data = run_once(benchmark, nas_sweep, "sp", CORES)
+    emit("fig15_nas_sp", table.render(), table=table)
+    assert_nas_shape(data)

@@ -1,0 +1,19 @@
+"""Figure 16: NAS FT (3D FFT) Gflop/s vs cores.
+
+FT is all-to-all dominated, so routing quality matters at *every* core
+count — the paper measures ~25% DFSSSP gains already at 128/256 cores,
+unlike the stencil kernels.
+"""
+
+from conftest import FULL, emit, run_once
+from nas_common import assert_nas_shape, nas_sweep
+
+from repro.apps import improvement_percent
+
+CORES = (128, 256, 512, 1024) if FULL else (16, 32, 64, 128)
+
+
+def test_fig16_nas_ft(benchmark):
+    table, data = run_once(benchmark, nas_sweep, "ft", CORES)
+    emit("fig16_nas_ft", table.render(), table=table)
+    assert_nas_shape(data)

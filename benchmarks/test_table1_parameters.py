@@ -1,0 +1,61 @@
+"""Table I: the topology-generator parameter sets.
+
+Regenerates the table (endpoint count -> XGFT / Kautz / k-ary n-tree
+parameters) with the *actual* endpoint and switch counts our generators
+produce, and asserts the structural constraints the paper states: 36-port
+switches suffice for every instance.
+"""
+
+from conftest import SWEEP_SIZES, emit, run_once
+
+from repro import topologies
+from repro.network.topologies.tables import KAUTZ_PARAMS, KTREE_PARAMS, XGFT_PARAMS
+from repro.utils.reporting import Table
+
+
+def _experiment():
+    table = Table(
+        [
+            "nominal",
+            "XGFT(h;m;w)",
+            "xgft hosts",
+            "Kautz(b,n)",
+            "kautz hosts",
+            "k-ary n-tree",
+            "ktree hosts",
+        ],
+        title="Table I — generator parameters and realised endpoint counts",
+    )
+    rows = {}
+    for nominal in SWEEP_SIZES:
+        h, ms, ws = XGFT_PARAMS[nominal]
+        b, n = KAUTZ_PARAMS[nominal]
+        k, kn = KTREE_PARAMS[nominal]
+        xg = topologies.build_xgft(nominal)
+        kz = topologies.build_kautz(nominal)
+        kt = topologies.build_ktree(nominal)
+        table.add_row(
+            [
+                nominal,
+                f"({h};{','.join(map(str, ms))};{','.join(map(str, ws))})",
+                xg.num_terminals,
+                f"({b},{n})",
+                kz.num_terminals,
+                f"{k}-ary {kn}-tree",
+                kt.num_terminals,
+            ]
+        )
+        rows[nominal] = (xg, kz, kt)
+    return table, rows
+
+
+def test_table1_parameters(benchmark):
+    table, rows = run_once(benchmark, _experiment)
+    emit("table1_parameters", table.render(), table=table)
+    for nominal, (xg, kz, kt) in rows.items():
+        assert xg.num_terminals == nominal  # XGFT params hit nominal exactly
+        assert kz.num_terminals == nominal  # Kautz attaches exactly nominal
+        assert abs(kt.num_terminals - nominal) / nominal <= 0.25
+        for fab in (xg, kz, kt):
+            for s in fab.switches:
+                assert fab.degree(int(s)) <= 36, "36-port constraint violated"

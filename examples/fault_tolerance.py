@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Failure injection: why arbitrary-topology routing matters.
+
+The paper's introduction argues that real systems are rarely the clean
+tori/fat trees their specialised routings assume — links die and systems
+grow. This script takes a healthy 4x4 torus, kills cables one by one,
+and shows that:
+
+* DOR refuses the degraded fabric immediately,
+* the fat-tree engine never applied in the first place,
+* DFSSSP keeps producing verified deadlock-free routes, paying only a
+  gradual bandwidth decline.
+
+Run:  python examples/fault_tolerance.py
+"""
+
+from repro import DFSSSPEngine, DOREngine, extract_paths, topologies, verify_deadlock_free
+from repro.exceptions import ReproError
+from repro.network import fail_links
+from repro.simulator import CongestionSimulator
+from repro.utils.reporting import Table
+
+
+def try_engine(engine, fabric):
+    try:
+        result = engine.route(fabric)
+    except ReproError as err:
+        return None, f"failed ({type(err).__name__})"
+    paths = extract_paths(result.tables)
+    if result.layered is not None:
+        assert verify_deadlock_free(result.layered, paths).deadlock_free
+    ebb = CongestionSimulator(result.tables, paths).effective_bisection_bandwidth(
+        num_patterns=30, seed=1
+    )
+    return ebb.ebb, "ok"
+
+
+def main() -> None:
+    healthy = topologies.torus((4, 4), terminals_per_switch=2)
+    print(f"healthy fabric: {healthy}\n")
+
+    table = Table(
+        ["failed cables", "dor eBB", "dor status", "dfsssp eBB", "dfsssp VLs"],
+        title="torus degradation sweep",
+        precision=3,
+    )
+    fabric = healthy
+    for failures in range(0, 5):
+        if failures:
+            fabric = fail_links(healthy, failures, seed=failures).fabric
+        dor_ebb, dor_status = try_engine(DOREngine(), fabric)
+        dfsssp = DFSSSPEngine().route(fabric)
+        paths = extract_paths(dfsssp.tables)
+        assert verify_deadlock_free(dfsssp.layered, paths).deadlock_free
+        ebb = CongestionSimulator(dfsssp.tables, paths).effective_bisection_bandwidth(
+            num_patterns=30, seed=1
+        )
+        table.add_row(
+            [failures, dor_ebb, dor_status, ebb.ebb, dfsssp.stats["layers_needed"]]
+        )
+    print(table.render())
+    print("DOR survives only the pristine grid; DFSSSP re-balances around every")
+    print("failure and stays provably deadlock-free (acyclic layer CDGs).")
+
+
+if __name__ == "__main__":
+    main()

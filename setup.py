@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+Fully-offline environments sometimes lack the `wheel` package, which
+PEP-517 editable installs require; `python setup.py develop` keeps
+working there. All project metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,88 @@
+"""repro — a full reproduction of *Deadlock-Free Oblivious Routing for
+Arbitrary Topologies* (Domke, Hoefler, Nagel; IPDPS 2011).
+
+The package implements the paper's DFSSSP routing (globally balanced
+single-source-shortest-path routing made deadlock-free through virtual
+layers), every baseline it compares against (MinHop, Up*/Down*, DOR,
+fat-tree, LASH), the acyclic-path-partitioning formalism with its
+NP-completeness reduction, an ORCS-equivalent effective-bisection-
+bandwidth simulator, a flit-level deadlock demonstrator, and benchmark
+harnesses regenerating every table and figure of the paper's evaluation.
+
+Quickstart::
+
+    from repro import topologies, DFSSSPEngine, verify_deadlock_free, extract_paths
+
+    fabric = topologies.random_topology(16, 32, terminals_per_switch=4, seed=7)
+    result = DFSSSPEngine().route(fabric)
+    report = verify_deadlock_free(result.layered, extract_paths(result.tables))
+    assert report.deadlock_free
+"""
+
+from repro.core import (
+    DFSSSPEngine,
+    SSSPEngine,
+    assign_layers_offline,
+    assign_layers_online,
+)
+from repro.deadlock import verify_deadlock_free
+from repro.exceptions import (
+    DeadlockError,
+    DisconnectedFabricError,
+    FabricError,
+    InsufficientLayersError,
+    ReproError,
+    RoutingError,
+    SimulationError,
+    UnsupportedTopologyError,
+)
+from repro.network import Fabric, FabricBuilder
+from repro.network import topologies
+from repro.routing import (
+    DOREngine,
+    ENGINES,
+    FatTreeEngine,
+    LASHEngine,
+    LayeredRouting,
+    MinHopEngine,
+    PAPER_ENGINES,
+    RoutingResult,
+    RoutingTables,
+    UpDownEngine,
+    extract_paths,
+    make_engine,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DFSSSPEngine",
+    "SSSPEngine",
+    "assign_layers_offline",
+    "assign_layers_online",
+    "verify_deadlock_free",
+    "DeadlockError",
+    "DisconnectedFabricError",
+    "FabricError",
+    "InsufficientLayersError",
+    "ReproError",
+    "RoutingError",
+    "SimulationError",
+    "UnsupportedTopologyError",
+    "Fabric",
+    "FabricBuilder",
+    "topologies",
+    "DOREngine",
+    "ENGINES",
+    "FatTreeEngine",
+    "LASHEngine",
+    "LayeredRouting",
+    "MinHopEngine",
+    "PAPER_ENGINES",
+    "RoutingResult",
+    "RoutingTables",
+    "UpDownEngine",
+    "extract_paths",
+    "make_engine",
+    "__version__",
+]

@@ -1,0 +1,7 @@
+"""Allow ``python -m repro`` as an alias for the ``repro-route`` CLI."""
+
+import sys
+
+from repro.cli import main
+
+sys.exit(main())

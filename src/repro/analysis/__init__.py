@@ -1,0 +1,24 @@
+"""Static analysis of routings: path quality and link-utilization balance."""
+
+from repro.analysis.adversarial import AdversarialResult, adversarial_permutation, worst_case_gap
+from repro.analysis.bisection import BisectionEstimate, estimate_bisection, routing_efficiency
+from repro.analysis.heatmap import hot_channels, switch_matrix, utilization_report
+from repro.analysis.pathstats import PathStats, compare_mean_hops, path_stats
+from repro.analysis.utilization import RoutingUtilization, routing_utilization
+
+__all__ = [
+    "hot_channels",
+    "switch_matrix",
+    "utilization_report",
+    "AdversarialResult",
+    "adversarial_permutation",
+    "worst_case_gap",
+    "BisectionEstimate",
+    "estimate_bisection",
+    "routing_efficiency",
+    "PathStats",
+    "compare_mean_hops",
+    "path_stats",
+    "RoutingUtilization",
+    "routing_utilization",
+]

@@ -1,0 +1,124 @@
+"""Text heatmaps of channel utilization — the operator's congestion view.
+
+When a fabric underperforms, the first question is *where* the hot links
+are. These helpers render per-channel load (static path counts or a
+pattern's flow counts) as terminal-friendly reports:
+
+* :func:`hot_channels` — the top-N loaded channels with endpoints and
+  share of total load;
+* :func:`switch_matrix` — a switch-by-switch load matrix with a
+  logarithmic shade scale (``.:-=+*#%@``), readable at a glance for
+  fabrics up to a few dozen switches;
+* :func:`utilization_report` — both, plus summary statistics.
+"""
+
+from __future__ import annotations
+
+import io
+
+import numpy as np
+
+from repro.network.fabric import Fabric
+from repro.routing.base import RoutingTables
+from repro.routing.paths import PathSet, extract_paths
+from repro.simulator.metrics import gini_coefficient
+
+_SHADES = " .:-=+*#%@"
+
+
+def _loads(tables: RoutingTables, paths: PathSet | None) -> np.ndarray:
+    if paths is None:
+        paths = extract_paths(tables)
+    return np.bincount(paths.chans, minlength=tables.fabric.num_channels)
+
+
+def hot_channels(
+    tables: RoutingTables,
+    paths: PathSet | None = None,
+    top: int = 10,
+    loads: np.ndarray | None = None,
+) -> str:
+    """The ``top`` most-loaded inter-switch channels."""
+    fabric = tables.fabric
+    if loads is None:
+        loads = _loads(tables, paths)
+    sw = fabric.is_switch_channel
+    masked = np.where(sw, loads, -1)
+    order = np.argsort(masked)[::-1][:top]
+    total = loads[sw].sum()
+    out = io.StringIO()
+    out.write(f"top {min(top, int(sw.sum()))} hot channels ({tables.engine} routing):\n")
+    for rank, cid in enumerate(order, 1):
+        if masked[cid] < 0:
+            break
+        u = int(fabric.channels.src[cid])
+        v = int(fabric.channels.dst[cid])
+        share = 100.0 * loads[cid] / total if total else 0.0
+        out.write(
+            f"  {rank:2d}. ch{int(cid):4d}  {fabric.names[u]} -> {fabric.names[v]}"
+            f"  load={int(loads[cid])} ({share:.1f}%)\n"
+        )
+    return out.getvalue()
+
+
+def switch_matrix(
+    tables: RoutingTables,
+    paths: PathSet | None = None,
+    loads: np.ndarray | None = None,
+    max_switches: int = 40,
+) -> str:
+    """Shaded switch-to-switch load matrix (rows: source, cols: target).
+
+    Trunked cables aggregate into one cell. Fabrics larger than
+    ``max_switches`` get a truncation note instead of an unreadable wall.
+    """
+    fabric = tables.fabric
+    if loads is None:
+        loads = _loads(tables, paths)
+    S = fabric.num_switches
+    if S > max_switches:
+        return f"(switch matrix omitted: {S} switches > {max_switches})\n"
+    matrix = np.zeros((S, S), dtype=np.int64)
+    for cid in fabric.switch_channel_ids():
+        u = int(fabric.switch_index[fabric.channels.src[cid]])
+        v = int(fabric.switch_index[fabric.channels.dst[cid]])
+        matrix[u, v] += int(loads[cid])
+    peak = matrix.max()
+    out = io.StringIO()
+    out.write(f"switch-to-switch load matrix (peak cell = {int(peak)}):\n")
+    header = "      " + "".join(f"{j % 10}" for j in range(S))
+    out.write(header + "\n")
+    for i in range(S):
+        row = []
+        for j in range(S):
+            if matrix[i, j] == 0:
+                row.append("." if fabric.channel_between(int(fabric.switches[i]), int(fabric.switches[j])) >= 0 else " ")
+            else:
+                # logarithmic shade so trunked giants don't flatten the rest
+                level = int(np.ceil((len(_SHADES) - 1) * np.log1p(matrix[i, j]) / np.log1p(peak)))
+                row.append(_SHADES[max(1, level)])
+        out.write(f"  sw{i:2d} " + "".join(row) + "\n")
+    return out.getvalue()
+
+
+def utilization_report(
+    tables: RoutingTables, paths: PathSet | None = None, top: int = 10
+) -> str:
+    """Summary + hot channels + matrix, ready to print."""
+    fabric = tables.fabric
+    if paths is None:
+        paths = extract_paths(tables)
+    loads = _loads(tables, paths)
+    sw_loads = loads[fabric.is_switch_channel]
+    out = io.StringIO()
+    out.write(f"utilization report — {tables.engine} on {fabric}\n")
+    if len(sw_loads):
+        out.write(
+            f"  inter-switch channels: {len(sw_loads)}  "
+            f"mean load: {sw_loads.mean():.1f}  max: {int(sw_loads.max())}  "
+            f"gini: {gini_coefficient(sw_loads):.3f}\n\n"
+        )
+    out.write(hot_channels(tables, paths, top=top, loads=loads))
+    out.write("\n")
+    out.write(switch_matrix(tables, paths, loads=loads))
+    return out.getvalue()

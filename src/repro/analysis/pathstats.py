@@ -1,0 +1,52 @@
+"""Path-quality statistics: hop distributions and minimality checks.
+
+SSSP's large initial weight guarantees hop-minimal paths (§II); this
+module quantifies that and lets experiments compare average path lengths
+across engines (Up*/Down* pays with detours, which shows up here before
+it shows up in bandwidth).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.routing.base import RoutingTables
+from repro.routing.paths import PathSet, extract_paths, path_minimality_violations
+
+
+@dataclass(frozen=True)
+class PathStats:
+    """Summary of one routing's switch-to-terminal path population."""
+
+    engine: str
+    num_paths: int
+    mean_hops: float
+    max_hops: int
+    hop_histogram: np.ndarray
+    minimality_violations: int
+
+    @property
+    def minimal(self) -> bool:
+        return self.minimality_violations == 0
+
+
+def path_stats(tables: RoutingTables, paths: PathSet | None = None) -> PathStats:
+    """Compute hop statistics and count non-minimal paths."""
+    if paths is None:
+        paths = extract_paths(tables)
+    lengths = paths.lengths()
+    return PathStats(
+        engine=tables.engine,
+        num_paths=paths.num_paths,
+        mean_hops=float(lengths.mean()) if len(lengths) else 0.0,
+        max_hops=int(lengths.max(initial=0)),
+        hop_histogram=paths.hop_histogram(),
+        minimality_violations=path_minimality_violations(tables, paths),
+    )
+
+
+def compare_mean_hops(stats: list[PathStats]) -> dict[str, float]:
+    """Engine name -> mean hops, for quick tabulation."""
+    return {s.engine: s.mean_hops for s in stats}

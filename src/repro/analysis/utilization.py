@@ -1,0 +1,50 @@
+"""Static link-utilization analysis of forwarding tables.
+
+Where :mod:`repro.simulator.metrics` looks at one traffic pattern, this
+module measures the *routing itself*: how many of the |S|·|T| paths cross
+each channel. SSSP's whole point is to flatten this distribution (its
+edge weights literally accumulate these counts), so the per-channel path
+histogram is the most direct window into why DFSSSP wins bandwidth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.routing.base import RoutingTables
+from repro.routing.paths import PathSet, extract_paths
+from repro.simulator.metrics import gini_coefficient
+
+
+@dataclass(frozen=True)
+class RoutingUtilization:
+    """Per-channel path-count distribution of one routing."""
+
+    engine: str
+    paths_per_channel: np.ndarray  # switch channels only
+    mean: float
+    maximum: int
+    gini: float
+
+    @property
+    def balance_ratio(self) -> float:
+        """mean/max — 1.0 means perfectly flat utilisation."""
+        return self.mean / self.maximum if self.maximum else 1.0
+
+
+def routing_utilization(tables: RoutingTables, paths: PathSet | None = None) -> RoutingUtilization:
+    """Count, for every inter-switch channel, the paths crossing it."""
+    if paths is None:
+        paths = extract_paths(tables)
+    fabric = tables.fabric
+    counts = np.bincount(paths.chans, minlength=fabric.num_channels)
+    sw_counts = counts[fabric.is_switch_channel]
+    return RoutingUtilization(
+        engine=tables.engine,
+        paths_per_channel=sw_counts,
+        mean=float(sw_counts.mean()) if len(sw_counts) else 0.0,
+        maximum=int(sw_counts.max(initial=0)),
+        gini=gini_coefficient(sw_counts),
+    )

@@ -1,0 +1,46 @@
+"""Application-level models: Netgauge eBB, collective timing and the NAS
+kernel performance predictions of §VI."""
+
+from repro.apps.netgauge import (
+    DEIMOS_LINK_MIBS,
+    NetgaugeResult,
+    core_allocation,
+    netgauge_ebb,
+)
+from repro.apps.collectives import (
+    BYTES_PER_FLOAT,
+    CollectiveTime,
+    allreduce_time,
+    alltoall_time,
+)
+from repro.apps.trace import CommTrace, ReplayResult, TraceRecord, replay_trace
+from repro.apps.nas import KERNELS, KernelSpec, Phase, get_kernel
+from repro.apps.perfmodel import (
+    DEFAULT_CORE_GFLOPS,
+    KernelPrediction,
+    improvement_percent,
+    predict_kernel,
+)
+
+__all__ = [
+    "CommTrace",
+    "ReplayResult",
+    "TraceRecord",
+    "replay_trace",
+    "DEIMOS_LINK_MIBS",
+    "NetgaugeResult",
+    "core_allocation",
+    "netgauge_ebb",
+    "BYTES_PER_FLOAT",
+    "CollectiveTime",
+    "allreduce_time",
+    "alltoall_time",
+    "KERNELS",
+    "KernelSpec",
+    "Phase",
+    "get_kernel",
+    "DEFAULT_CORE_GFLOPS",
+    "KernelPrediction",
+    "improvement_percent",
+    "predict_kernel",
+]

@@ -1,0 +1,296 @@
+"""Communication models of the NAS Parallel Benchmarks (§VI-B).
+
+The paper measures MPI NPB 2.4 (BT, SP, FT, CG, MG, LU) on Deimos; we
+cannot run the Fortran codes, but their *communication structures* are
+classical and fully determine how much a routing change can help:
+
+=======  ==============================================================
+kernel   communication structure (per timed iteration)
+=======  ==============================================================
+BT       2D multipartition: ±x/±y neighbor face exchanges, 3 sweeps
+SP       same structure as BT, thinner faces, more iterations
+FT       3D FFT: transpose = all-to-all between all ranks
+CG       2D rank grid: row exchanges + transpose pairs + reductions
+MG       V-cycle: halo exchanges whose size halves per level
+LU       2D pipelined wavefront: small ±x/±y messages, many phases
+=======  ==============================================================
+
+Each :class:`KernelSpec` produces, for a concrete rank→terminal
+allocation, the list of simultaneous-flow phases and per-flow byte counts
+of one iteration; :mod:`repro.apps.perfmodel` charges them against the
+congestion simulator to predict Gflop/s. Problem-size constants are
+NPB class C; they set absolute scales while the routing comparison (the
+paper's actual claim) comes entirely from the congestion ratios.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.exceptions import SimulationError
+from repro.simulator.patterns import Pattern, shift_pattern, stencil_pattern
+
+#: NPB class C reference dimensions.
+_BT_N = 162  # 162^3 grid, 5 variables
+_SP_N = 162
+_FT_N = 512  # 512^3 complex grid
+_CG_N = 150_000
+_MG_N = 512
+_LU_N = 162
+
+
+def _square_grid(p: int) -> tuple[int, int]:
+    root = int(math.isqrt(p))
+    if root * root != p:
+        raise SimulationError(f"kernel needs a square process count, got {p}")
+    return (root, root)
+
+
+def _pow2(p: int) -> None:
+    if p < 2 or (p & (p - 1)) != 0:
+        raise SimulationError(f"kernel needs a power-of-two process count, got {p}")
+
+
+@dataclass(frozen=True)
+class Phase:
+    """One simultaneous-flow communication phase."""
+
+    pattern: Pattern
+    bytes_per_flow: float
+
+
+@dataclass(frozen=True)
+class KernelSpec:
+    """Static description of one NAS kernel's communication."""
+
+    name: str
+    iterations: int
+    flops_per_iteration: float
+
+    def valid_ranks(self, p: int) -> bool:
+        raise NotImplementedError
+
+    def phases(self, fabric, participants: list[int]) -> list[Phase]:
+        raise NotImplementedError
+
+    @property
+    def total_flops(self) -> float:
+        return self.iterations * self.flops_per_iteration
+
+
+def _dedup_flows(pattern: Pattern) -> Pattern:
+    """Drop self-flows (ranks sharing a terminal talk via shared memory)."""
+    return [(s, d) for s, d in pattern if s != d]
+
+
+class _StencilKernel(KernelSpec):
+    """BT/SP/LU-style ±x/±y neighbor exchanges on a square rank grid."""
+
+    def __init__(self, name, iterations, flops_per_iteration, face_bytes, sweeps):
+        super().__init__(name, iterations, flops_per_iteration)
+        object.__setattr__(self, "face_bytes", face_bytes)
+        object.__setattr__(self, "sweeps", sweeps)
+
+    def valid_ranks(self, p: int) -> bool:
+        root = int(math.isqrt(p))
+        return root * root == p and p >= 4
+
+    def phases(self, fabric, participants: list[int]) -> list[Phase]:
+        grid = _square_grid(len(participants))
+        bytes_per_flow = self.face_bytes(len(participants))
+        raw = stencil_pattern(fabric, grid, participants, periodic=True)
+        phases = []
+        for _ in range(self.sweeps):
+            for pat in raw:
+                flows = _dedup_flows(pat)
+                if flows:
+                    phases.append(Phase(flows, bytes_per_flow))
+        return phases
+
+
+class _AllToAllKernel(KernelSpec):
+    """FT: transpose = all-to-all, linear shift schedule."""
+
+    def __init__(self, name, iterations, flops_per_iteration, pair_bytes, transposes):
+        super().__init__(name, iterations, flops_per_iteration)
+        object.__setattr__(self, "pair_bytes", pair_bytes)
+        object.__setattr__(self, "transposes", transposes)
+
+    def valid_ranks(self, p: int) -> bool:
+        return p >= 2 and (p & (p - 1)) == 0
+
+    def phases(self, fabric, participants: list[int]) -> list[Phase]:
+        _pow2(len(participants))
+        p = len(participants)
+        bytes_per_flow = self.pair_bytes(p)
+        phases = []
+        for _ in range(self.transposes):
+            for r in range(1, p):
+                flows = _dedup_flows(shift_pattern(fabric, r, participants))
+                if flows:
+                    phases.append(Phase(flows, bytes_per_flow))
+        return phases
+
+
+class _CGKernel(KernelSpec):
+    """CG: row-group exchanges and transpose swaps on a 2D rank grid."""
+
+    def __init__(self):
+        super().__init__("cg", iterations=75, flops_per_iteration=3.0e10)
+
+    def valid_ranks(self, p: int) -> bool:
+        return p >= 4 and (p & (p - 1)) == 0
+
+    def phases(self, fabric, participants: list[int]) -> list[Phase]:
+        _pow2(len(participants))
+        p = len(participants)
+        # npbC CG: rows of size 2^ceil(log2(p)/2).
+        row = 1 << ((p.bit_length() - 1 + 1) // 2)
+        seg_bytes = 8.0 * _CG_N / row
+        phases: list[Phase] = []
+        # Transpose exchange: partner = row-major transpose within row pairs.
+        swap = []
+        for i in range(p):
+            partner = (i % row) * (p // row) + (i // row) if row * row == p else i ^ (row // 2 or 1)
+            if partner != i:
+                swap.append((participants[i], participants[partner]))
+        flows = _dedup_flows(swap)
+        if flows:
+            phases.append(Phase(flows, seg_bytes))
+        # Recursive halving within rows: log2(row) rounds.
+        dist = 1
+        while dist < row:
+            pat = []
+            for i in range(p):
+                j = (i // row) * row + ((i % row) ^ dist)
+                pat.append((participants[i], participants[j]))
+            flows = _dedup_flows(pat)
+            if flows:
+                phases.append(Phase(flows, seg_bytes / dist))
+            dist <<= 1
+        return phases
+
+
+class _MGKernel(KernelSpec):
+    """MG: V-cycle halo exchanges with geometrically shrinking messages."""
+
+    def __init__(self):
+        super().__init__("mg", iterations=20, flops_per_iteration=2.9e11)
+
+    def valid_ranks(self, p: int) -> bool:
+        return p >= 4 and int(math.isqrt(p)) ** 2 == p
+
+    def phases(self, fabric, participants: list[int]) -> list[Phase]:
+        grid = _square_grid(len(participants))
+        p = len(participants)
+        raw = stencil_pattern(fabric, grid, participants, periodic=True)
+        phases = []
+        levels = max(2, int(math.log2(_MG_N)) - 2)
+        for level in range(levels):
+            face = 8.0 * (_MG_N / (1 << level)) ** 2 / p
+            if face < 8:
+                break
+            for pat in raw:
+                flows = _dedup_flows(pat)
+                if flows:
+                    phases.append(Phase(flows, face))
+        return phases
+
+
+def _bt_face(p: int) -> float:
+    return 5 * 8.0 * _BT_N * _BT_N / math.isqrt(p)
+
+
+def _sp_face(p: int) -> float:
+    return 3 * 8.0 * _SP_N * _SP_N / math.isqrt(p)
+
+
+def _lu_face(p: int) -> float:
+    return 5 * 8.0 * _LU_N * _LU_N / math.isqrt(p) / 20.0  # pencil slices
+
+
+def _ft_pair(p: int) -> float:
+    return 16.0 * _FT_N**3 / (p * p)
+
+
+class _ISKernel(KernelSpec):
+    """IS (integer sort): bucket redistribution = all-to-all-v.
+
+    The paper's suite includes the integer-sort kernel; its network phase
+    is one all-to-all per iteration with *uneven* per-pair volumes (the
+    bucket histogram). We model the skew with a deterministic ±50%
+    modulation around the mean bucket size.
+    """
+
+    def __init__(self):
+        super().__init__("is", iterations=10, flops_per_iteration=6.0e9)
+        object.__setattr__(self, "total_keys", 2**27)  # class C
+
+    def valid_ranks(self, p: int) -> bool:
+        return p >= 2 and (p & (p - 1)) == 0
+
+    def phases(self, fabric, participants: list[int]) -> list[Phase]:
+        _pow2(len(participants))
+        p = len(participants)
+        mean_bytes = 4.0 * self.total_keys / (p * p)
+        phases = []
+        for r in range(1, p):
+            flows = _dedup_flows(shift_pattern(fabric, r, participants))
+            if flows:
+                skew = 1.0 + 0.5 * ((r % 3) - 1)  # 0.5x / 1.0x / 1.5x buckets
+                phases.append(Phase(flows, mean_bytes * skew))
+        return phases
+
+
+class _EPKernel(KernelSpec):
+    """EP (embarrassingly parallel): the communication-free control.
+
+    Only a final tiny reduction crosses the network, so all routings must
+    tie — a guard against the perf model inventing phantom differences.
+    """
+
+    def __init__(self):
+        super().__init__("ep", iterations=1, flops_per_iteration=1.5e11)
+
+    def valid_ranks(self, p: int) -> bool:
+        return p >= 2
+
+    def phases(self, fabric, participants: list[int]) -> list[Phase]:
+        p = len(participants)
+        # Recursive-doubling allreduce of a handful of doubles.
+        p2 = 1 << (p.bit_length() - 1)
+        group = participants[:p2]
+        phases = []
+        dist = 1
+        while dist < p2:
+            pat = []
+            for i in range(p2):
+                j = i ^ dist
+                if group[i] != group[j]:
+                    pat.append((group[i], group[j]))
+            if pat:
+                phases.append(Phase(pat, 80.0))
+            dist <<= 1
+        return phases
+
+
+KERNELS: dict[str, KernelSpec] = {
+    "bt": _StencilKernel("bt", iterations=200, flops_per_iteration=1.4e10, face_bytes=_bt_face, sweeps=3),
+    "sp": _StencilKernel("sp", iterations=400, flops_per_iteration=0.37e10, face_bytes=_sp_face, sweeps=3),
+    "lu": _StencilKernel("lu", iterations=250, flops_per_iteration=0.8e10, face_bytes=_lu_face, sweeps=8),
+    "ft": _AllToAllKernel("ft", iterations=20, flops_per_iteration=2.0e11, pair_bytes=_ft_pair, transposes=2),
+    "cg": _CGKernel(),
+    "mg": _MGKernel(),
+    "is": _ISKernel(),
+    "ep": _EPKernel(),
+}
+
+
+def get_kernel(name: str) -> KernelSpec:
+    try:
+        return KERNELS[name.lower()]
+    except KeyError:
+        raise SimulationError(
+            f"unknown NAS kernel {name!r}; available: {sorted(KERNELS)}"
+        ) from None

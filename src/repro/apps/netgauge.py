@@ -1,0 +1,114 @@
+"""Netgauge-style effective-bisection-bandwidth measurement (Fig. 12).
+
+Netgauge's eBB benchmark partitions the participating MPI processes into
+two random equal sets, matches them up, runs 1 MiB ping-pongs and reports
+the average pair bandwidth over many random partitions. We reproduce the
+estimator on the fabric model:
+
+* a *core allocation* maps MPI ranks to terminals — one core per node up
+  to the node count, then round-robin over nodes (the paper's 1024-core
+  runs spread over 250 multi-core nodes);
+* each random partition becomes a terminal-level flow pattern evaluated
+  by the congestion simulator;
+* relative bandwidths scale by the node's link limit (946 MiB/s PCIe 1.1
+  on Deimos).
+
+Intra-node pairs (two ranks on the same terminal) exchange data through
+shared memory on the real system and are excluded from the network
+estimate, as Netgauge's allocation also avoided them where possible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import SimulationError
+from repro.network.fabric import Fabric
+from repro.routing.base import RoutingTables
+from repro.simulator.congestion import CongestionSimulator
+from repro.utils.prng import make_rng, spawn_rngs
+
+#: Deimos' point-to-point limit (PCIe 1.1 HCAs), MiB/s.
+DEIMOS_LINK_MIBS = 946.0
+
+
+def core_allocation(fabric: Fabric, cores: int, seed=None) -> np.ndarray:
+    """Map ``cores`` MPI ranks onto terminals.
+
+    Up to the terminal count, a random subset (one core per node, the
+    paper's ≤512-core setup); beyond it, round-robin over a random node
+    order (multiple ranks per node, the 1024-core setup).
+    """
+    if cores < 2:
+        raise SimulationError("need at least 2 cores")
+    rng = make_rng(seed)
+    terms = fabric.terminals.astype(np.int64)
+    order = rng.permutation(terms)
+    if cores <= len(order):
+        return order[:cores]
+    reps = int(np.ceil(cores / len(order)))
+    return np.tile(order, reps)[:cores]
+
+
+@dataclass(frozen=True)
+class NetgaugeResult:
+    """eBB estimate for one (routing, core count) configuration."""
+
+    cores: int
+    num_patterns: int
+    per_pattern_mibs: np.ndarray
+    link_mibs: float
+
+    @property
+    def ebb_mibs(self) -> float:
+        return float(self.per_pattern_mibs.mean())
+
+    @property
+    def std_mibs(self) -> float:
+        return float(self.per_pattern_mibs.std())
+
+
+def netgauge_ebb(
+    tables: RoutingTables,
+    cores: int,
+    num_patterns: int = 100,
+    seed=None,
+    link_mibs: float = DEIMOS_LINK_MIBS,
+    allocation: np.ndarray | None = None,
+) -> NetgaugeResult:
+    """Estimate eBB for ``cores`` ranks through one routing's tables.
+
+    The same ``allocation`` (and seed) should be reused across routing
+    engines so the only difference is the routing — exactly the paper's
+    methodology ("We used the same nodes for identical number of cores").
+    """
+    fabric = tables.fabric
+    if allocation is None:
+        allocation = core_allocation(fabric, cores, seed=make_rng(seed))
+    if len(allocation) < cores:
+        raise SimulationError(f"allocation has {len(allocation)} ranks, need {cores}")
+    sim = CongestionSimulator(tables)
+    rngs = spawn_rngs(seed, num_patterns)
+    means = np.empty(num_patterns)
+    ranks = np.arange(cores)
+    for i, rng in enumerate(rngs):
+        perm = rng.permutation(ranks)
+        half = cores // 2
+        pattern = []
+        for a, b in zip(perm[:half], perm[half : 2 * half]):
+            src, dst = int(allocation[a]), int(allocation[b])
+            if src != dst:
+                pattern.append((src, dst))
+        if not pattern:
+            means[i] = link_mibs  # everything intra-node: no network load
+            continue
+        result = sim.evaluate(pattern)
+        means[i] = result.mean_bandwidth * link_mibs
+    return NetgaugeResult(
+        cores=cores,
+        num_patterns=num_patterns,
+        per_pattern_mibs=means,
+        link_mibs=link_mibs,
+    )

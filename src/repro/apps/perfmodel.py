@@ -1,0 +1,100 @@
+"""Application-performance model: congestion → Gflop/s (Figures 14-16,
+Table II).
+
+A kernel iteration costs ``T_comp + T_comm``:
+
+* ``T_comp`` = per-iteration flops / (cores × per-core rate). The rate
+  default (0.9 Gflop/s) is a 2007-era Opteron doing real CFD work — it
+  sets absolute scales only.
+* ``T_comm`` = Σ over the iteration's communication phases of the
+  slowest flow's completion time, with flow rates taken from the
+  congestion simulator. No overlap is assumed (NPB 2.4's kernels mostly
+  don't overlap either).
+
+The routing comparison — the paper's actual result — depends only on the
+``T_comm`` ratio between engines, i.e. purely on congestion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.apps.nas import KernelSpec, get_kernel
+from repro.apps.netgauge import DEIMOS_LINK_MIBS, core_allocation
+from repro.exceptions import SimulationError
+from repro.routing.base import RoutingTables
+from repro.simulator.congestion import CongestionSimulator
+
+#: effective per-core compute rate (Gflop/s), 2007-era dual-core Opteron
+DEFAULT_CORE_GFLOPS = 0.9
+
+
+@dataclass(frozen=True)
+class KernelPrediction:
+    """Predicted performance of one NAS kernel run."""
+
+    kernel: str
+    cores: int
+    comp_seconds: float
+    comm_seconds: float
+    total_seconds: float
+    gflops: float
+
+    @property
+    def comm_fraction(self) -> float:
+        return self.comm_seconds / self.total_seconds if self.total_seconds else 0.0
+
+
+def predict_kernel(
+    tables: RoutingTables,
+    kernel: str | KernelSpec,
+    cores: int,
+    seed=None,
+    allocation: np.ndarray | None = None,
+    per_core_gflops: float = DEFAULT_CORE_GFLOPS,
+    link_mibs: float = DEIMOS_LINK_MIBS,
+    sim: CongestionSimulator | None = None,
+) -> KernelPrediction:
+    """Model one kernel at one core count through one routing.
+
+    Reuse ``allocation`` (and ``sim``) across engines so the comparison
+    isolates the routing, as in the paper's fixed-allocation methodology.
+    """
+    spec = get_kernel(kernel) if isinstance(kernel, str) else kernel
+    if not spec.valid_ranks(cores):
+        raise SimulationError(f"kernel {spec.name} cannot run on {cores} ranks")
+    fabric = tables.fabric
+    if allocation is None:
+        allocation = core_allocation(fabric, cores, seed=seed)
+    participants = [int(t) for t in allocation[:cores]]
+    if sim is None:
+        sim = CongestionSimulator(tables)
+
+    link_bytes = link_mibs * 2**20
+    comm_iter = 0.0
+    for phase in spec.phases(fabric, participants):
+        result = sim.evaluate(phase.pattern)
+        slowest_bw = result.min_bandwidth * link_bytes
+        comm_iter += phase.bytes_per_flow / slowest_bw
+    comp_iter = spec.flops_per_iteration / (cores * per_core_gflops * 1e9)
+
+    comp = spec.iterations * comp_iter
+    comm = spec.iterations * comm_iter
+    total = comp + comm
+    return KernelPrediction(
+        kernel=spec.name,
+        cores=cores,
+        comp_seconds=comp,
+        comm_seconds=comm,
+        total_seconds=total,
+        gflops=spec.total_flops / total / 1e9,
+    )
+
+
+def improvement_percent(baseline: KernelPrediction, contender: KernelPrediction) -> float:
+    """Table II's metric: Gflop/s gain of ``contender`` over ``baseline``."""
+    if baseline.kernel != contender.kernel or baseline.cores != contender.cores:
+        raise SimulationError("predictions compare different configurations")
+    return (contender.gflops / baseline.gflops - 1.0) * 100.0

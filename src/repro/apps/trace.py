@@ -1,0 +1,169 @@
+"""Trace-driven communication replay.
+
+Bridges real applications and the congestion model: a *communication
+trace* is a phase-ordered list of (source rank, destination rank, bytes)
+records — the level of detail MPI profilers readily produce. Replaying a
+trace against a routed fabric predicts per-phase and total communication
+time, so different routing engines (or degraded fabrics) can be compared
+for a *specific* application rather than a synthetic kernel.
+
+The text format is one record per line::
+
+    # phase src_rank dst_rank bytes
+    0 0 4 1048576
+    0 1 5 1048576
+    1 4 0 524288
+
+Phases execute back to back; within a phase all flows are concurrent and
+a phase completes when its slowest flow does (the same model the NAS
+kernels use). Ranks map to terminals through an allocation; co-located
+ranks exchange through shared memory and are skipped.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.apps.netgauge import DEIMOS_LINK_MIBS
+from repro.exceptions import SimulationError
+from repro.routing.base import RoutingTables
+from repro.simulator.congestion import CongestionSimulator
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    phase: int
+    src_rank: int
+    dst_rank: int
+    nbytes: float
+
+
+class CommTrace:
+    """Ordered communication phases of one application run."""
+
+    def __init__(self, records: list[TraceRecord]):
+        for r in records:
+            if r.phase < 0 or r.nbytes <= 0 or r.src_rank < 0 or r.dst_rank < 0:
+                raise SimulationError(f"malformed trace record {r}")
+            if r.src_rank == r.dst_rank:
+                raise SimulationError(f"self-communication in trace: {r}")
+        self.records = sorted(records, key=lambda r: r.phase)
+
+    # ------------------------------------------------------------------
+    @property
+    def num_phases(self) -> int:
+        return (max(r.phase for r in self.records) + 1) if self.records else 0
+
+    @property
+    def num_ranks(self) -> int:
+        if not self.records:
+            return 0
+        return 1 + max(max(r.src_rank, r.dst_rank) for r in self.records)
+
+    @property
+    def total_bytes(self) -> float:
+        return float(sum(r.nbytes for r in self.records))
+
+    def phases(self):
+        """Yield (phase index, records) in order; empty phases skipped."""
+        by_phase: dict[int, list[TraceRecord]] = {}
+        for r in self.records:
+            by_phase.setdefault(r.phase, []).append(r)
+        for phase in sorted(by_phase):
+            yield phase, by_phase[phase]
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_file(cls, path: str | Path) -> "CommTrace":
+        records = []
+        for lineno, raw in enumerate(Path(path).read_text().splitlines(), 1):
+            line = raw.split("#", 1)[0].strip()
+            if not line:
+                continue
+            parts = line.split()
+            if len(parts) != 4:
+                raise SimulationError(f"{path}:{lineno}: expected 4 fields, got {raw!r}")
+            phase, src, dst = (int(parts[i]) for i in range(3))
+            records.append(TraceRecord(phase, src, dst, float(parts[3])))
+        if not records:
+            raise SimulationError(f"{path}: empty trace")
+        return cls(records)
+
+    def save(self, path: str | Path) -> None:
+        lines = ["# phase src_rank dst_rank bytes"]
+        for r in self.records:
+            lines.append(f"{r.phase} {r.src_rank} {r.dst_rank} {r.nbytes:g}")
+        Path(path).write_text("\n".join(lines) + "\n")
+
+    @classmethod
+    def from_kernel(cls, kernel, fabric, participants: list[int]) -> "CommTrace":
+        """Flatten a NAS :class:`KernelSpec`'s single iteration into a
+        trace (ranks are positions in ``participants``)."""
+        index = {}
+        for rank, term in enumerate(participants):
+            index.setdefault(term, rank)
+        records = []
+        for phase_no, phase in enumerate(kernel.phases(fabric, participants)):
+            for src, dst in phase.pattern:
+                records.append(
+                    TraceRecord(phase_no, index[src], index[dst], phase.bytes_per_flow)
+                )
+        return cls(records)
+
+
+@dataclass(frozen=True)
+class ReplayResult:
+    """Predicted communication time of one trace on one routing."""
+
+    phase_seconds: np.ndarray
+    total_bytes: float
+
+    @property
+    def total_seconds(self) -> float:
+        return float(self.phase_seconds.sum())
+
+    @property
+    def effective_bandwidth(self) -> float:
+        """Aggregate bytes/s over the whole trace."""
+        return self.total_bytes / self.total_seconds if self.total_seconds else 0.0
+
+
+def replay_trace(
+    tables: RoutingTables,
+    trace: CommTrace,
+    allocation,
+    link_mibs: float = DEIMOS_LINK_MIBS,
+    sim: CongestionSimulator | None = None,
+) -> ReplayResult:
+    """Replay ``trace`` with ranks mapped by ``allocation`` (rank ->
+    terminal node id). Intra-terminal records are skipped (shared
+    memory); a phase with only such records costs zero network time."""
+    allocation = [int(t) for t in allocation]
+    if trace.num_ranks > len(allocation):
+        raise SimulationError(
+            f"trace has {trace.num_ranks} ranks but allocation only "
+            f"{len(allocation)} entries"
+        )
+    if sim is None:
+        sim = CongestionSimulator(tables)
+    link_bytes = link_mibs * 2**20
+    times = []
+    for _phase, records in trace.phases():
+        flows = []
+        nbytes = []
+        for r in records:
+            src, dst = allocation[r.src_rank], allocation[r.dst_rank]
+            if src == dst:
+                continue
+            flows.append((src, dst))
+            nbytes.append(r.nbytes)
+        if not flows:
+            times.append(0.0)
+            continue
+        result = sim.evaluate(flows)
+        rates = result.flow_bandwidth * link_bytes
+        times.append(float(np.max(np.asarray(nbytes) / rates)))
+    return ReplayResult(phase_seconds=np.array(times), total_bytes=trace.total_bytes)

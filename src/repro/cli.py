@@ -1,0 +1,321 @@
+"""Command-line interface: ``repro-route`` / ``python -m repro``.
+
+Subcommands mirror the OpenSM-era workflow on the fabric model:
+
+* ``topo``       — generate a topology, print a summary, optionally save it;
+* ``route``      — run a routing engine, print path/layer statistics;
+* ``simulate``   — effective bisection bandwidth for one or more engines;
+* ``vls``        — virtual-lane requirements (DFSSSP heuristics vs LASH);
+* ``deadlock``   — flit-level deadlock experiment on a pattern;
+* ``throughput`` — open-loop saturation sweep (offered vs delivered load);
+* ``bisection``  — theoretical bisection width of the fabric;
+* ``orcs``       — ORCS-style named pattern / metric evaluation.
+
+Fabrics come from generators (``--family``), saved JSON (``--fabric``) or
+real ``ibnetdiscover`` dumps (``--ibnetdiscover``).
+
+Examples::
+
+    repro-route topo --family random --switches 16 --links 32 \
+        --terminals-per-switch 4 --seed 7 --out fabric.json
+    repro-route simulate --fabric fabric.json --engines minhop,dfsssp
+    repro-route deadlock --family ring --switches 5 --shift 2
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.exceptions import ReproError
+from repro.network import load_fabric, save_fabric
+from repro.network import topologies as topo
+from repro.network.fabric import Fabric
+from repro.routing import PAPER_ENGINES, extract_paths, make_engine
+from repro.routing.base import LayeredRouting
+from repro.deadlock import verify_deadlock_free
+from repro.simulator import CongestionSimulator, FlitSimulator, shift_pattern
+from repro.utils.reporting import Table
+
+
+def _build_topo(args) -> Fabric:
+    if getattr(args, "ibnetdiscover", None):
+        from repro.network import load_ibnetdiscover
+
+        return load_ibnetdiscover(args.ibnetdiscover)
+    if getattr(args, "fabric", None):
+        return load_fabric(args.fabric)
+    family = args.family
+    if family == "ring":
+        return topo.ring(args.switches, args.terminals_per_switch)
+    if family == "torus":
+        dims = tuple(int(d) for d in args.dims.split("x"))
+        return topo.torus(dims, args.terminals_per_switch)
+    if family == "hypercube":
+        return topo.hypercube(args.dimension, args.terminals_per_switch)
+    if family == "ktree":
+        return topo.kary_ntree(args.k, args.n)
+    if family == "xgft":
+        ms = tuple(int(m) for m in args.ms.split(","))
+        ws = tuple(int(w) for w in args.ws.split(","))
+        return topo.xgft(len(ms), ms, ws)
+    if family == "kautz":
+        return topo.kautz(args.b, args.n, args.endpoints)
+    if family == "random":
+        return topo.random_topology(
+            args.switches, args.links, args.terminals_per_switch, seed=args.seed
+        )
+    if family == "dragonfly":
+        return topo.dragonfly(args.a, args.p, args.h)
+    if family in topo.CLUSTERS:
+        return topo.cluster(family, scale=args.scale)
+    raise ReproError(f"unknown topology family {family!r}")
+
+
+def _add_topo_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--fabric", help="load fabric from JSON instead of generating")
+    p.add_argument("--ibnetdiscover", help="load fabric from ibnetdiscover output")
+    p.add_argument("--family", default="random", help="topology family or cluster name")
+    p.add_argument("--switches", type=int, default=16)
+    p.add_argument("--links", type=int, default=32)
+    p.add_argument("--terminals-per-switch", type=int, default=2)
+    p.add_argument("--dims", default="4x4", help="torus/mesh dims, e.g. 4x4x4")
+    p.add_argument("--dimension", type=int, default=4, help="hypercube dimension")
+    p.add_argument("--k", type=int, default=4)
+    p.add_argument("--n", type=int, default=2)
+    p.add_argument("--b", type=int, default=2)
+    p.add_argument("--ms", default="4,4", help="XGFT child counts")
+    p.add_argument("--ws", default="1,2", help="XGFT parent counts")
+    p.add_argument("--endpoints", type=int, default=64, help="Kautz endpoint count")
+    p.add_argument("--a", type=int, default=4, help="dragonfly group size")
+    p.add_argument("--p", type=int, default=2, help="dragonfly terminals/switch")
+    p.add_argument("--h", type=int, default=2, help="dragonfly global links/switch")
+    p.add_argument("--scale", type=float, default=0.1, help="cluster lookalike scale")
+    p.add_argument("--seed", type=int, default=0)
+
+
+def cmd_topo(args) -> int:
+    fabric = _build_topo(args)
+    print(fabric)
+    print(f"  switches:  {fabric.num_switches}")
+    print(f"  terminals: {fabric.num_terminals}")
+    print(f"  cables:    {fabric.num_channels // 2}")
+    if args.out:
+        save_fabric(fabric, args.out)
+        print(f"saved to {args.out}")
+    return 0
+
+
+def cmd_route(args) -> int:
+    fabric = _build_topo(args)
+    table = Table(
+        ["engine", "status", "deadlock-free", "layers", "mean hops", "max hops"],
+        title=f"routing on {fabric}",
+    )
+    for name in args.engines.split(","):
+        try:
+            result = make_engine(name).route(fabric)
+            paths = extract_paths(result.tables)
+            layered = result.layered or LayeredRouting.single_layer(result.tables)
+            report = verify_deadlock_free(layered, paths)
+            lengths = paths.lengths()
+            table.add_row(
+                [
+                    name,
+                    "ok",
+                    report.deadlock_free,
+                    result.stats.get("layers_needed", result.num_layers),
+                    float(lengths.mean()),
+                    int(lengths.max(initial=0)),
+                ]
+            )
+        except ReproError as err:
+            table.add_row([name, f"failed: {type(err).__name__}", None, None, None, None])
+    print(table.render())
+    return 0
+
+
+def cmd_simulate(args) -> int:
+    fabric = _build_topo(args)
+    table = Table(
+        ["engine", "eBB", "min", "max"],
+        title=f"effective bisection bandwidth, {args.patterns} patterns, {fabric}",
+    )
+    for name in args.engines.split(","):
+        try:
+            result = make_engine(name).route(fabric)
+            sim = CongestionSimulator(result.tables)
+            ebb = sim.effective_bisection_bandwidth(args.patterns, seed=args.seed)
+            table.add_row([name, ebb.ebb, ebb.minimum, ebb.maximum])
+        except ReproError:
+            table.add_row([name, None, None, None])
+    print(table.render())
+    return 0
+
+
+def cmd_vls(args) -> int:
+    from repro.core import DFSSSPEngine, HEURISTICS
+    from repro.routing.lash import LASHEngine
+
+    fabric = _build_topo(args)
+    table = Table(["algorithm", "virtual layers"], title=f"VL requirements on {fabric}")
+    for heuristic in HEURISTICS:
+        try:
+            result = DFSSSPEngine(max_layers=args.max_layers, heuristic=heuristic).route(fabric)
+            table.add_row([f"dfsssp/{heuristic}", result.stats["layers_needed"]])
+        except ReproError:
+            table.add_row([f"dfsssp/{heuristic}", None])
+    try:
+        result = LASHEngine(max_layers=args.max_layers).route(fabric)
+        table.add_row(["lash", result.stats["layers_needed"]])
+    except ReproError:
+        table.add_row(["lash", None])
+    print(table.render())
+    return 0
+
+
+def cmd_throughput(args) -> int:
+    from repro.simulator import FlitSimulator, permutation_pattern, saturation_sweep
+
+    fabric = _build_topo(args)
+    pattern = permutation_pattern(fabric, seed=args.seed)
+    rates = [float(r) for r in args.rates.split(",")]
+    table = Table(
+        ["engine", "offered", "delivered", "latency [cyc]", "deadlocked"],
+        title=f"open-loop throughput on {fabric}",
+    )
+    for name in args.engines.split(","):
+        result = make_engine(name).route(fabric)
+        sim = FlitSimulator(
+            result.tables,
+            layered=result.layered,
+            buffer_depth=args.buffers,
+            packet_length=args.packet_length,
+        )
+        for r in saturation_sweep(
+            sim, pattern, rates=rates, warmup=args.warmup, measure=args.measure, seed=args.seed
+        ):
+            table.add_row([name, r.offered_rate, r.delivered_rate, r.mean_latency, r.deadlocked])
+    print(table.render())
+    return 0
+
+
+def cmd_orcs(args) -> int:
+    from repro.simulator.orcs import run_orcs
+
+    fabric = _build_topo(args)
+    for name in args.engines.split(","):
+        result = make_engine(name).route(fabric)
+        orcs = run_orcs(
+            result.tables,
+            pattern=args.pattern,
+            metric=args.metric,
+            num_runs=args.runs,
+            seed=args.seed,
+        )
+        print(f"--- {name} ---")
+        print(orcs.report())
+    return 0
+
+
+def cmd_bisection(args) -> int:
+    from repro.analysis import estimate_bisection
+
+    fabric = _build_topo(args)
+    est = estimate_bisection(fabric, restarts=args.restarts, seed=args.seed)
+    kind = "exact" if est.exact else "heuristic upper bound"
+    print(f"fabric            : {fabric}")
+    print(f"bisection width   : {est.cut_capacity:g} link(s) ({kind})")
+    print(f"terminal split    : {est.terminals_a} | {est.terminals_b}")
+    print(f"per-pair bandwidth: {est.per_pair_bandwidth:.3f} of link speed")
+    return 0
+
+
+def cmd_deadlock(args) -> int:
+    fabric = _build_topo(args)
+    pattern = shift_pattern(fabric, args.shift)
+    for name in args.engines.split(","):
+        result = make_engine(name).route(fabric)
+        sim = FlitSimulator(
+            result.tables,
+            layered=result.layered,
+            buffer_depth=args.buffers,
+            packet_length=args.packet_length,
+        )
+        outcome = sim.run(pattern, packets_per_flow=args.packets)
+        print(
+            f"{name:8s} -> {outcome.status:10s} cycles={outcome.cycles} "
+            f"delivered={outcome.delivered} in-flight={outcome.in_flight}"
+        )
+        if outcome.deadlocked:
+            print(f"         wait-for cycle: {outcome.waitfor_cycle}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(prog="repro-route", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("topo", help="generate / inspect a topology")
+    _add_topo_args(p)
+    p.add_argument("--out", help="save fabric JSON here")
+    p.set_defaults(func=cmd_topo)
+
+    p = sub.add_parser("route", help="run routing engines, show path stats")
+    _add_topo_args(p)
+    p.add_argument("--engines", default=",".join(PAPER_ENGINES))
+    p.set_defaults(func=cmd_route)
+
+    p = sub.add_parser("simulate", help="effective bisection bandwidth")
+    _add_topo_args(p)
+    p.add_argument("--engines", default="minhop,dfsssp")
+    p.add_argument("--patterns", type=int, default=50)
+    p.set_defaults(func=cmd_simulate)
+
+    p = sub.add_parser("vls", help="virtual-lane requirements")
+    _add_topo_args(p)
+    p.add_argument("--max-layers", type=int, default=16)
+    p.set_defaults(func=cmd_vls)
+
+    p = sub.add_parser("throughput", help="open-loop saturation sweep")
+    _add_topo_args(p)
+    p.add_argument("--engines", default="dfsssp")
+    p.add_argument("--rates", default="0.1,0.3,0.6,0.9")
+    p.add_argument("--buffers", type=int, default=2)
+    p.add_argument("--packet-length", type=int, default=1, dest="packet_length")
+    p.add_argument("--warmup", type=int, default=200)
+    p.add_argument("--measure", type=int, default=500)
+    p.set_defaults(func=cmd_throughput)
+
+    p = sub.add_parser("orcs", help="ORCS-style pattern/metric evaluation")
+    _add_topo_args(p)
+    p.add_argument("--engines", default="dfsssp")
+    p.add_argument("--pattern", default="bisect")
+    p.add_argument("--metric", default="avg_bandwidth")
+    p.add_argument("--runs", type=int, default=50)
+    p.set_defaults(func=cmd_orcs)
+
+    p = sub.add_parser("bisection", help="theoretical bisection estimate")
+    _add_topo_args(p)
+    p.add_argument("--restarts", type=int, default=4)
+    p.set_defaults(func=cmd_bisection)
+
+    p = sub.add_parser("deadlock", help="flit-level deadlock experiment")
+    _add_topo_args(p)
+    p.add_argument("--engines", default="sssp,dfsssp")
+    p.add_argument("--shift", type=int, default=2)
+    p.add_argument("--buffers", type=int, default=1)
+    p.add_argument("--packets", type=int, default=8)
+    p.add_argument("--packet-length", type=int, default=1, dest="packet_length")
+    p.set_defaults(func=cmd_deadlock)
+
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

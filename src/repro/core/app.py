@@ -1,0 +1,129 @@
+"""The Acyclic Path Partitioning (APP) problem — §III-A formalism.
+
+The paper models virtual-layer assignment abstractly: given a *generator*
+``P`` (a set of paths over channel labels — the nodes of a channel
+dependency graph) and an integer ``k``, is there a partition of ``P``
+into ``k`` non-empty classes whose induced graphs are all acyclic?
+
+This module provides the formal objects (paths, instances, covers) and a
+validator for candidate covers; :mod:`repro.core.app_exact` solves small
+instances exactly, and :mod:`repro.core.app_reduction` implements the
+Theorem 1 reduction from graph k-colorability.
+
+Labels are arbitrary hashable objects, so the same machinery serves both
+the abstract NP-completeness experiments and concrete CDG paths (channel
+ids).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable, Sequence
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class APPPath:
+    """A path ``c_0 c_1 ... c_n`` with pairwise-distinct labels."""
+
+    labels: tuple[Hashable, ...]
+
+    def __post_init__(self):
+        if len(set(self.labels)) != len(self.labels):
+            raise ValueError(f"path labels must be distinct, got {self.labels}")
+        if not self.labels:
+            raise ValueError("a path needs at least one label")
+
+    @property
+    def nodes(self) -> frozenset:
+        return frozenset(self.labels)
+
+    @property
+    def edges(self) -> tuple[tuple[Hashable, Hashable], ...]:
+        return tuple(
+            (self.labels[i], self.labels[i + 1]) for i in range(len(self.labels) - 1)
+        )
+
+    def __len__(self) -> int:
+        return len(self.labels)
+
+
+@dataclass
+class APPInstance:
+    """A generator ``P`` (the decision problem's ``k`` is a call argument)."""
+
+    paths: list[APPPath] = field(default_factory=list)
+
+    @classmethod
+    def from_sequences(cls, seqs: Iterable[Sequence[Hashable]]) -> "APPInstance":
+        return cls([APPPath(tuple(s)) for s in seqs])
+
+    def induced_edges(self, subset: Iterable[int]) -> set[tuple[Hashable, Hashable]]:
+        """Edge set of the induced graph ``G[{p_i : i in subset}]``."""
+        out: set[tuple[Hashable, Hashable]] = set()
+        for i in subset:
+            out.update(self.paths[i].edges)
+        return out
+
+    def subset_acyclic(self, subset: Iterable[int]) -> bool:
+        """Is the induced graph of the given path indices acyclic?"""
+        return _edges_acyclic(self.induced_edges(subset))
+
+    def is_cover(self, partition: Sequence[Iterable[int]]) -> bool:
+        """Validate the paper's four cover conditions:
+
+        i. every class non-empty, ii. classes cover all paths,
+        iii. classes pairwise disjoint, iv. every induced graph acyclic.
+        """
+        seen: set[int] = set()
+        for part in partition:
+            part = list(part)
+            if not part:  # (i)
+                return False
+            if seen.intersection(part):  # (iii)
+                return False
+            seen.update(part)
+            if not self.subset_acyclic(part):  # (iv)
+                return False
+        return seen == set(range(len(self.paths)))  # (ii)
+
+    def __len__(self) -> int:
+        return len(self.paths)
+
+
+def _edges_acyclic(edges: set[tuple[Hashable, Hashable]]) -> bool:
+    """Kahn's algorithm on an edge set."""
+    succ: dict[Hashable, list[Hashable]] = {}
+    indeg: dict[Hashable, int] = {}
+    for a, b in edges:
+        succ.setdefault(a, []).append(b)
+        indeg[b] = indeg.get(b, 0) + 1
+        indeg.setdefault(a, 0)
+    ready = [n for n, d in indeg.items() if d == 0]
+    removed = 0
+    while ready:
+        n = ready.pop()
+        removed += 1
+        for m in succ.get(n, ()):
+            indeg[m] -= 1
+            if indeg[m] == 0:
+                ready.append(m)
+    return removed == len(indeg)
+
+
+def nondeterministic_verify(instance: APPInstance, assignment: Sequence[int], k: int) -> bool:
+    """The paper's NP-membership certificate check: given a truth
+    assignment ``g: P -> {0..k-1}``, validate the partition in polynomial
+    time (one cycle search per class)."""
+    if len(assignment) != len(instance.paths):
+        return False
+    if any(not (0 <= g < k) for g in assignment):
+        return False
+    classes: list[list[int]] = [[] for _ in range(k)]
+    for i, g in enumerate(assignment):
+        classes[g].append(i)
+    # Drop empty classes: a valid g with fewer used classes still witnesses
+    # "k classes suffice" (pad by splitting is always possible? no —
+    # condition (i) requires non-empty classes, so require exactly the
+    # used classes to be a cover for some k' <= k).
+    used = [c for c in classes if c]
+    return bool(used) and instance.is_cover(used)

@@ -1,0 +1,79 @@
+"""Exact solver for small APP instances.
+
+Backtracking over path→class assignments with two standard prunings:
+
+* symmetry breaking — path ``i`` may only open class ``max_used + 1``;
+* incremental acyclicity — a partial assignment is abandoned as soon as
+  one class's induced graph is cyclic (induced graphs only grow).
+
+Exponential, of course (the problem is NP-complete — Theorem 1); intended
+for instances of ≲ 15 paths. Used to certify heuristic layer counts and
+to test the k-colorability reduction in both directions.
+"""
+
+from __future__ import annotations
+
+from repro.core.app import APPInstance
+
+
+def has_k_cover(instance: APPInstance, k: int) -> bool:
+    """Decide the APP problem ⟨P, k⟩ (partition into exactly ``k``
+    non-empty classes with acyclic induced graphs)."""
+    n = len(instance.paths)
+    if n == 0 or k <= 0 or k > n:
+        return False
+    if k == n:
+        return True  # singletons: each path alone is acyclic
+    return _search(instance, k)
+
+
+def minimum_cover(instance: APPInstance) -> tuple[int, list[list[int]]]:
+    """Smallest ``k`` admitting a cover, with a witness partition.
+
+    Every single path is acyclic, so ``k = |P|`` always works and the
+    search terminates.
+    """
+    n = len(instance.paths)
+    if n == 0:
+        raise ValueError("empty generator has no cover (classes must be non-empty)")
+    for k in range(1, n + 1):
+        witness = _search_witness(instance, k)
+        if witness is not None:
+            return k, witness
+    raise AssertionError("unreachable: singleton partition is always a cover")
+
+
+def _search(instance: APPInstance, k: int) -> bool:
+    return _search_witness(instance, k) is not None
+
+
+def _search_witness(instance: APPInstance, k: int) -> list[list[int]] | None:
+    n = len(instance.paths)
+    if k > n:
+        return None
+    assignment: list[int] = [-1] * n
+    classes: list[list[int]] = [[] for _ in range(k)]
+
+    def feasible(i: int, cls: int) -> bool:
+        return instance.subset_acyclic(classes[cls] + [i])
+
+    def backtrack(i: int, used: int) -> bool:
+        if i == n:
+            return used == k
+        # Prune: remaining paths must be able to fill all k classes.
+        if used + (n - i) < k:
+            return False
+        for cls in range(min(used + 1, k)):
+            if not feasible(i, cls):
+                continue
+            assignment[i] = cls
+            classes[cls].append(i)
+            if backtrack(i + 1, max(used, cls + 1)):
+                return True
+            classes[cls].pop()
+            assignment[i] = -1
+        return False
+
+    if backtrack(0, 0):
+        return [list(c) for c in classes]
+    return None

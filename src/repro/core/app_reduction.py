@@ -1,0 +1,127 @@
+"""Theorem 1: graph k-colorability ≤p acyclic path partitioning.
+
+The reduction builds, for every graph node ``v``, one path ``p_v``:
+
+* a private start label ``('n', v)``;
+* for every incident edge ``e = {v, w}`` (in a fixed order), the two
+  shared labels ``('e', v, e)`` then ``('e', w, e)``.
+
+For an edge ``{v, w}``, ``p_v`` traverses ``('e', v, e) → ('e', w, e)``
+while ``p_w`` traverses ``('e', w, e) → ('e', v, e)`` — together a
+2-cycle, so adjacent nodes' paths can never share a class. Non-adjacent
+nodes' paths are label-disjoint, so any independent set's paths induce a
+disjoint union of simple paths (acyclic). Hence k-covers of the instance
+correspond exactly to k-colorings of the graph, in both directions; this
+module also implements both witness translations so tests can verify the
+equivalence constructively on small graphs.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable
+
+from repro.core.app import APPInstance, APPPath
+
+Edge = tuple[Hashable, Hashable]
+
+
+def _normalize(edges: Iterable[Edge]) -> tuple[list[Hashable], list[tuple[Hashable, Hashable]]]:
+    nodes: set[Hashable] = set()
+    norm: set[tuple[Hashable, Hashable]] = set()
+    for a, b in edges:
+        if a == b:
+            raise ValueError(f"self-loop {a!r} makes the graph uncolorable")
+        nodes.update((a, b))
+        norm.add((a, b) if repr(a) <= repr(b) else (b, a))
+    return sorted(nodes, key=repr), sorted(norm, key=repr)
+
+
+def coloring_to_app(
+    nodes: Iterable[Hashable], edges: Iterable[Edge]
+) -> tuple[APPInstance, list[Hashable]]:
+    """Transform a graph into an APP instance (polynomial, Theorem 1).
+
+    Returns the instance and the node order: path ``i`` of the instance
+    is ``p_{node_order[i]}``. Isolated nodes get single-label paths
+    (``p_v = ⟨v⟩`` in the paper).
+    """
+    extra_nodes, edge_list = _normalize(edges)
+    all_nodes = sorted(set(nodes) | set(extra_nodes), key=repr)
+    incident: dict[Hashable, list[tuple[Hashable, Hashable]]] = {v: [] for v in all_nodes}
+    for e in edge_list:
+        a, b = e
+        incident[a].append(e)
+        incident[b].append(e)
+    paths = []
+    for v in all_nodes:
+        labels: list[Hashable] = [("n", v)]
+        for e in incident[v]:
+            w = e[1] if e[0] == v else e[0]
+            labels.append(("e", v, e))
+            labels.append(("e", w, e))
+        paths.append(APPPath(tuple(labels)))
+    return APPInstance(paths), all_nodes
+
+
+def cover_to_coloring(
+    node_order: list[Hashable], partition: list[list[int]]
+) -> dict[Hashable, int]:
+    """Translate an APP cover back into a coloring (the "⇐" direction)."""
+    coloring: dict[Hashable, int] = {}
+    for color, part in enumerate(partition):
+        for i in part:
+            coloring[node_order[i]] = color
+    return coloring
+
+
+def coloring_to_cover(
+    node_order: list[Hashable], coloring: dict[Hashable, int]
+) -> list[list[int]]:
+    """Translate a coloring into an APP partition (the "⇒" direction)."""
+    index = {v: i for i, v in enumerate(node_order)}
+    k = max(coloring.values()) + 1 if coloring else 0
+    parts: list[list[int]] = [[] for _ in range(k)]
+    for v, color in coloring.items():
+        parts[color].append(index[v])
+    return [p for p in parts if p]
+
+
+def is_proper_coloring(edges: Iterable[Edge], coloring: dict[Hashable, int]) -> bool:
+    return all(coloring[a] != coloring[b] for a, b in edges)
+
+
+def chromatic_number(nodes: Iterable[Hashable], edges: Iterable[Edge]) -> int:
+    """Brute-force chromatic number for tiny graphs (test oracle)."""
+    nodes = sorted(set(nodes) | {v for e in edges for v in e}, key=repr)
+    adj: dict[Hashable, set[Hashable]] = {v: set() for v in nodes}
+    for a, b in edges:
+        adj[a].add(b)
+        adj[b].add(a)
+    n = len(nodes)
+    if n == 0:
+        return 0
+
+    def colorable(k: int) -> bool:
+        colors: dict[Hashable, int] = {}
+
+        def backtrack(i: int) -> bool:
+            if i == n:
+                return True
+            v = nodes[i]
+            used = {colors[w] for w in adj[v] if w in colors}
+            max_color = min(k, max(colors.values(), default=-1) + 2)
+            for c in range(max_color):  # symmetry: at most one fresh color
+                if c in used:
+                    continue
+                colors[v] = c
+                if backtrack(i + 1):
+                    return True
+                del colors[v]
+            return False
+
+        return backtrack(0)
+
+    for k in range(1, n + 1):
+        if colorable(k):
+            return k
+    raise AssertionError("unreachable: n colors always suffice")

@@ -1,0 +1,117 @@
+"""DFSSSP — deadlock-free single-source-shortest-path routing (§IV).
+
+The engine chains the paper's two algorithms:
+
+1. :class:`~repro.core.sssp.SSSPEngine` produces globally balanced,
+   hop-minimal forwarding tables (Algorithm 1);
+2. :func:`~repro.core.layers.assign_layers_offline` breaks every channel
+   dependency cycle by relocating paths to higher virtual layers
+   (Algorithm 2), using the *weakest-edge* heuristic by default.
+
+The result keeps SSSP's paths byte-for-byte — virtual layers only choose
+buffers, never routes — so DFSSSP inherits SSSP's bandwidth while adding
+deadlock-freedom. That is the paper's central claim and our tests verify
+both halves (identical tables; acyclic per-layer CDGs).
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core.layers import (
+    DEFAULT_MAX_LAYERS,
+    assign_layers_offline,
+    assign_layers_online,
+)
+from repro.core.sssp import SSSPEngine
+from repro.network.fabric import Fabric
+from repro.routing.base import LayeredRouting, RoutingEngine, RoutingResult
+from repro.routing.paths import extract_paths
+
+
+class DFSSSPEngine(RoutingEngine):
+    """Deadlock-free SSSP routing.
+
+    Parameters
+    ----------
+    max_layers:
+        Available virtual lanes (8 on the paper's hardware, 16 per spec).
+    heuristic:
+        Cycle-edge choice: ``"weakest"`` (default, best), ``"strongest"``
+        or ``"first"`` — see :mod:`repro.core.heuristics`.
+    mode:
+        ``"offline"`` (the paper's fast contribution) or ``"online"``
+        (the LASH-style baseline kept for the §IV runtime comparison).
+    balance:
+        Spread paths over unused layers after cycle breaking (Algorithm
+        2's final step).
+    dest_order / seed / count_switch_sources:
+        Forwarded to :class:`SSSPEngine`.
+    """
+
+    name = "dfsssp"
+
+    def __init__(
+        self,
+        max_layers: int = DEFAULT_MAX_LAYERS,
+        heuristic: str = "weakest",
+        mode: str = "offline",
+        balance: bool = True,
+        dest_order: str = "index",
+        seed=None,
+        count_switch_sources: bool = False,
+    ):
+        if mode not in ("offline", "online"):
+            raise ValueError(f"mode must be 'offline' or 'online', got {mode!r}")
+        self.max_layers = max_layers
+        self.heuristic = heuristic
+        self.mode = mode
+        self.balance = balance
+        self._sssp = SSSPEngine(
+            dest_order=dest_order, seed=seed, count_switch_sources=count_switch_sources
+        )
+
+    def _route(self, fabric: Fabric) -> RoutingResult:
+        t0 = time.perf_counter()
+        tables, total_weight = self._sssp._run(fabric)
+        tables.engine = self.name  # routes are SSSP's, the engine is ours
+        t_sssp = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        paths = extract_paths(tables)
+        # OpenSM's DFSSSP layers CA-to-CA paths: only paths whose source
+        # switch hosts terminals ever carry traffic, and layering the
+        # spine-originated suffixes separately would inflate lane counts.
+        active = paths.active_pids()
+        if self.mode == "offline":
+            assignment = assign_layers_offline(
+                paths,
+                max_layers=self.max_layers,
+                heuristic=self.heuristic,
+                balance=self.balance,
+                pids=active,
+            )
+        else:
+            assignment = assign_layers_online(
+                paths, max_layers=self.max_layers, balance=self.balance, pids=active
+            )
+        t_layers = time.perf_counter() - t0
+
+        layered = LayeredRouting(tables, assignment.path_layers, self.max_layers)
+        return RoutingResult(
+            tables=tables,
+            layered=layered,
+            deadlock_free=True,
+            stats={
+                "engine": self.name,
+                "mode": self.mode,
+                "heuristic": self.heuristic if self.mode == "offline" else None,
+                "layers_needed": assignment.layers_needed,
+                "layers_used": layered.layers_used,
+                "cycles_broken": assignment.cycles_broken,
+                "paths_moved": assignment.paths_moved,
+                "total_balancing_weight": total_weight,
+                "time_sssp_s": t_sssp,
+                "time_layers_s": t_layers,
+            },
+        )

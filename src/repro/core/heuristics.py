@@ -1,0 +1,66 @@
+"""Cycle-breaking edge-selection heuristics (§IV).
+
+When Algorithm 2 finds a cycle in a layer's CDG it must pick one edge of
+the cycle; all paths inducing that edge move to the next layer. The
+minimum-layer version of this choice is the NP-complete APP problem, so
+the paper evaluates three heuristics:
+
+* ``weakest``  — edge induced by the *fewest* paths (move as little as
+  possible to the next layer). Empirically the best: 3–5 layers on the
+  paper's random topologies.
+* ``strongest`` — edge induced by the *most* paths (hope to break many
+  undiscovered cycles at once). Empirically the worst: 4–16 layers.
+* ``first``     — the first edge of the discovered cycle (the paper's
+  "pseudo-random" baseline): 4–8 layers.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.deadlock.cdg import ChannelDependencyGraph
+
+Edge = tuple[int, int]
+Heuristic = Callable[[ChannelDependencyGraph, list[Edge]], Edge]
+
+
+def weakest_edge(cdg: ChannelDependencyGraph, cycle: list[Edge]) -> Edge:
+    """Edge with the fewest inducing paths (ties: first in the cycle)."""
+    best, best_w = cycle[0], cdg.edge_weight(*cycle[0])
+    for e in cycle[1:]:
+        w = cdg.edge_weight(*e)
+        if w < best_w:
+            best, best_w = e, w
+    return best
+
+
+def strongest_edge(cdg: ChannelDependencyGraph, cycle: list[Edge]) -> Edge:
+    """Edge with the most inducing paths (ties: first in the cycle)."""
+    best, best_w = cycle[0], cdg.edge_weight(*cycle[0])
+    for e in cycle[1:]:
+        w = cdg.edge_weight(*e)
+        if w > best_w:
+            best, best_w = e, w
+    return best
+
+
+def first_edge(cdg: ChannelDependencyGraph, cycle: list[Edge]) -> Edge:
+    """The first edge of the discovered cycle (pseudo-random choice: it
+    depends on DFS traversal order, not on path counts)."""
+    return cycle[0]
+
+
+HEURISTICS: dict[str, Heuristic] = {
+    "weakest": weakest_edge,
+    "strongest": strongest_edge,
+    "first": first_edge,
+}
+
+
+def get_heuristic(name: str) -> Heuristic:
+    try:
+        return HEURISTICS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown heuristic {name!r}; available: {sorted(HEURISTICS)}"
+        ) from None

@@ -1,0 +1,21 @@
+"""Channel dependency graphs, cycle search and deadlock-freedom checks."""
+
+from repro.deadlock.cdg import ChannelDependencyGraph
+from repro.deadlock.cycles import CycleSearch, find_any_cycle, is_acyclic
+from repro.deadlock.verify import (
+    VerificationReport,
+    build_layer_cdgs,
+    verify_deadlock_free,
+    verify_with_networkx,
+)
+
+__all__ = [
+    "ChannelDependencyGraph",
+    "CycleSearch",
+    "find_any_cycle",
+    "is_acyclic",
+    "VerificationReport",
+    "build_layer_cdgs",
+    "verify_deadlock_free",
+    "verify_with_networkx",
+]

@@ -1,0 +1,87 @@
+"""Cycle search over channel dependency graphs.
+
+:class:`CycleSearch` implements the offline Algorithm 2's inner loop: it
+finds one cycle at a time and *keeps its progress* across calls. Nodes
+proven cycle-free ("black") stay settled after paths are removed — edge
+removal can never create a cycle — which is how the offline algorithm
+gets away with essentially one complete traversal per layer (the paper's
+key speed argument versus the online variant).
+"""
+
+from __future__ import annotations
+
+from repro.deadlock.cdg import ChannelDependencyGraph
+
+_WHITE, _GRAY, _BLACK = 0, 1, 2
+
+
+class CycleSearch:
+    """Resumable cycle finder on a (mutating) CDG.
+
+    Usage::
+
+        search = CycleSearch(cdg)
+        while (cycle := search.find_cycle()) is not None:
+            ...  # remove some paths, i.e. delete edges
+    """
+
+    def __init__(self, cdg: ChannelDependencyGraph):
+        self.cdg = cdg
+        self._black: set[int] = set()
+
+    def find_cycle(self) -> list[tuple[int, int]] | None:
+        """Return one cycle as a list of edges ``[(c1,c2), (c2,c3), ...,
+        (ck,c1)]``, or None if the CDG is (now) acyclic.
+
+        Safe to call again after the caller removed edges; previously
+        settled cycle-free nodes are not re-explored.
+        """
+        color: dict[int, int] = {}
+        for start in list(self.cdg.succ):
+            if start in self._black or color.get(start, _WHITE) != _WHITE:
+                continue
+            cycle = self._dfs(start, color)
+            if cycle is not None:
+                return cycle
+        return None
+
+    def _dfs(self, start: int, color: dict[int, int]) -> list[tuple[int, int]] | None:
+        succ = self.cdg.successors
+        stack: list[tuple[int, list[int]]] = [(start, list(succ(start)))]
+        color[start] = _GRAY
+        path: list[int] = [start]
+        while stack:
+            node, todo = stack[-1]
+            if todo:
+                nxt = todo.pop()
+                if nxt in self._black:
+                    continue
+                c = color.get(nxt, _WHITE)
+                if c == _GRAY:
+                    # Found a back edge: the cycle is the gray path from
+                    # nxt to node, closed by (node, nxt).
+                    i = path.index(nxt)
+                    nodes = path[i:]
+                    edges = [(nodes[k], nodes[k + 1]) for k in range(len(nodes) - 1)]
+                    edges.append((node, nxt))
+                    return edges
+                if c == _WHITE:
+                    color[nxt] = _GRAY
+                    stack.append((nxt, list(succ(nxt))))
+                    path.append(nxt)
+                # BLACK within this call: skip.
+            else:
+                color[node] = _BLACK
+                self._black.add(node)
+                stack.pop()
+                path.pop()
+        return None
+
+
+def find_any_cycle(cdg: ChannelDependencyGraph) -> list[tuple[int, int]] | None:
+    """One-shot cycle search (fresh state)."""
+    return CycleSearch(cdg).find_cycle()
+
+
+def is_acyclic(cdg: ChannelDependencyGraph) -> bool:
+    return find_any_cycle(cdg) is None

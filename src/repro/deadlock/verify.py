@@ -1,0 +1,94 @@
+"""Independent deadlock-freedom verification.
+
+Given a :class:`~repro.routing.base.LayeredRouting`, rebuild each virtual
+layer's channel dependency graph from scratch and check it is acyclic —
+Dally & Seitz' sufficient condition. This is deliberately decoupled from
+the layer-assignment code so tests can catch assignment bugs, and a
+second, slower networkx-based checker cross-validates the in-house DFS.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.deadlock.cdg import ChannelDependencyGraph
+from repro.deadlock.cycles import find_any_cycle
+from repro.routing.base import LayeredRouting
+from repro.routing.paths import PathSet
+
+
+@dataclass(frozen=True)
+class VerificationReport:
+    """Outcome of a deadlock-freedom check."""
+
+    deadlock_free: bool
+    num_layers: int
+    cycles: dict[int, list[tuple[int, int]]]  # layer -> one witness cycle
+    edges_per_layer: list[int]
+    paths_per_layer: list[int]
+
+    def __bool__(self) -> bool:  # pragma: no cover - convenience
+        return self.deadlock_free
+
+
+def build_layer_cdgs(
+    layered: LayeredRouting, paths: PathSet, traffic_only: bool = True
+) -> list[ChannelDependencyGraph]:
+    """Rebuild every layer's CDG from the path set and the assignment.
+
+    With ``traffic_only`` (default) only traffic-carrying paths count —
+    flows start at terminals, so paths originating at terminal-less
+    switches never materialise as buffer dependencies (they are suffixes
+    of the real flows' paths, whose own chains are already included).
+    """
+    fabric = layered.fabric
+    cdgs = [ChannelDependencyGraph(fabric) for _ in range(layered.num_layers)]
+    pids = paths.active_pids() if traffic_only else range(paths.num_paths)
+    for pid in pids:
+        pid = int(pid)
+        layer = int(layered.path_layers[pid])
+        cdgs[layer].add_path(pid, paths.path(pid))
+    return cdgs
+
+
+def verify_deadlock_free(
+    layered: LayeredRouting, paths: PathSet, traffic_only: bool = True
+) -> VerificationReport:
+    """Check Dally/Seitz acyclicity for every layer independently."""
+    cdgs = build_layer_cdgs(layered, paths, traffic_only=traffic_only)
+    cycles: dict[int, list[tuple[int, int]]] = {}
+    for layer, cdg in enumerate(cdgs):
+        cycle = find_any_cycle(cdg)
+        if cycle is not None:
+            cycles[layer] = cycle
+    return VerificationReport(
+        deadlock_free=not cycles,
+        num_layers=layered.num_layers,
+        cycles=cycles,
+        edges_per_layer=[cdg.num_edges for cdg in cdgs],
+        paths_per_layer=[cdg.num_paths for cdg in cdgs],
+    )
+
+
+def verify_with_networkx(
+    layered: LayeredRouting, paths: PathSet, traffic_only: bool = True
+) -> bool:
+    """Slow reference check using :func:`networkx.is_directed_acyclic_graph`.
+
+    Used by the test suite to cross-validate the in-house cycle search.
+    """
+    import networkx as nx
+
+    fabric = layered.fabric
+    graphs = [nx.DiGraph() for _ in range(layered.num_layers)]
+    is_sw = fabric.is_switch_channel
+    pids = paths.active_pids() if traffic_only else range(paths.num_paths)
+    for pid in pids:
+        pid = int(pid)
+        chans = paths.path(pid)
+        g = graphs[int(layered.path_layers[pid])]
+        for i in range(len(chans) - 1):
+            c1, c2 = int(chans[i]), int(chans[i + 1])
+            if is_sw[c1] and is_sw[c2]:
+                g.add_edge(c1, c2)
+    return all(nx.is_directed_acyclic_graph(g) for g in graphs)

@@ -1,0 +1,67 @@
+"""Exception hierarchy for the DFSSSP reproduction library.
+
+All library errors derive from :class:`ReproError` so callers can catch a
+single base class. Routing engines raise :class:`UnsupportedTopologyError`
+when a fabric does not satisfy their structural requirements (mirroring the
+paper's Figure 4, where specialised engines simply "fail" on irregular
+systems), and layer-assignment code raises
+:class:`InsufficientLayersError` when the available virtual lanes cannot
+break every cycle.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class FabricError(ReproError):
+    """Structural problem in a fabric description (bad node ids, radix
+    overflow, unpaired channels, ...)."""
+
+
+class DisconnectedFabricError(FabricError):
+    """The fabric is not strongly connected, so destination-based routing
+    cannot produce complete forwarding tables."""
+
+
+class RoutingError(ReproError):
+    """A routing engine failed to produce complete forwarding tables."""
+
+
+class UnsupportedTopologyError(RoutingError):
+    """The selected routing engine does not support this topology.
+
+    Raised e.g. by DOR on fabrics without coordinates, or by the fat-tree
+    engine on non-tree fabrics. Benchmarks report these as the paper's
+    "missing bar" entries.
+    """
+
+
+class InsufficientLayersError(RoutingError):
+    """Cycle breaking exhausted the available virtual layers.
+
+    Corresponds to Algorithm 2's terminal branch: *"if cycle found: no
+    deadlock-free assignment possible"*.
+    """
+
+    def __init__(self, message: str, layers_available: int, layers_needed_at_least: int):
+        super().__init__(message)
+        self.layers_available = layers_available
+        self.layers_needed_at_least = layers_needed_at_least
+
+
+class DeadlockError(ReproError):
+    """The flit-level simulator detected an actual deadlock (a cycle in the
+    packet wait-for graph with every participant blocked)."""
+
+    def __init__(self, message: str, cycle=None, blocked_packets: int = 0):
+        super().__init__(message)
+        self.cycle = list(cycle) if cycle is not None else []
+        self.blocked_packets = blocked_packets
+
+
+class SimulationError(ReproError):
+    """Invalid simulator configuration or a pattern referencing unknown
+    endpoints."""

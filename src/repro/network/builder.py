@@ -1,0 +1,138 @@
+"""Mutable builder producing immutable :class:`Fabric` objects.
+
+Topology generators and the file loader accumulate switches, terminals and
+cables here; :meth:`FabricBuilder.build` freezes everything into columnar
+NumPy storage. The builder enforces port-radix limits when a radix is
+declared (36-port switches in the paper's artificial topologies) and
+rejects self-loops and links to unknown nodes at insertion time, which
+keeps error messages close to the faulty generator code.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import FabricError
+from repro.network.channels import ChannelVector
+from repro.network.fabric import Fabric, NodeKind
+
+
+class FabricBuilder:
+    """Incrementally assemble a fabric.
+
+    >>> b = FabricBuilder()
+    >>> s0, s1 = b.add_switch(), b.add_switch()
+    >>> t0 = b.add_terminal()
+    >>> _ = b.add_link(s0, s1)
+    >>> _ = b.add_link(t0, s0)
+    >>> fabric = b.build()
+    >>> fabric.num_switches, fabric.num_terminals
+    (2, 1)
+    """
+
+    def __init__(self, default_radix: int | None = None):
+        self._kinds: list[int] = []
+        self._names: list[str] = []
+        self._radix: list[int | None] = []
+        self._ports_used: list[int] = []
+        self._src: list[int] = []
+        self._dst: list[int] = []
+        self._cap: list[float] = []
+        self._coords: dict[int, tuple[int, ...]] = {}
+        self.default_radix = default_radix
+        self.metadata: dict = {}
+
+    # ------------------------------------------------------------------
+    def _add_node(self, kind: NodeKind, name: str | None, radix: int | None) -> int:
+        nid = len(self._kinds)
+        self._kinds.append(int(kind))
+        self._names.append(name if name is not None else f"{'sw' if kind == NodeKind.SWITCH else 'hca'}{nid}")
+        self._radix.append(radix if radix is not None else self.default_radix)
+        self._ports_used.append(0)
+        return nid
+
+    def add_switch(self, name: str | None = None, radix: int | None = None) -> int:
+        """Add a switch; returns its node id."""
+        return self._add_node(NodeKind.SWITCH, name, radix)
+
+    def add_terminal(self, name: str | None = None) -> int:
+        """Add a terminal (HCA/endpoint); returns its node id."""
+        return self._add_node(NodeKind.TERMINAL, name, None)
+
+    def add_switches(self, count: int, radix: int | None = None, prefix: str = "sw") -> list[int]:
+        return [self.add_switch(name=f"{prefix}{i}", radix=radix) for i in range(count)]
+
+    def add_terminals(self, count: int, prefix: str = "hca") -> list[int]:
+        return [self.add_terminal(name=f"{prefix}{i}") for i in range(count)]
+
+    def set_coordinates(self, node: int, coords: tuple[int, ...]) -> None:
+        """Attach integer coordinates used by dimension-ordered routing."""
+        self._check_node(node)
+        self._coords[node] = tuple(int(c) for c in coords)
+
+    def _check_node(self, node: int) -> None:
+        if not (0 <= node < len(self._kinds)):
+            raise FabricError(f"unknown node id {node} (have {len(self._kinds)} nodes)")
+
+    def add_link(self, a: int, b: int, capacity: float = 1.0, count: int = 1) -> list[int]:
+        """Add ``count`` parallel full-duplex cables between ``a`` and ``b``.
+
+        Returns the ids of the a->b channels (one per cable). Raises
+        :class:`FabricError` on self-loops, unknown nodes, terminal-to-
+        terminal cables or port-radix overflow.
+        """
+        self._check_node(a)
+        self._check_node(b)
+        if a == b:
+            raise FabricError(f"self-loop on node {a} is not a valid cable")
+        if count < 1:
+            raise FabricError("cable count must be >= 1")
+        if capacity <= 0:
+            raise FabricError("cable capacity must be positive")
+        if (
+            self._kinds[a] == NodeKind.TERMINAL
+            and self._kinds[b] == NodeKind.TERMINAL
+        ):
+            raise FabricError(f"terminal-to-terminal cable {a}<->{b} is not supported")
+        for node in (a, b):
+            radix = self._radix[node]
+            if radix is not None and self._ports_used[node] + count > radix:
+                raise FabricError(
+                    f"port radix exceeded on node {node} "
+                    f"({self._ports_used[node]}+{count} > {radix})"
+                )
+        forward_ids = []
+        for _ in range(count):
+            cid = len(self._src)
+            self._src.extend((a, b))
+            self._dst.extend((b, a))
+            self._cap.extend((capacity, capacity))
+            forward_ids.append(cid)
+        self._ports_used[a] += count
+        self._ports_used[b] += count
+        return forward_ids
+
+    def ports_free(self, node: int) -> int | None:
+        """Remaining free ports on ``node`` (None if radix unlimited)."""
+        self._check_node(node)
+        radix = self._radix[node]
+        if radix is None:
+            return None
+        return radix - self._ports_used[node]
+
+    # ------------------------------------------------------------------
+    def build(self) -> Fabric:
+        """Freeze into an immutable :class:`Fabric`."""
+        n_chan = len(self._src)
+        reverse = np.arange(n_chan, dtype=np.int32)
+        # Cables were appended as (forward, backward) adjacent pairs.
+        reverse[0::2] += 1
+        reverse[1::2] -= 1
+        channels = ChannelVector(self._src, self._dst, reverse, self._cap)
+        return Fabric(
+            kinds=np.array(self._kinds, dtype=np.int8),
+            channels=channels,
+            names=self._names,
+            coordinates=self._coords,
+            metadata=self.metadata,
+        )

@@ -1,0 +1,95 @@
+"""Channel primitives.
+
+A *channel* is one direction of a physical cable: InfiniBand links are
+full-duplex, so every cable contributes two opposed channels. Channels are
+identified by dense integer ids (``0 .. num_channels-1``) so that routing
+engines and the congestion simulator can use flat NumPy arrays.
+
+Cables are always created in pairs; :func:`reverse_of` maps a channel to
+its opposite direction. Parallel cables between the same pair of nodes
+(trunks, e.g. the 30 links between Deimos' core switches) are distinct
+channel pairs — the balancing logic of SSSP depends on being able to
+spread routes across them individually.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class Channel:
+    """A single directed channel.
+
+    Attributes
+    ----------
+    cid:
+        Dense channel id.
+    src, dst:
+        Endpoint node ids.
+    reverse:
+        Channel id of the opposite direction of the same cable.
+    capacity:
+        Relative bandwidth (1.0 = one full link). The congestion simulator
+        divides flow bandwidth by (flows / capacity).
+    """
+
+    cid: int
+    src: int
+    dst: int
+    reverse: int
+    capacity: float = 1.0
+
+    def endpoints(self) -> tuple[int, int]:
+        return (self.src, self.dst)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Channel({self.cid}: {self.src}->{self.dst})"
+
+
+class ChannelVector:
+    """Columnar storage of all channels of a fabric.
+
+    Provides O(1) NumPy-array access to ``src``/``dst``/``reverse``/
+    ``capacity`` per channel id; the :class:`Channel` dataclass view is
+    materialised on demand for ergonomic debugging.
+    """
+
+    __slots__ = ("src", "dst", "reverse", "capacity")
+
+    def __init__(self, src, dst, reverse, capacity):
+        import numpy as np
+
+        self.src = np.asarray(src, dtype=np.int32)
+        self.dst = np.asarray(dst, dtype=np.int32)
+        self.reverse = np.asarray(reverse, dtype=np.int32)
+        self.capacity = np.asarray(capacity, dtype=np.float64)
+        n = len(self.src)
+        if not (len(self.dst) == len(self.reverse) == len(self.capacity) == n):
+            raise ValueError("channel column arrays must have equal length")
+
+    def __len__(self) -> int:
+        return len(self.src)
+
+    def __getitem__(self, cid: int) -> Channel:
+        return Channel(
+            cid=int(cid),
+            src=int(self.src[cid]),
+            dst=int(self.dst[cid]),
+            reverse=int(self.reverse[cid]),
+            capacity=float(self.capacity[cid]),
+        )
+
+    def pairs_consistent(self) -> bool:
+        """True iff ``reverse`` is a proper involution matching endpoints."""
+        import numpy as np
+
+        r = self.reverse
+        n = len(self)
+        if n == 0:
+            return True
+        if r.min() < 0 or r.max() >= n:
+            return False
+        ok = np.all(r[r] == np.arange(n))
+        ok = ok and np.all(self.src[r] == self.dst) and np.all(self.dst[r] == self.src)
+        return bool(ok)

@@ -1,0 +1,102 @@
+"""Export forwarding state in OpenSM-style dump formats.
+
+The paper's DFSSSP ships inside OpenSM, whose operators inspect routing
+through ``ibroute`` / ``dump_lfts`` dumps (linear forwarding tables: one
+"LID → output port" line per destination per switch) and per-path SL
+assignments. These exporters produce the equivalent artifacts from our
+model, which makes diffing against a real subnet manager's output — or
+feeding downstream tooling that parses LFT dumps — possible.
+
+Conventions (documented in the dump headers):
+
+* LIDs are ``terminal_index + 1`` (LMC 0).
+* Port numbers are the 1-based position of the outgoing channel in the
+  switch's channel list (stable, matches :meth:`Fabric.out_channels`).
+"""
+
+from __future__ import annotations
+
+import io
+
+from repro.network.fabric import Fabric
+from repro.routing.base import LayeredRouting, RoutingTables
+
+
+def _port_numbers(fabric: Fabric) -> dict[int, int]:
+    """channel id -> 1-based port number on its source node."""
+    ports: dict[int, int] = {}
+    for v in range(fabric.num_nodes):
+        for i, c in enumerate(fabric.out_channels(v), start=1):
+            ports[int(c)] = i
+    return ports
+
+
+def export_lft(tables: RoutingTables) -> str:
+    """Linear forwarding tables, one block per switch (ibroute style).
+
+    Format::
+
+        Unicast lids [0x1-0x24] of switch Lid 0 guid sw0 (core0):
+          Lid  Out   Destination
+          0x1  001 : (Channel Adapter portguid: 'node-01')
+          ...
+    """
+    fabric = tables.fabric
+    ports = _port_numbers(fabric)
+    out = io.StringIO()
+    out.write(f"# LFT dump ({tables.engine} routing); LIDs = terminal index + 1, LMC 0\n")
+    for sw in fabric.switches:
+        sw = int(sw)
+        out.write(
+            f"Unicast lids [0x1-0x{fabric.num_terminals:x}] of switch "
+            f"'{fabric.names[sw]}' (node {sw}):\n"
+        )
+        out.write("  Lid  Out : Destination\n")
+        for t_idx in range(fabric.num_terminals):
+            c = int(tables.next_channel[sw, t_idx])
+            if c < 0:
+                continue
+            dest = int(fabric.terminals[t_idx])
+            out.write(
+                f"  0x{t_idx + 1:x}  {ports[c]:03d} : "
+                f"(Channel Adapter portguid: '{fabric.names[dest]}')\n"
+            )
+        out.write(f"  {fabric.num_terminals} valid lids\n")
+    return out.getvalue()
+
+
+def export_sl_assignment(layered: LayeredRouting) -> str:
+    """Per-source-switch SL (virtual lane) table for every destination.
+
+    One line per (source switch, destination LID) pair, mirroring the
+    path-record SLs OpenSM's DFSSSP answers to SA queries.
+    """
+    fabric = layered.fabric
+    out = io.StringIO()
+    out.write(
+        f"# SL assignment dump; {layered.num_layers} virtual lanes, "
+        f"{layered.layers_used} in use\n"
+    )
+    S = fabric.num_switches
+    for t_idx in range(fabric.num_terminals):
+        dest = int(fabric.terminals[t_idx])
+        out.write(f"DLID 0x{t_idx + 1:x} ('{fabric.names[dest]}'):")
+        sls = layered.path_layers[t_idx * S : (t_idx + 1) * S]
+        out.write(" " + " ".join(str(int(sl)) for sl in sls) + "\n")
+    return out.getvalue()
+
+
+def export_route(tables: RoutingTables, src: int, dst: int) -> str:
+    """One human-readable hop-by-hop route (ibtracert style)."""
+    fabric = tables.fabric
+    chans = tables.path_channels(src, dst)
+    ports = _port_numbers(fabric)
+    lines = [f"From '{fabric.names[src]}' to '{fabric.names[dst]}':"]
+    for c in chans:
+        u = int(fabric.channels.src[c])
+        v = int(fabric.channels.dst[c])
+        lines.append(
+            f"  '{fabric.names[u]}' port {ports[c]} -> '{fabric.names[v]}'"
+        )
+    lines.append(f"{len(chans)} hops")
+    return "\n".join(lines) + "\n"

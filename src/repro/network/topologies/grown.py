@@ -1,0 +1,96 @@
+"""Organically grown clusters — the paper's §I motivation as a generator.
+
+"It is also common that supercomputers are extended later and topologies
+grow with the machines. The properties of specialized routing algorithms
+do not hold on such irregular network topologies."
+
+This generator makes that concrete: it starts from a clean two-level fat
+tree and then applies *growth phases*, each attaching a batch of new leaf
+switches wherever spine ports remain — fewer uplinks than the original
+leaves, possibly daisy-chained off other leaves once the spines fill up.
+The result is exactly the irregular-but-realistic fabric the paper
+targets: the fat-tree engine rejects it, Up*/Down* concentrates around
+the old core, and DFSSSP keeps balancing.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import FabricError
+from repro.network.builder import FabricBuilder
+from repro.network.fabric import Fabric
+from repro.utils.prng import make_rng
+
+
+def grown_cluster(
+    base_leaves: int = 6,
+    spines: int = 3,
+    hosts_per_leaf: int = 6,
+    growth_phases: int = 2,
+    leaves_per_phase: int = 3,
+    radix: int = 24,
+    seed=None,
+) -> Fabric:
+    """A fat tree after ``growth_phases`` rounds of organic extension.
+
+    Phase 0 is a clean 2-level tree: ``base_leaves`` leaf switches, each
+    with ``hosts_per_leaf`` hosts and one uplink per spine. Every later
+    phase adds ``leaves_per_phase`` new leaves; each new leaf gets only
+    *two* uplinks, attached to whatever switches still have free ports —
+    spines first, then existing leaves (daisy chaining). Set
+    ``growth_phases=0`` for the pristine machine.
+    """
+    if base_leaves < 2 or spines < 1:
+        raise FabricError("need at least 2 base leaves and 1 spine")
+    if hosts_per_leaf < 1:
+        raise FabricError("hosts_per_leaf must be >= 1")
+    if hosts_per_leaf + spines > radix:
+        raise FabricError(
+            f"radix {radix} too small for {hosts_per_leaf} hosts + {spines} uplinks"
+        )
+    rng = make_rng(seed)
+    b = FabricBuilder()
+    spine_ids = [b.add_switch(name=f"spine{i}", radix=radix) for i in range(spines)]
+    leaf_ids = [b.add_switch(name=f"leaf{i}", radix=radix) for i in range(base_leaves)]
+    host = 0
+    for leaf in leaf_ids:
+        for spine in spine_ids:
+            b.add_link(leaf, spine)
+        for _ in range(hosts_per_leaf):
+            t = b.add_terminal(name=f"hca{host}")
+            b.add_link(t, leaf)
+            host += 1
+
+    attach_pool = list(spine_ids) + list(leaf_ids)
+    for phase in range(1, growth_phases + 1):
+        for j in range(leaves_per_phase):
+            leaf = b.add_switch(name=f"ext{phase}_{j}", radix=radix)
+            uplinks = 0
+            candidates = [s for s in attach_pool if (b.ports_free(s) or 0) > 0]
+            rng.shuffle(candidates)
+            for target in candidates:
+                if uplinks == 2:
+                    break
+                free = b.ports_free(leaf)
+                if free is not None and free <= hosts_per_leaf:
+                    break
+                b.add_link(leaf, target)
+                uplinks += 1
+            if uplinks == 0:
+                raise FabricError(
+                    f"growth phase {phase}: no free ports anywhere to attach a new leaf"
+                )
+            for _ in range(hosts_per_leaf):
+                t = b.add_terminal(name=f"hca{host}")
+                b.add_link(t, leaf)
+                host += 1
+            attach_pool.append(leaf)
+
+    b.metadata = {
+        "family": "grown",
+        "base_leaves": base_leaves,
+        "spines": spines,
+        "hosts_per_leaf": hosts_per_leaf,
+        "growth_phases": growth_phases,
+        "hosts": host,
+    }
+    return b.build()

@@ -1,0 +1,41 @@
+"""Binary hypercube generator.
+
+A dimension-``n`` hypercube has ``2**n`` switches; switch ids differ by
+one bit per cable. Coordinates are the bit vector, so dimension-ordered
+routing (e-cube) applies and — unlike on tori — is already deadlock-free
+without virtual channels, which makes the hypercube a useful control case
+in the virtual-lane-count experiments.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import FabricError
+from repro.network.builder import FabricBuilder
+from repro.network.fabric import Fabric
+
+
+def hypercube(dimension: int, terminals_per_switch: int = 1) -> Fabric:
+    """Binary ``dimension``-cube with endpoints on every switch."""
+    if dimension < 1:
+        raise FabricError(f"hypercube dimension must be >= 1, got {dimension}")
+    if dimension > 16:
+        raise FabricError(f"hypercube dimension {dimension} is unreasonably large")
+    b = FabricBuilder()
+    n = 1 << dimension
+    switches = b.add_switches(n)
+    for v in range(n):
+        b.set_coordinates(switches[v], tuple((v >> k) & 1 for k in range(dimension)))
+        for k in range(dimension):
+            w = v ^ (1 << k)
+            if w > v:
+                b.add_link(switches[v], switches[w])
+    for v in range(n):
+        for j in range(terminals_per_switch):
+            t = b.add_terminal(name=f"hca{v}_{j}")
+            b.add_link(t, switches[v])
+    b.metadata = {
+        "family": "hypercube",
+        "dimension": dimension,
+        "terminals_per_switch": terminals_per_switch,
+    }
+    return b.build()

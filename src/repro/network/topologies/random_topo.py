@@ -1,0 +1,113 @@
+"""Random switch topologies (Figure 9 and the Section IV heuristic study).
+
+The paper evaluates virtual-lane requirements on random fabrics: ``S``
+switches of a given port radix, ``t`` endpoints per switch, and ``L``
+random switch-to-switch cables. We guarantee connectivity by first
+growing a uniform random attachment tree over the switches and then
+adding the remaining ``L - (S-1)`` cables between uniformly drawn switch
+pairs, rejecting pairs whose ports are exhausted.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import FabricError
+from repro.network.builder import FabricBuilder
+from repro.network.fabric import Fabric
+from repro.utils.prng import make_rng
+
+
+def random_topology(
+    num_switches: int,
+    num_links: int,
+    terminals_per_switch: int,
+    radix: int | None = 32,
+    seed=None,
+    allow_parallel: bool = False,
+) -> Fabric:
+    """Connected random fabric.
+
+    Parameters
+    ----------
+    num_switches:
+        Number of switches ``S``.
+    num_links:
+        Total number of switch-to-switch cables; must be >= ``S - 1`` so a
+        spanning tree exists.
+    terminals_per_switch:
+        Endpoints attached to every switch (16 in Figure 9).
+    radix:
+        Switch port count (32 in Figure 9); ``None`` disables the check.
+    allow_parallel:
+        Whether to permit parallel cables between a switch pair (trunks).
+    """
+    if num_switches < 2:
+        raise FabricError(f"need >= 2 switches, got {num_switches}")
+    if num_links < num_switches - 1:
+        raise FabricError(
+            f"{num_links} links cannot connect {num_switches} switches "
+            f"(need >= {num_switches - 1})"
+        )
+    if radix is not None and terminals_per_switch >= radix:
+        raise FabricError(
+            f"radix {radix} leaves no switch ports after {terminals_per_switch} terminals"
+        )
+    rng = make_rng(seed)
+    b = FabricBuilder()
+    switches = b.add_switches(num_switches, radix=radix)
+    # Terminals first so their ports are always reserved.
+    for i, s in enumerate(switches):
+        for j in range(terminals_per_switch):
+            t = b.add_terminal(name=f"hca{i}_{j}")
+            b.add_link(t, s)
+
+    existing: set[tuple[int, int]] = set()
+
+    def free(s: int) -> bool:
+        left = b.ports_free(s)
+        return left is None or left > 0
+
+    # Random attachment tree: connect switch i to a uniformly random
+    # earlier switch with a free port.
+    order = rng.permutation(num_switches)
+    for idx in range(1, num_switches):
+        s = switches[order[idx]]
+        candidates = [switches[order[j]] for j in range(idx) if free(switches[order[j]])]
+        if not candidates:
+            raise FabricError(
+                "radix too small to connect all switches into a spanning tree"
+            )
+        other = candidates[rng.integers(len(candidates))]
+        b.add_link(s, other)
+        existing.add((min(s, other), max(s, other)))
+
+    remaining = num_links - (num_switches - 1)
+    attempts = 0
+    max_attempts = 200 * max(remaining, 1)
+    while remaining > 0:
+        attempts += 1
+        if attempts > max_attempts:
+            raise FabricError(
+                f"could not place {remaining} more random links "
+                f"(radix or parallel-link constraints too tight)"
+            )
+        i, j = rng.integers(num_switches), rng.integers(num_switches)
+        if i == j:
+            continue
+        u, v = switches[int(i)], switches[int(j)]
+        key = (min(u, v), max(u, v))
+        if not allow_parallel and key in existing:
+            continue
+        if not (free(u) and free(v)):
+            continue
+        b.add_link(u, v)
+        existing.add(key)
+        remaining -= 1
+
+    b.metadata = {
+        "family": "random",
+        "num_switches": num_switches,
+        "num_links": num_links,
+        "terminals_per_switch": terminals_per_switch,
+        "radix": radix,
+    }
+    return b.build()

@@ -1,0 +1,85 @@
+"""Ring and chordal-ring topologies.
+
+The plain ring is the paper's Section III motivating example (Figure 2):
+with SSSP routing and a clockwise 2-hop-shift traffic pattern, the buffer
+dependency closes a cycle and the network deadlocks. Chordal rings add
+skip links and are a classic irregular-ish topology for stress-testing
+cycle breaking.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import FabricError
+from repro.network.builder import FabricBuilder
+from repro.network.fabric import Fabric
+
+
+def ring(num_switches: int, terminals_per_switch: int = 1) -> Fabric:
+    """Unidirectional-cycle cabling (each cable is still full duplex).
+
+    Parameters
+    ----------
+    num_switches:
+        Ring length; must be >= 3 so the cycle exists.
+    terminals_per_switch:
+        Endpoints attached to every switch.
+    """
+    if num_switches < 3:
+        raise FabricError(f"a ring needs >= 3 switches, got {num_switches}")
+    if terminals_per_switch < 0:
+        raise FabricError("terminals_per_switch must be >= 0")
+    b = FabricBuilder()
+    switches = b.add_switches(num_switches)
+    for i, s in enumerate(switches):
+        b.add_link(s, switches[(i + 1) % num_switches])
+        b.set_coordinates(s, (i,))
+    for i, s in enumerate(switches):
+        for j in range(terminals_per_switch):
+            t = b.add_terminal(name=f"hca{i}_{j}")
+            b.add_link(t, s)
+    b.metadata = {
+        "family": "ring",
+        "num_switches": num_switches,
+        "terminals_per_switch": terminals_per_switch,
+    }
+    return b.build()
+
+
+def chordal_ring(num_switches: int, chords: tuple[int, ...] = (2,), terminals_per_switch: int = 1) -> Fabric:
+    """Ring plus skip links of the given strides.
+
+    ``chords=(2,)`` gives every switch an extra cable to the node two
+    positions ahead. Strides are taken modulo the ring length; a stride
+    equal to 0 or 1 (mod n) is rejected because it would duplicate ring
+    cables or create self-loops.
+    """
+    if num_switches < 4:
+        raise FabricError(f"a chordal ring needs >= 4 switches, got {num_switches}")
+    b = FabricBuilder()
+    switches = b.add_switches(num_switches)
+    for i, s in enumerate(switches):
+        b.add_link(s, switches[(i + 1) % num_switches])
+        b.set_coordinates(s, (i,))
+    added = set()
+    for stride in chords:
+        stride = stride % num_switches
+        if stride in (0, 1, num_switches - 1):
+            raise FabricError(f"chord stride {stride} duplicates ring cables")
+        for i in range(num_switches):
+            j = (i + stride) % num_switches
+            key = (min(i, j), max(i, j), stride if stride <= num_switches // 2 else num_switches - stride)
+            if key in added:
+                continue
+            added.add(key)
+            b.add_link(switches[i], switches[j])
+    for i, s in enumerate(switches):
+        for j in range(terminals_per_switch):
+            t = b.add_terminal(name=f"hca{i}_{j}")
+            b.add_link(t, s)
+    b.metadata = {
+        "family": "chordal_ring",
+        "num_switches": num_switches,
+        "chords": tuple(chords),
+        "terminals_per_switch": terminals_per_switch,
+    }
+    return b.build()

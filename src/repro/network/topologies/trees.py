@@ -1,0 +1,146 @@
+"""Fat-tree-family generators: k-ary n-trees and extended generalized fat
+trees (XGFT).
+
+Both families appear in the paper's artificial-topology evaluation
+(Figures 5 and 7, Table I). The generators record each switch's tree
+level in ``fabric.metadata["switch_levels"]``; the fat-tree routing engine
+and the Up*/Down* ranking use it, while DFSSSP ignores it.
+
+Definitions
+-----------
+* **k-ary n-tree** (Petrini/Vanneschi): ``k**n`` hosts, ``n`` switch
+  levels of ``k**(n-1)`` switches each. A switch is addressed
+  ``(level l, word w)`` with ``w ∈ {0..k-1}**(n-1)``; switches
+  ``(l, w)`` and ``(l+1, w')`` are cabled iff ``w`` and ``w'`` agree on
+  every position except possibly position ``l``.
+* **XGFT(h; m1..mh; w1..wh)** (Öhring et al.): ``h+1`` levels, level 0
+  are the ``∏ mi`` hosts. A level-``i`` node is addressed
+  ``(x_{i+1..h}, y_{1..i})``; it has ``m_i`` children (choices of
+  ``x_i``) and ``w_{i+1}`` parents (choices of ``y_{i+1}``).
+"""
+
+from __future__ import annotations
+
+from itertools import product
+
+from repro.exceptions import FabricError
+from repro.network.builder import FabricBuilder
+from repro.network.fabric import Fabric
+
+
+def kary_ntree(k: int, n: int) -> Fabric:
+    """Build a k-ary n-tree with ``k**n`` hosts.
+
+    Root switches use only their ``k`` down ports (half radix), matching
+    physical installations built from ``2k``-port switches.
+    """
+    if k < 2:
+        raise FabricError(f"k-ary n-tree needs k >= 2, got k={k}")
+    if n < 1:
+        raise FabricError(f"k-ary n-tree needs n >= 1, got n={n}")
+    if k**n > 200_000:
+        raise FabricError(f"k={k}, n={n} would create {k**n} hosts; refusing")
+    b = FabricBuilder()
+    words = list(product(range(k), repeat=n - 1))
+    # switch_ids[(level, word)] ; level 1 (leaf) .. n (root)
+    switch_ids: dict[tuple[int, tuple[int, ...]], int] = {}
+    levels: dict[int, int] = {}
+    for level in range(1, n + 1):
+        for w in words:
+            sid = b.add_switch(name=f"sw_l{level}_" + "".join(map(str, w)))
+            switch_ids[(level, w)] = sid
+            levels[sid] = level
+    # Inter-switch cables: (l, w) -- (l+1, w') iff words agree off position l-1.
+    # With our level convention (leaf=1), the varying position for the
+    # boundary between levels l and l+1 is index l-1 of the word.
+    for level in range(1, n):
+        pos = level - 1
+        for w in words:
+            for digit in range(k):
+                w_up = list(w)
+                w_up[pos] = digit
+                b.add_link(switch_ids[(level, w)], switch_ids[(level + 1, tuple(w_up))])
+    # Hosts: host digits (d0, d1, .., d_{n-1}); attached to leaf switch with
+    # word (d1..d_{n-1}); d0 selects the port.
+    for digits in product(range(k), repeat=n):
+        t = b.add_terminal(name="hca" + "".join(map(str, digits)))
+        leaf = switch_ids[(1, tuple(digits[1:]))]
+        b.add_link(t, leaf)
+    b.metadata = {
+        "family": "kary_ntree",
+        "k": k,
+        "n": n,
+        "num_hosts": k**n,
+        "switch_levels": levels,
+    }
+    return b.build()
+
+
+def xgft(h: int, ms: tuple[int, ...], ws: tuple[int, ...]) -> Fabric:
+    """Build XGFT(h; ms; ws).
+
+    Parameters
+    ----------
+    h:
+        Number of switch levels (level 0 are the hosts).
+    ms:
+        ``(m1..mh)`` children counts per level.
+    ws:
+        ``(w1..wh)`` parent counts per level.
+    """
+    ms = tuple(int(m) for m in ms)
+    ws = tuple(int(w) for w in ws)
+    if h < 1:
+        raise FabricError(f"XGFT needs h >= 1, got h={h}")
+    if len(ms) != h or len(ws) != h:
+        raise FabricError(
+            f"XGFT(h={h}) needs exactly h children/parent counts, got {len(ms)}/{len(ws)}"
+        )
+    if any(m < 1 for m in ms) or any(w < 1 for w in ws):
+        raise FabricError("XGFT m_i and w_i must all be >= 1")
+    num_hosts = 1
+    for m in ms:
+        num_hosts *= m
+    if num_hosts > 200_000:
+        raise FabricError(f"XGFT would create {num_hosts} hosts; refusing")
+
+    b = FabricBuilder()
+    levels: dict[int, int] = {}
+
+    def addresses(level: int):
+        """All addresses (x_{level+1..h}, y_{1..level}) of one level."""
+        xs = [range(ms[j]) for j in range(level, h)]  # x_{level+1} .. x_h
+        ys = [range(ws[j]) for j in range(level)]  # y_1 .. y_level
+        return product(product(*xs), product(*ys))
+
+    ids: dict[tuple[int, tuple, tuple], int] = {}
+    for level in range(h + 1):
+        for x, y in addresses(level):
+            if level == 0:
+                nid = b.add_terminal(name="hca" + "".join(map(str, x)))
+            else:
+                nid = b.add_switch(
+                    name=f"sw_l{level}_x" + "".join(map(str, x)) + "_y" + "".join(map(str, y))
+                )
+                levels[nid] = level
+            ids[(level, x, y)] = nid
+
+    # Cables between level i-1 and level i: child (x_i, x_{i+1..h}, y_{1..i-1})
+    # connects to parent (x_{i+1..h}, y_{1..i-1}, y_i) for every y_i.
+    for level in range(1, h + 1):
+        for x, y in addresses(level - 1):
+            # x = (x_level, x_{level+1}, ..., x_h) at child level level-1
+            x_rest = x[1:]  # parent's x coordinates
+            for y_new in range(ws[level - 1]):
+                parent = ids[(level, x_rest, y + (y_new,))]
+                b.add_link(ids[(level - 1, x, y)], parent)
+
+    b.metadata = {
+        "family": "xgft",
+        "h": h,
+        "ms": ms,
+        "ws": ws,
+        "num_hosts": num_hosts,
+        "switch_levels": levels,
+    }
+    return b.build()

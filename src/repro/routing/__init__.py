@@ -1,0 +1,54 @@
+"""Routing engines and forwarding-table machinery."""
+
+from repro.routing.base import (
+    LayeredRouting,
+    RoutingEngine,
+    RoutingResult,
+    RoutingTables,
+)
+from repro.routing.paths import (
+    PathSet,
+    extract_paths,
+    flow_channels,
+    path_minimality_violations,
+)
+from repro.routing.minhop import MinHopEngine, bfs_hops_to
+from repro.routing.updown import UpDownEngine, rank_switches
+from repro.routing.dor import DOREngine
+from repro.routing.dor_vc import DORVCEngine
+from repro.routing.ftree import FatTreeEngine, tree_ranks
+from repro.routing.lash import LASHEngine
+from repro.routing.io import fabric_fingerprint, load_routing, save_routing
+from repro.routing.registry import (
+    DEADLOCK_FREE_ENGINES,
+    ENGINES,
+    PAPER_ENGINES,
+    make_engine,
+)
+
+__all__ = [
+    "fabric_fingerprint",
+    "load_routing",
+    "save_routing",
+    "LayeredRouting",
+    "RoutingEngine",
+    "RoutingResult",
+    "RoutingTables",
+    "PathSet",
+    "extract_paths",
+    "flow_channels",
+    "path_minimality_violations",
+    "MinHopEngine",
+    "bfs_hops_to",
+    "UpDownEngine",
+    "rank_switches",
+    "DOREngine",
+    "DORVCEngine",
+    "FatTreeEngine",
+    "tree_ranks",
+    "LASHEngine",
+    "DEADLOCK_FREE_ENGINES",
+    "ENGINES",
+    "PAPER_ENGINES",
+    "make_engine",
+]

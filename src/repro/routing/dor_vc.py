@@ -1,0 +1,96 @@
+"""Deadlock-free dimension-ordered routing with dateline virtual channels.
+
+The classic Dally/Seitz solution for tori, included as the "specialised
+structured-topology" counterpoint to DFSSSP: routes are plain DOR, and
+each path gets a virtual layer derived from *which dimensions it wraps
+around* (crosses the dateline between coordinate ``size-1`` and ``0``).
+
+Why this is deadlock-free with one static layer per path (InfiniBand SL
+semantics — the lane cannot change mid-route):
+
+* DOR orders dimensions, so channel dependencies only go from dimension
+  ``i`` channels to dimension ``j >= i`` channels — any dependency cycle
+  is confined to a single dimension's ring.
+* Within layer ``L`` (the set of paths wrapping exactly the dimension
+  set ``S``), consider dimension ``i``'s ring: if ``i ∉ S`` no path in
+  the layer crosses the dateline, so the ring's dependency chain is cut
+  there; if ``i ∈ S`` every path crosses it, and a shortest-path arc
+  through one fixed point cannot cover the whole ring, so the chain is
+  cut opposite the dateline.
+
+The layer index is the wrap bitmask, giving at most ``2**ndims`` layers
+(2 for a ring, 4 for a 2D torus, ...). Meshes and hypercubes wrap
+nothing and use a single layer, as expected.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import InsufficientLayersError
+from repro.network.fabric import Fabric
+from repro.routing.base import LayeredRouting, RoutingEngine, RoutingResult
+from repro.routing.dor import DOREngine, _dims_and_wrap
+from repro.routing.paths import extract_paths
+
+
+class DORVCEngine(RoutingEngine):
+    """DOR plus dateline virtual-channel assignment (deadlock-free)."""
+
+    name = "dor_vc"
+
+    def __init__(self, max_layers: int = 8):
+        if max_layers < 1:
+            raise ValueError(f"max_layers must be >= 1, got {max_layers}")
+        self.max_layers = max_layers
+
+    def _route(self, fabric: Fabric) -> RoutingResult:
+        dims, wrap = _dims_and_wrap(fabric)
+        inner = DOREngine().route(fabric)
+        tables = inner.tables
+        tables.engine = self.name
+        paths = extract_paths(tables)
+
+        n_dims = len(dims)
+        needed = 2**n_dims if wrap else 1
+        if needed > self.max_layers:
+            raise InsufficientLayersError(
+                f"dateline DOR needs {needed} layers for {n_dims} wrapped "
+                f"dimensions but only {self.max_layers} are available",
+                layers_available=self.max_layers,
+                layers_needed_at_least=needed,
+            )
+
+        coords = fabric.coordinates
+        chan_src = fabric.channels.src
+        chan_dst = fabric.channels.dst
+        path_layers = np.zeros(paths.num_paths, dtype=np.int16)
+        if wrap:
+            for pid in range(paths.num_paths):
+                mask = 0
+                for c in paths.path(pid):
+                    u, v = int(chan_src[c]), int(chan_dst[c])
+                    if not (fabric.is_switch(u) and fabric.is_switch(v)):
+                        continue
+                    cu, cv = coords[u], coords[v]
+                    for axis, size in enumerate(dims):
+                        if cu[axis] == cv[axis]:
+                            continue
+                        # Dateline: the cable between size-1 and 0.
+                        if {cu[axis], cv[axis]} == {0, size - 1} and size > 2:
+                            mask |= 1 << axis
+                        break  # one axis changes per DOR hop
+                path_layers[pid] = mask
+
+        layered = LayeredRouting(tables, path_layers, max(needed, 1))
+        return RoutingResult(
+            tables=tables,
+            layered=layered,
+            deadlock_free=True,
+            stats={
+                "engine": self.name,
+                "dims": dims,
+                "wraparound": wrap,
+                "layers_needed": int(len(np.unique(path_layers))),
+            },
+        )

@@ -1,0 +1,90 @@
+"""Persist routing state — forwarding tables and lane assignments.
+
+Computing DFSSSP on a big fabric costs minutes; a deployed subnet
+manager wants to write the result once and reload it across restarts
+(OpenSM's equivalent: cached LFTs + SL tables). State is stored as a
+compressed NumPy archive together with a *fabric fingerprint* (node
+kinds + channel endpoints hash), so tables are never silently applied to
+a different or re-cabled fabric.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from pathlib import Path
+
+import numpy as np
+
+from repro.exceptions import RoutingError
+from repro.network.fabric import Fabric
+from repro.routing.base import LayeredRouting, RoutingTables
+
+_FORMAT = 1
+
+
+def fabric_fingerprint(fabric: Fabric) -> str:
+    """Digest of the structure a routing depends on.
+
+    Covers node kinds and every channel's (src, dst, capacity); names and
+    metadata may change freely without invalidating tables.
+    """
+    h = hashlib.sha256()
+    h.update(fabric.kinds.tobytes())
+    h.update(fabric.channels.src.tobytes())
+    h.update(fabric.channels.dst.tobytes())
+    h.update(fabric.channels.capacity.tobytes())
+    return h.hexdigest()
+
+
+def save_routing(
+    path: str | Path,
+    tables: RoutingTables,
+    layered: LayeredRouting | None = None,
+) -> None:
+    """Write tables (and optionally the lane assignment) to ``path``."""
+    payload = {
+        "format": np.array([_FORMAT]),
+        "engine": np.array([tables.engine]),
+        "fingerprint": np.array([fabric_fingerprint(tables.fabric)]),
+        "next_channel": tables.next_channel,
+    }
+    if layered is not None:
+        if layered.tables is not tables and not (
+            layered.tables.next_channel == tables.next_channel
+        ).all():
+            raise RoutingError("layered assignment belongs to different tables")
+        payload["path_layers"] = layered.path_layers
+        payload["num_layers"] = np.array([layered.num_layers])
+    np.savez_compressed(path, **payload)
+
+
+def load_routing(
+    path: str | Path, fabric: Fabric
+) -> tuple[RoutingTables, LayeredRouting | None]:
+    """Reload routing state, validating it against ``fabric``.
+
+    Raises :class:`RoutingError` on version or fingerprint mismatch — the
+    fabric was re-cabled since the tables were computed.
+    """
+    path = Path(path)
+    if not path.exists() and path.with_suffix(path.suffix + ".npz").exists():
+        path = path.with_suffix(path.suffix + ".npz")
+    with np.load(path, allow_pickle=False) as data:
+        if int(data["format"][0]) != _FORMAT:
+            raise RoutingError(f"unsupported routing-state format {data['format'][0]}")
+        stored = str(data["fingerprint"][0])
+        actual = fabric_fingerprint(fabric)
+        if stored != actual:
+            raise RoutingError(
+                "routing state does not match this fabric (re-cabled since "
+                f"save? stored {stored[:12]}…, fabric {actual[:12]}…)"
+            )
+        tables = RoutingTables(
+            fabric, data["next_channel"], engine=str(data["engine"][0])
+        )
+        layered = None
+        if "path_layers" in data:
+            layered = LayeredRouting(
+                tables, data["path_layers"], int(data["num_layers"][0])
+            )
+    return tables, layered

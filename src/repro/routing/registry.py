@@ -1,0 +1,93 @@
+"""Name → engine factory registry.
+
+Used by the CLI and the benchmark harnesses to iterate "all engines the
+paper compares" uniformly. Factories take no arguments; engines with
+parameters get sensible defaults (8 virtual lanes, weakest-edge
+heuristic) matching the paper's hardware constraints.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.routing.base import RoutingEngine
+
+
+def _factories() -> dict[str, Callable[..., RoutingEngine]]:
+    # Imported lazily: repro.core's engines themselves import
+    # repro.routing.base, so eager imports here would be circular.
+    from repro.core.dfsssp import DFSSSPEngine
+    from repro.core.sssp import SSSPEngine
+    from repro.routing.dor import DOREngine
+    from repro.routing.dor_vc import DORVCEngine
+    from repro.routing.ftree import FatTreeEngine
+    from repro.routing.lash import LASHEngine
+    from repro.routing.minhop import MinHopEngine
+    from repro.routing.updown import UpDownEngine
+
+    return {
+        "minhop": MinHopEngine,
+        "updown": UpDownEngine,
+        "dor": DOREngine,
+        "dor_vc": DORVCEngine,
+        "ftree": FatTreeEngine,
+        "lash": LASHEngine,
+        "sssp": SSSPEngine,
+        "dfsssp": DFSSSPEngine,
+    }
+
+
+class _LazyEngines(dict):
+    """Mapping that materialises the factory table on first access."""
+
+    def _ensure(self):
+        if not super().__len__():
+            super().update(_factories())
+
+    def __getitem__(self, key):
+        self._ensure()
+        return super().__getitem__(key)
+
+    def __iter__(self):
+        self._ensure()
+        return super().__iter__()
+
+    def __len__(self):
+        self._ensure()
+        return super().__len__()
+
+    def __contains__(self, key):
+        self._ensure()
+        return super().__contains__(key)
+
+    def keys(self):
+        self._ensure()
+        return super().keys()
+
+    def items(self):
+        self._ensure()
+        return super().items()
+
+    def values(self):
+        self._ensure()
+        return super().values()
+
+
+ENGINES: dict[str, Callable[..., RoutingEngine]] = _LazyEngines()
+
+#: the engine list of the paper's Figure 4, in presentation order
+PAPER_ENGINES = ("minhop", "updown", "dor", "ftree", "lash", "sssp", "dfsssp")
+
+#: engines that guarantee deadlock-freedom by construction
+DEADLOCK_FREE_ENGINES = ("updown", "dor_vc", "ftree", "lash", "dfsssp")
+
+
+def make_engine(name: str, **kwargs) -> RoutingEngine:
+    """Instantiate an engine by name, forwarding keyword options."""
+    try:
+        factory = ENGINES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown routing engine {name!r}; available: {sorted(ENGINES)}"
+        ) from None
+    return factory(**kwargs)

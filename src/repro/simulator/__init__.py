@@ -1,0 +1,49 @@
+"""Simulation substrate: traffic patterns, the ORCS-equivalent congestion
+simulator, the flit-level deadlock demonstrator and utilization metrics."""
+
+from repro.simulator.patterns import (
+    Pattern,
+    alltoall_rounds,
+    bisection_pattern,
+    hotspot_pattern,
+    permutation_pattern,
+    shift_pattern,
+    stencil_pattern,
+    validate_pattern,
+)
+from repro.simulator.congestion import CongestionSimulator, EbbResult, PatternResult
+from repro.simulator.flitsim import FlitSimOutcome, FlitSimulator, Packet
+from repro.simulator.throughput import (
+    OpenLoopResult,
+    run_open_loop,
+    saturation_point,
+    saturation_sweep,
+)
+from repro.simulator.orcs import OrcsResult, run_orcs
+from repro.simulator.metrics import UtilizationStats, gini_coefficient, utilization_stats
+
+__all__ = [
+    "OrcsResult",
+    "run_orcs",
+    "OpenLoopResult",
+    "run_open_loop",
+    "saturation_point",
+    "saturation_sweep",
+    "Pattern",
+    "alltoall_rounds",
+    "bisection_pattern",
+    "hotspot_pattern",
+    "permutation_pattern",
+    "shift_pattern",
+    "stencil_pattern",
+    "validate_pattern",
+    "CongestionSimulator",
+    "EbbResult",
+    "PatternResult",
+    "FlitSimOutcome",
+    "FlitSimulator",
+    "Packet",
+    "UtilizationStats",
+    "gini_coefficient",
+    "utilization_stats",
+]

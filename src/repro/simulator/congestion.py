@@ -1,0 +1,162 @@
+"""ORCS-equivalent congestion simulator (§V).
+
+The Oblivious Routing Congestion Simulator estimates the *effective
+bisection bandwidth* of a (topology, routing) pair: draw random bisection
+perfect matchings, route every flow, count how many flows share each
+channel, and credit each flow the bandwidth of its most congested channel
+(``capacity / flows``). The eBB is the mean flow bandwidth over many
+patterns — the statistic Netgauge measures on real hardware (Fig. 12).
+
+The evaluation loop is fully vectorised: flows' channel sequences are
+concatenated once, per-channel sharing comes from one ``bincount``, and
+per-flow maxima from one ``maximum.reduceat``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import SimulationError
+from repro.routing.base import RoutingTables
+from repro.routing.paths import PathSet, extract_paths
+from repro.simulator.patterns import Pattern, bisection_pattern, validate_pattern
+from repro.utils.prng import spawn_rngs
+
+
+@dataclass(frozen=True)
+class PatternResult:
+    """Congestion outcome of one pattern."""
+
+    flow_bandwidth: np.ndarray  # relative bandwidth per flow, in (0, 1]
+    channel_load: np.ndarray  # number of flows per channel
+    max_congestion: float  # worst channel sharing (capacity-adjusted)
+
+    @property
+    def mean_bandwidth(self) -> float:
+        return float(self.flow_bandwidth.mean()) if len(self.flow_bandwidth) else 0.0
+
+    @property
+    def min_bandwidth(self) -> float:
+        return float(self.flow_bandwidth.min()) if len(self.flow_bandwidth) else 0.0
+
+
+@dataclass(frozen=True)
+class EbbResult:
+    """Effective bisection bandwidth over many random patterns."""
+
+    per_pattern_mean: np.ndarray
+    num_flows: int
+    num_patterns: int
+
+    @property
+    def ebb(self) -> float:
+        """Mean relative effective bisection bandwidth in (0, 1]."""
+        return float(self.per_pattern_mean.mean())
+
+    @property
+    def std(self) -> float:
+        return float(self.per_pattern_mean.std())
+
+    @property
+    def minimum(self) -> float:
+        return float(self.per_pattern_mean.min())
+
+    @property
+    def maximum(self) -> float:
+        return float(self.per_pattern_mean.max())
+
+    def scaled(self, link_bandwidth: float) -> float:
+        """eBB in physical units (e.g. 946 MiB/s PCIe limit on Deimos)."""
+        return self.ebb * link_bandwidth
+
+
+class CongestionSimulator:
+    """Evaluate patterns against one routing's forwarding tables."""
+
+    def __init__(self, tables: RoutingTables, paths: PathSet | None = None):
+        self.tables = tables
+        self.fabric = tables.fabric
+        self.paths = paths if paths is not None else extract_paths(tables)
+        self._inv_capacity = 1.0 / self.fabric.channels.capacity
+
+    # ------------------------------------------------------------------
+    def _flow_arrays(self, pattern: Pattern) -> tuple[np.ndarray, np.ndarray]:
+        """Concatenate flow channel sequences: (flat channels, offsets)."""
+        fab = self.fabric
+        S = fab.num_switches
+        chunks: list[np.ndarray] = []
+        lengths = np.empty(len(pattern), dtype=np.int64)
+        nc = self.tables.next_channel
+        chan_dst = fab.channels.dst
+        for i, (src, dst) in enumerate(pattern):
+            t_idx = int(fab.term_index[dst])
+            inject = int(nc[src, t_idx])
+            if inject < 0:
+                raise SimulationError(f"no route from {src} to {dst}")
+            first_switch = int(chan_dst[inject])
+            rest = self.paths.path(t_idx * S + int(fab.switch_index[first_switch]))
+            flow = np.empty(len(rest) + 1, dtype=np.int64)
+            flow[0] = inject
+            flow[1:] = rest
+            chunks.append(flow)
+            lengths[i] = len(flow)
+        offsets = np.zeros(len(pattern) + 1, dtype=np.int64)
+        np.cumsum(lengths, out=offsets[1:])
+        flat = np.concatenate(chunks) if chunks else np.zeros(0, dtype=np.int64)
+        return flat, offsets
+
+    def evaluate(self, pattern: Pattern) -> PatternResult:
+        """Congestion-count one pattern (every flow active simultaneously)."""
+        validate_pattern(self.fabric, pattern)
+        if not pattern:
+            raise SimulationError("empty pattern")
+        flat, offsets = self._flow_arrays(pattern)
+        load = np.bincount(flat, minlength=self.fabric.num_channels)
+        sharing = load * self._inv_capacity  # capacity-adjusted congestion
+        per_flow_max = np.maximum.reduceat(sharing[flat], offsets[:-1])
+        flow_bw = 1.0 / per_flow_max
+        return PatternResult(
+            flow_bandwidth=flow_bw,
+            channel_load=load,
+            max_congestion=float(sharing.max()),
+        )
+
+    # ------------------------------------------------------------------
+    def effective_bisection_bandwidth(
+        self,
+        num_patterns: int = 100,
+        seed=None,
+        terminals=None,
+        bidirectional: bool = False,
+    ) -> EbbResult:
+        """The §V/§VI estimator: mean flow bandwidth over random
+        bisection matchings."""
+        if num_patterns < 1:
+            raise SimulationError("need at least one pattern")
+        rngs = spawn_rngs(seed, num_patterns)
+        means = np.empty(num_patterns)
+        flows = 0
+        for i, rng in enumerate(rngs):
+            pattern = bisection_pattern(
+                self.fabric, seed=rng, terminals=terminals, bidirectional=bidirectional
+            )
+            result = self.evaluate(pattern)
+            means[i] = result.mean_bandwidth
+            flows = len(pattern)
+        return EbbResult(per_pattern_mean=means, num_flows=flows, num_patterns=num_patterns)
+
+    def phase_times(self, phases: list[Pattern], bytes_per_flow: float, link_bandwidth: float = 1.0) -> list[float]:
+        """Completion time of each phase, run back to back.
+
+        A phase finishes when its slowest flow finishes; a flow's rate is
+        its most-congested channel's fair share. Used by the collective
+        and NAS application models.
+        """
+        times = []
+        for phase in phases:
+            result = self.evaluate(phase)
+            slowest = result.min_bandwidth * link_bandwidth
+            times.append(bytes_per_flow / slowest)
+        return times

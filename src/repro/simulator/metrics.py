@@ -1,0 +1,54 @@
+"""Link-utilization and bandwidth statistics over simulation results."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.simulator.congestion import PatternResult
+
+
+@dataclass(frozen=True)
+class UtilizationStats:
+    """How evenly a pattern's flows spread over the channels."""
+
+    mean_load: float
+    max_load: int
+    nonzero_channels: int
+    total_channels: int
+    gini: float
+
+    @property
+    def balance_ratio(self) -> float:
+        """mean/max load of used channels; 1.0 = perfectly even."""
+        return self.mean_load / self.max_load if self.max_load else 0.0
+
+
+def gini_coefficient(values: np.ndarray) -> float:
+    """Gini inequality of non-negative values (0 = even, →1 = concentrated)."""
+    v = np.sort(np.asarray(values, dtype=np.float64))
+    if len(v) == 0 or v.sum() == 0:
+        return 0.0
+    n = len(v)
+    cum = np.cumsum(v)
+    return float((n + 1 - 2 * (cum / cum[-1]).sum()) / n)
+
+
+def utilization_stats(result: PatternResult, switch_channels_only: np.ndarray | None = None) -> UtilizationStats:
+    """Summarise a :class:`PatternResult`'s channel loads.
+
+    Pass ``fabric.is_switch_channel`` as the mask to restrict to the
+    inter-switch links (terminal links trivially carry one flow each).
+    """
+    load = result.channel_load
+    if switch_channels_only is not None:
+        load = load[switch_channels_only]
+    used = load[load > 0]
+    return UtilizationStats(
+        mean_load=float(used.mean()) if len(used) else 0.0,
+        max_load=int(load.max(initial=0)),
+        nonzero_channels=int(len(used)),
+        total_channels=int(len(load)),
+        gini=gini_coefficient(load),
+    )

@@ -1,0 +1,172 @@
+"""ORCS compatibility layer.
+
+The paper's §V numbers come from the Oblivious Routing Congestion
+Simulator (Hoefler et al.), which is driven by *named patterns* and
+*metric aggregations*. This module mirrors that interface on top of
+:class:`~repro.simulator.congestion.CongestionSimulator`, so an ORCS user
+can reproduce their runs against our fabric model:
+
+* patterns: ``bisect`` (random bisection matching), ``bisect_fb``
+  (ping-pong, both directions), ``shift_<k>``, ``rand_perm`` (random
+  derangement), ``alltoall`` (P-1 shift rounds, summed), ``hotspot_<k>``;
+* metrics: per-pattern aggregation of the flow-bandwidth vector —
+  ``avg_bandwidth`` (ORCS's ``sum``-normalised default, = eBB),
+  ``min_bandwidth`` (worst flow), ``max_congestion`` (hottest channel),
+  ``hist`` (congestion histogram over channels).
+
+The entry point :func:`run_orcs` evaluates ``num_runs`` pattern samples
+and aggregates like ORCS's driver loop, returning a structured result
+plus an ORCS-flavoured text report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.exceptions import SimulationError
+from repro.routing.base import RoutingTables
+from repro.simulator.congestion import CongestionSimulator
+from repro.simulator.patterns import (
+    alltoall_rounds,
+    bisection_pattern,
+    hotspot_pattern,
+    permutation_pattern,
+    shift_pattern,
+)
+from repro.utils.prng import spawn_rngs
+
+METRICS = ("avg_bandwidth", "min_bandwidth", "max_congestion", "hist")
+
+
+def _parse_pattern(name: str):
+    """Pattern name -> (kind, parameter)."""
+    if name in ("bisect", "bisect_fb", "rand_perm", "alltoall"):
+        return name, None
+    if name.startswith("shift_"):
+        return "shift", int(name.split("_", 1)[1])
+    if name.startswith("hotspot_"):
+        return "hotspot", int(name.split("_", 1)[1])
+    raise SimulationError(
+        f"unknown ORCS pattern {name!r}; available: bisect, bisect_fb, "
+        f"rand_perm, alltoall, shift_<k>, hotspot_<k>"
+    )
+
+
+@dataclass
+class OrcsResult:
+    """Aggregated outcome of one ORCS-style run."""
+
+    pattern: str
+    metric: str
+    num_runs: int
+    samples: list[float] = field(default_factory=list)
+    histogram: np.ndarray | None = None
+
+    @property
+    def mean(self) -> float:
+        return float(np.mean(self.samples)) if self.samples else 0.0
+
+    @property
+    def minimum(self) -> float:
+        return float(np.min(self.samples)) if self.samples else 0.0
+
+    @property
+    def maximum(self) -> float:
+        return float(np.max(self.samples)) if self.samples else 0.0
+
+    def report(self) -> str:
+        """ORCS-flavoured one-block text report."""
+        lines = [
+            f"pattern: {self.pattern}",
+            f"metric:  {self.metric}",
+            f"runs:    {self.num_runs}",
+        ]
+        if self.metric == "hist" and self.histogram is not None:
+            for congestion, count in enumerate(self.histogram):
+                if count:
+                    lines.append(f"  congestion {congestion}: {int(count)} channels")
+        else:
+            lines.append(
+                f"result:  mean={self.mean:.6f} min={self.minimum:.6f} "
+                f"max={self.maximum:.6f}"
+            )
+        return "\n".join(lines) + "\n"
+
+
+def run_orcs(
+    tables: RoutingTables,
+    pattern: str = "bisect",
+    metric: str = "avg_bandwidth",
+    num_runs: int = 100,
+    seed=None,
+) -> OrcsResult:
+    """Evaluate a named ORCS pattern/metric combination.
+
+    Deterministic patterns (``shift_<k>``, ``alltoall``) ignore
+    ``num_runs``'s randomness but still repeat (cheaply) for interface
+    parity.
+    """
+    if metric not in METRICS:
+        raise SimulationError(f"unknown metric {metric!r}; available: {METRICS}")
+    if num_runs < 1:
+        raise SimulationError("num_runs must be >= 1")
+    kind, param = _parse_pattern(pattern)
+    sim = CongestionSimulator(tables)
+    fabric = tables.fabric
+    rngs = spawn_rngs(seed, num_runs)
+
+    samples: list[float] = []
+    hist_acc: np.ndarray | None = None
+    for rng in rngs:
+        if kind == "bisect":
+            flows = bisection_pattern(fabric, seed=rng)
+        elif kind == "bisect_fb":
+            flows = bisection_pattern(fabric, seed=rng, bidirectional=True)
+        elif kind == "rand_perm":
+            flows = permutation_pattern(fabric, seed=rng)
+        elif kind == "shift":
+            flows = shift_pattern(fabric, param)
+        elif kind == "hotspot":
+            flows = hotspot_pattern(fabric, num_hot=param, seed=rng)
+        elif kind == "alltoall":
+            # Summed over rounds: report the per-round average.
+            rounds = alltoall_rounds(fabric)
+            vals = [sim.evaluate(r) for r in rounds]
+            if metric == "avg_bandwidth":
+                samples.append(float(np.mean([v.mean_bandwidth for v in vals])))
+            elif metric == "min_bandwidth":
+                samples.append(float(np.min([v.min_bandwidth for v in vals])))
+            elif metric == "max_congestion":
+                samples.append(float(np.max([v.max_congestion for v in vals])))
+            else:  # hist
+                loads = np.concatenate([v.channel_load for v in vals])
+                h = np.bincount(loads)
+                hist_acc = h if hist_acc is None else _merge_hist(hist_acc, h)
+            continue
+        result = sim.evaluate(flows)
+        if metric == "avg_bandwidth":
+            samples.append(result.mean_bandwidth)
+        elif metric == "min_bandwidth":
+            samples.append(result.min_bandwidth)
+        elif metric == "max_congestion":
+            samples.append(result.max_congestion)
+        else:  # hist
+            h = np.bincount(result.channel_load)
+            hist_acc = h if hist_acc is None else _merge_hist(hist_acc, h)
+    return OrcsResult(
+        pattern=pattern,
+        metric=metric,
+        num_runs=num_runs,
+        samples=samples,
+        histogram=hist_acc,
+    )
+
+
+def _merge_hist(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    n = max(len(a), len(b))
+    out = np.zeros(n, dtype=np.int64)
+    out[: len(a)] += a
+    out[: len(b)] += b
+    return out

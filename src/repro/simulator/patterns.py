@@ -1,0 +1,179 @@
+"""Traffic-pattern generators.
+
+A *pattern* is a list of ``(source_terminal, destination_terminal)``
+flows that are active simultaneously. The effective-bisection-bandwidth
+experiments use random bisection perfect matchings (exactly ORCS's
+"bisect" pattern); the application models use shifts, all-to-all round
+decompositions and stencil exchanges.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.exceptions import SimulationError
+from repro.network.fabric import Fabric
+from repro.utils.prng import make_rng
+
+Pattern = list[tuple[int, int]]
+
+
+def _terminal_list(
+    fabric: Fabric, terminals: Sequence[int] | None, allow_duplicates: bool = False
+) -> list[int]:
+    if terminals is None:
+        return [int(t) for t in fabric.terminals]
+    out = []
+    for t in terminals:
+        t = int(t)
+        if fabric.term_index[t] < 0:
+            raise SimulationError(f"node {t} is not a terminal")
+        out.append(t)
+    if not allow_duplicates and len(set(out)) != len(out):
+        raise SimulationError("duplicate terminals in pattern population")
+    return out
+
+
+def bisection_pattern(
+    fabric: Fabric,
+    seed=None,
+    terminals: Sequence[int] | None = None,
+    bidirectional: bool = False,
+) -> Pattern:
+    """Random bisection with perfect matching (ORCS / Netgauge eBB).
+
+    The terminal population is split into two random equal halves A and
+    B; each A member is matched with exactly one B member. Flows run
+    A→B; with ``bidirectional`` both directions are active (ping-pong).
+    An odd terminal is left idle.
+    """
+    rng = make_rng(seed)
+    pop = np.array(_terminal_list(fabric, terminals), dtype=np.int64)
+    rng.shuffle(pop)
+    half = len(pop) // 2
+    a, b = pop[:half], pop[half : 2 * half]
+    pattern = [(int(x), int(y)) for x, y in zip(a, b)]
+    if bidirectional:
+        pattern += [(int(y), int(x)) for x, y in zip(a, b)]
+    return pattern
+
+
+def permutation_pattern(fabric: Fabric, seed=None, terminals: Sequence[int] | None = None) -> Pattern:
+    """Random permutation without fixed points (every terminal sends)."""
+    rng = make_rng(seed)
+    pop = _terminal_list(fabric, terminals)
+    n = len(pop)
+    if n < 2:
+        raise SimulationError("permutation pattern needs >= 2 terminals")
+    perm = np.arange(n)
+    while True:
+        rng.shuffle(perm)
+        if not np.any(perm == np.arange(n)):
+            break
+    return [(pop[i], pop[int(perm[i])]) for i in range(n)]
+
+
+def shift_pattern(fabric: Fabric, shift: int, terminals: Sequence[int] | None = None) -> Pattern:
+    """Cyclic shift: rank ``i`` sends to ``i + shift (mod n)``.
+
+    ``shift=2`` on the 5-ring is the paper's §III deadlock example. The
+    population may contain repeated terminals (several ranks sharing a
+    node); pairs that land on one terminal are dropped — co-located ranks
+    communicate through shared memory, not the network.
+    """
+    pop = _terminal_list(fabric, terminals, allow_duplicates=True)
+    n = len(pop)
+    if n < 2:
+        raise SimulationError("shift pattern needs >= 2 terminals")
+    shift = shift % n
+    if shift == 0:
+        raise SimulationError("shift of 0 creates self-flows")
+    return [
+        (pop[i], pop[(i + shift) % n])
+        for i in range(n)
+        if pop[i] != pop[(i + shift) % n]
+    ]
+
+
+def alltoall_rounds(fabric: Fabric, terminals: Sequence[int] | None = None) -> list[Pattern]:
+    """All-to-all decomposed into ``n-1`` shift rounds.
+
+    This is the classic linear-shift schedule used by MPI_Alltoall
+    implementations on large messages; the paper's Figure 13 measures
+    exactly this congestion behaviour.
+    """
+    pop = _terminal_list(fabric, terminals)
+    n = len(pop)
+    if n < 2:
+        raise SimulationError("all-to-all needs >= 2 terminals")
+    return [shift_pattern(fabric, r, pop) for r in range(1, n)]
+
+
+def stencil_pattern(
+    fabric: Fabric,
+    grid: tuple[int, ...],
+    terminals: Sequence[int] | None = None,
+    periodic: bool = True,
+) -> list[Pattern]:
+    """Nearest-neighbor exchange phases on a logical process grid.
+
+    Ranks are mapped onto ``grid`` row-major. Returns one pattern per
+    (dimension, direction): 2·len(grid) phases, matching the halo
+    exchanges of the NAS BT/SP/MG kernels. Repeated terminals (co-located
+    ranks) are allowed; their mutual exchanges are dropped.
+    """
+    pop = _terminal_list(fabric, terminals, allow_duplicates=True)
+    size = int(np.prod(grid))
+    if size > len(pop):
+        raise SimulationError(
+            f"grid {grid} needs {size} ranks but only {len(pop)} terminals given"
+        )
+    pop = pop[:size]
+    coords = np.array(np.unravel_index(np.arange(size), grid)).T
+    phases: list[Pattern] = []
+    for axis, extent in enumerate(grid):
+        if extent < 2:
+            continue
+        for direction in (+1, -1):
+            pattern: Pattern = []
+            for r in range(size):
+                c = coords[r].copy()
+                c[axis] += direction
+                if periodic:
+                    c[axis] %= extent
+                elif not (0 <= c[axis] < extent):
+                    continue
+                peer = int(np.ravel_multi_index(tuple(c), grid))
+                if pop[r] != pop[peer]:
+                    pattern.append((pop[r], pop[peer]))
+            if pattern:
+                phases.append(pattern)
+    return phases
+
+
+def hotspot_pattern(
+    fabric: Fabric,
+    num_hot: int = 1,
+    seed=None,
+    terminals: Sequence[int] | None = None,
+) -> Pattern:
+    """Everyone sends to one of ``num_hot`` random hot terminals
+    (incast stress; not in the paper, used by extension experiments)."""
+    rng = make_rng(seed)
+    pop = _terminal_list(fabric, terminals)
+    if num_hot < 1 or num_hot >= len(pop):
+        raise SimulationError(f"num_hot must be in [1, {len(pop) - 1}]")
+    hot = [pop[int(i)] for i in rng.choice(len(pop), size=num_hot, replace=False)]
+    hotset = set(hot)
+    return [(t, hot[i % num_hot]) for i, t in enumerate(pop) if t not in hotset]
+
+
+def validate_pattern(fabric: Fabric, pattern: Pattern) -> None:
+    """Raise :class:`SimulationError` on malformed flows."""
+    for src, dst in pattern:
+        if fabric.term_index[src] < 0 or fabric.term_index[dst] < 0:
+            raise SimulationError(f"flow ({src}, {dst}) references a non-terminal")
+        if src == dst:
+            raise SimulationError(f"flow ({src}, {dst}) is a self-flow")

@@ -1,0 +1,7 @@
+"""Small shared utilities: seeded RNG plumbing, timers and table reporting."""
+
+from repro.utils.prng import make_rng, spawn_rngs
+from repro.utils.timing import Timer
+from repro.utils.reporting import Table, format_fixed
+
+__all__ = ["make_rng", "spawn_rngs", "Timer", "Table", "format_fixed"]

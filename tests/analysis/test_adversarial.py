@@ -1,0 +1,80 @@
+"""Greedy adversarial-pattern search."""
+
+import pytest
+
+from repro import topologies
+from repro.analysis import adversarial_permutation, worst_case_gap
+from repro.core import DFSSSPEngine
+from repro.exceptions import SimulationError
+from repro.routing import MinHopEngine
+from repro.simulator import CongestionSimulator
+
+
+@pytest.fixture(scope="module")
+def routed():
+    fab = topologies.random_topology(10, 22, 2, seed=7)
+    return fab, DFSSSPEngine().route(fab)
+
+
+def test_pattern_is_partial_permutation(routed):
+    fab, result = routed
+    adv = adversarial_permutation(result.tables, seed=1)
+    srcs = [s for s, _ in adv.pattern]
+    dsts = [d for _, d in adv.pattern]
+    assert len(set(srcs)) == len(srcs)
+    assert len(set(dsts)) == len(dsts)
+    assert all(s != d for s, d in adv.pattern)
+    # Nearly everyone is matched (at most one destination can be skipped).
+    assert len(adv.pattern) >= fab.num_terminals - 1
+
+
+def test_adversary_beats_random_average(routed):
+    fab, result = routed
+    adv = adversarial_permutation(result.tables, seed=2)
+    random_avg = (
+        CongestionSimulator(result.tables)
+        .effective_bisection_bandwidth(20, seed=2)
+        .ebb
+    )
+    assert adv.worst_flow_bandwidth <= random_avg + 1e-9
+    assert adv.worst_flow_bandwidth <= adv.mean_flow_bandwidth
+
+
+def test_deterministic_per_seed(routed):
+    _fab, result = routed
+    a = adversarial_permutation(result.tables, seed=5)
+    b = adversarial_permutation(result.tables, seed=5)
+    assert a.pattern == b.pattern
+
+
+def test_more_restarts_never_weaker(routed):
+    _fab, result = routed
+    one = adversarial_permutation(result.tables, seed=3, restarts=1)
+    many = adversarial_permutation(result.tables, seed=3, restarts=4)
+    assert many.worst_flow_bandwidth <= one.worst_flow_bandwidth + 1e-9
+
+
+def test_worst_case_gap_at_least_one(routed):
+    _fab, result = routed
+    gap = worst_case_gap(result.tables, seed=4, num_random=10)
+    assert gap >= 1.0
+
+
+def test_single_switch_star_is_unattackable():
+    from repro.network import FabricBuilder
+
+    b = FabricBuilder()
+    sw = b.add_switch()
+    for _ in range(6):
+        t = b.add_terminal()
+        b.add_link(t, sw)
+    fab = b.build()
+    result = MinHopEngine().route(fab)
+    adv = adversarial_permutation(result.tables, seed=0)
+    assert adv.worst_flow_bandwidth == pytest.approx(1.0)
+
+
+def test_invalid_restarts(routed):
+    _fab, result = routed
+    with pytest.raises(SimulationError):
+        adversarial_permutation(result.tables, restarts=0)

@@ -1,0 +1,57 @@
+"""Utilization heatmap rendering."""
+
+import pytest
+
+from repro import topologies
+from repro.analysis.heatmap import hot_channels, switch_matrix, utilization_report
+from repro.routing import MinHopEngine, extract_paths
+
+
+def test_hot_channels_lists_top_n(minhop_random16):
+    text = hot_channels(minhop_random16.tables, top=5)
+    assert text.count("ch") >= 5
+    assert "%" in text
+    assert "minhop" in text
+
+
+def test_hot_channels_ordered_by_load(minhop_random16):
+    text = hot_channels(minhop_random16.tables, top=8)
+    loads = [int(line.split("load=")[1].split()[0].rstrip()) for line in text.splitlines()[1:]]
+    assert loads == sorted(loads, reverse=True)
+
+
+def test_switch_matrix_dimensions(minhop_random16, random16):
+    text = switch_matrix(minhop_random16.tables)
+    rows = [l for l in text.splitlines() if l.startswith("  sw")]
+    assert len(rows) == random16.num_switches
+
+
+def test_switch_matrix_marks_unused_cables():
+    # A line fabric routes everything over its only cable: shades appear.
+    from repro.network import FabricBuilder
+
+    b = FabricBuilder()
+    s0, s1 = b.add_switch(), b.add_switch()
+    b.add_link(s0, s1)
+    for i in range(4):
+        t = b.add_terminal()
+        b.add_link(t, s0 if i < 2 else s1)
+    fab = b.build()
+    result = MinHopEngine().route(fab)
+    text = switch_matrix(result.tables)
+    assert "@" in text  # the peak cell uses the darkest shade
+
+
+def test_large_fabric_matrix_omitted():
+    fab = topologies.random_topology(45, 100, 1, seed=0)
+    result = MinHopEngine().route(fab)
+    text = switch_matrix(result.tables, max_switches=40)
+    assert "omitted" in text
+
+
+def test_full_report(minhop_random16):
+    text = utilization_report(minhop_random16.tables)
+    assert "utilization report" in text
+    assert "gini" in text
+    assert "hot channels" in text
+    assert "matrix" in text

@@ -1,0 +1,41 @@
+"""Path statistics."""
+
+import pytest
+
+from repro import topologies
+from repro.analysis import compare_mean_hops, path_stats
+from repro.core import SSSPEngine
+from repro.routing import MinHopEngine, UpDownEngine
+
+
+def test_minhop_is_minimal(minhop_random16):
+    stats = path_stats(minhop_random16.tables)
+    assert stats.minimal
+    assert stats.minimality_violations == 0
+    assert stats.engine == "minhop"
+
+
+def test_histogram_sums(minhop_random16, random16):
+    stats = path_stats(minhop_random16.tables)
+    assert stats.hop_histogram.sum() == stats.num_paths
+    assert stats.num_paths == random16.num_switches * random16.num_terminals
+
+
+def test_max_ge_mean(minhop_random16):
+    stats = path_stats(minhop_random16.tables)
+    assert stats.max_hops >= stats.mean_hops
+
+
+def test_updown_can_be_non_minimal():
+    fab = topologies.random_topology(14, 28, 2, seed=5)
+    ud = path_stats(UpDownEngine().route(fab).tables)
+    mh = path_stats(MinHopEngine().route(fab).tables)
+    assert ud.mean_hops >= mh.mean_hops - 1e-12
+
+
+def test_compare_mean_hops(minhop_random16, dfsssp_random16):
+    table = compare_mean_hops(
+        [path_stats(minhop_random16.tables), path_stats(dfsssp_random16.tables)]
+    )
+    assert set(table) == {"minhop", "dfsssp"}
+    assert table["dfsssp"] == pytest.approx(table["minhop"])  # both minimal

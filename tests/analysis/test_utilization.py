@@ -1,0 +1,45 @@
+"""Routing utilization analysis."""
+
+import pytest
+
+from repro import topologies
+from repro.analysis import routing_utilization
+from repro.core import SSSPEngine
+from repro.routing import MinHopEngine, UpDownEngine
+
+
+def test_fields(minhop_random16, random16):
+    util = routing_utilization(minhop_random16.tables)
+    assert util.engine == "minhop"
+    assert len(util.paths_per_channel) == int(random16.is_switch_channel.sum())
+    assert util.maximum >= util.mean
+    assert 0 < util.balance_ratio <= 1
+
+
+def test_total_crossings_conserved(minhop_random16):
+    """Sum of per-channel path counts == total switch-channel hops."""
+    from repro.routing import extract_paths
+
+    paths = extract_paths(minhop_random16.tables)
+    util = routing_utilization(minhop_random16.tables, paths)
+    fabric = minhop_random16.tables.fabric
+    sw_hops = sum(
+        int(fabric.is_switch_channel[c]) for c in paths.chans
+    )
+    assert util.paths_per_channel.sum() == sw_hops
+
+
+def test_sssp_flattens_vs_updown():
+    """Up*/Down* concentrates near the root; SSSP spreads globally."""
+    fab = topologies.random_topology(14, 30, 2, seed=8)
+    sssp = routing_utilization(SSSPEngine().route(fab).tables)
+    ud = routing_utilization(UpDownEngine().route(fab).tables)
+    assert sssp.maximum <= ud.maximum
+    assert sssp.gini <= ud.gini + 0.05
+
+
+def test_perfectly_balanced_ring():
+    """On a symmetric directed ring SSSP achieves near-even utilisation."""
+    fab = topologies.ring(6, 1)
+    util = routing_utilization(SSSPEngine().route(fab).tables)
+    assert util.balance_ratio > 0.5

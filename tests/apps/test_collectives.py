@@ -1,0 +1,90 @@
+"""Collective time models."""
+
+import numpy as np
+import pytest
+
+from repro import topologies
+from repro.apps import allreduce_time, alltoall_time
+from repro.core import DFSSSPEngine
+from repro.exceptions import SimulationError
+from repro.routing import MinHopEngine
+
+
+@pytest.fixture(scope="module")
+def setup():
+    fab = topologies.deimos(scale=0.1)
+    tables = MinHopEngine().route(fab).tables
+    parts = [int(t) for t in fab.terminals[:16]]
+    return fab, tables, parts
+
+
+def test_alltoall_round_count(setup):
+    _fab, tables, parts = setup
+    result = alltoall_time(tables, parts, floats_per_dest=64)
+    assert len(result.round_seconds) == 15
+    assert result.total_seconds == pytest.approx(result.round_seconds.sum())
+
+
+def test_alltoall_linear_in_message_size(setup):
+    _fab, tables, parts = setup
+    t1 = alltoall_time(tables, parts, floats_per_dest=64).total_seconds
+    t2 = alltoall_time(tables, parts, floats_per_dest=128).total_seconds
+    assert t2 == pytest.approx(2 * t1)
+
+
+def test_alltoall_grows_with_participants(setup):
+    _fab, tables, parts = setup
+    small = alltoall_time(tables, parts[:8], floats_per_dest=64).total_seconds
+    large = alltoall_time(tables, parts, floats_per_dest=64).total_seconds
+    assert large > small
+
+
+def test_alltoall_bytes_per_message(setup):
+    _fab, tables, parts = setup
+    result = alltoall_time(tables, parts, floats_per_dest=100)
+    assert result.bytes_per_message == 400
+
+
+def test_alltoall_input_validation(setup):
+    _fab, tables, parts = setup
+    with pytest.raises(SimulationError, match="distinct"):
+        alltoall_time(tables, [parts[0], parts[0]], 4)
+    with pytest.raises(SimulationError, match=">= 2"):
+        alltoall_time(tables, parts[:1], 4)
+    with pytest.raises(SimulationError, match="floats"):
+        alltoall_time(tables, parts, 0)
+
+
+def test_dfsssp_not_slower_fig13(setup):
+    """Figure 13's claim: DFSSSP's balanced routes beat MinHop for
+    congested all-to-all (here: not slower, gap grows at full scale)."""
+    fab, mh_tables, parts = setup
+    df_tables = DFSSSPEngine().route(fab).tables
+    t_mh = alltoall_time(mh_tables, parts, floats_per_dest=4096).total_seconds
+    t_df = alltoall_time(df_tables, parts, floats_per_dest=4096).total_seconds
+    assert t_df <= t_mh * 1.05
+
+
+def test_allreduce_rounds_log2(setup):
+    _fab, tables, parts = setup
+    result = allreduce_time(tables, parts, bytes_total=4096)
+    assert len(result.round_seconds) == 4  # log2(16)
+    assert result.participants == 16
+
+
+def test_allreduce_non_power_of_two_rounds_down(setup):
+    _fab, tables, parts = setup
+    result = allreduce_time(tables, parts[:10], bytes_total=1024)
+    assert result.participants == 8
+
+
+def test_allreduce_needs_two(setup):
+    _fab, tables, parts = setup
+    with pytest.raises(SimulationError):
+        allreduce_time(tables, parts[:1], bytes_total=8)
+
+
+def test_total_ms_conversion(setup):
+    _fab, tables, parts = setup
+    result = alltoall_time(tables, parts, floats_per_dest=64)
+    assert result.total_ms == pytest.approx(result.total_seconds * 1e3)

@@ -1,0 +1,126 @@
+"""NAS kernel communication models."""
+
+import math
+
+import pytest
+
+from repro import topologies
+from repro.apps import KERNELS, get_kernel
+from repro.apps.nas import Phase
+from repro.exceptions import SimulationError
+from repro.simulator.patterns import validate_pattern
+
+
+@pytest.fixture(scope="module")
+def fab():
+    return topologies.deimos(scale=0.1)
+
+
+@pytest.fixture(scope="module")
+def parts16(fab):
+    return [int(t) for t in fab.terminals[:16]]
+
+
+def test_kernel_registry():
+    assert set(KERNELS) == {"bt", "sp", "ft", "cg", "mg", "lu", "is", "ep"}
+    assert get_kernel("BT").name == "bt"
+    with pytest.raises(SimulationError, match="unknown"):
+        get_kernel("dgemm")
+
+
+def test_valid_ranks_constraints():
+    assert KERNELS["bt"].valid_ranks(16)
+    assert not KERNELS["bt"].valid_ranks(15)
+    assert KERNELS["ft"].valid_ranks(32)
+    assert not KERNELS["ft"].valid_ranks(24)
+    assert KERNELS["cg"].valid_ranks(16)
+    assert not KERNELS["cg"].valid_ranks(2)
+
+
+@pytest.mark.parametrize("name", sorted(KERNELS))
+def test_phases_are_valid_patterns(name, fab, parts16):
+    spec = KERNELS[name]
+    if not spec.valid_ranks(16):
+        pytest.skip(f"{name} cannot run on 16 ranks")
+    phases = spec.phases(fab, parts16)
+    assert phases, f"{name} produced no communication"
+    for phase in phases:
+        assert isinstance(phase, Phase)
+        assert phase.bytes_per_flow > 0
+        validate_pattern(fab, phase.pattern)
+
+
+def test_bt_has_three_sweeps_of_four_phases(fab, parts16):
+    phases = KERNELS["bt"].phases(fab, parts16)
+    assert len(phases) == 3 * 4  # sweeps x (±x, ±y)
+
+
+def test_ft_alltoall_rounds(fab, parts16):
+    phases = KERNELS["ft"].phases(fab, parts16)
+    assert len(phases) == 2 * 15  # transposes x (P-1) shifts
+
+
+def test_message_sizes_shrink_with_ranks(fab):
+    big = [int(t) for t in fab.terminals[:64]]
+    bt_large = KERNELS["bt"].phases(fab, big)[0].bytes_per_flow
+    bt_small = KERNELS["bt"].phases(fab, [int(t) for t in fab.terminals[:16]])[0].bytes_per_flow
+    assert bt_large < bt_small
+    ft_large = KERNELS["ft"].phases(fab, big)[0].bytes_per_flow
+    ft_small = KERNELS["ft"].phases(fab, [int(t) for t in fab.terminals[:16]])[0].bytes_per_flow
+    assert ft_large < ft_small
+
+
+def test_mg_messages_shrink_with_level(fab, parts16):
+    phases = KERNELS["mg"].phases(fab, parts16)
+    sizes = sorted({p.bytes_per_flow for p in phases}, reverse=True)
+    assert len(sizes) >= 2
+    for a, b in zip(sizes, sizes[1:]):
+        assert a == pytest.approx(4 * b)  # (N/2^l)^2 quartering
+
+
+def test_total_flops_positive():
+    for spec in KERNELS.values():
+        assert spec.total_flops > 0
+        assert spec.iterations >= 1
+
+
+def test_wrong_rank_count_raises(fab, parts16):
+    with pytest.raises(SimulationError, match="square"):
+        KERNELS["bt"].phases(fab, parts16[:15])
+    with pytest.raises(SimulationError, match="power-of-two"):
+        KERNELS["ft"].phases(fab, parts16[:15])
+
+
+def test_self_flows_deduplicated(fab):
+    """Ranks co-located on one terminal exchange via shared memory."""
+    # duplicate one terminal in the participant list
+    base = [int(t) for t in fab.terminals[:15]]
+    parts = base + [base[0]]
+    phases = KERNELS["ft"].phases(fab, parts)
+    for phase in phases:
+        assert all(s != d for s, d in phase.pattern)
+
+
+def test_is_kernel_has_skewed_buckets(fab, parts16):
+    phases = KERNELS["is"].phases(fab, parts16)
+    sizes = {p.bytes_per_flow for p in phases}
+    assert len(sizes) == 3  # the 0.5x / 1.0x / 1.5x modulation
+
+
+def test_ep_kernel_is_nearly_communication_free(fab, parts16):
+    phases = KERNELS["ep"].phases(fab, parts16)
+    total = sum(p.bytes_per_flow * len(p.pattern) for p in phases)
+    assert total < 10_000  # a few tiny reduction messages only
+
+
+def test_ep_routing_invariant(fab, parts16):
+    """All routings must tie on EP (guard against phantom differences)."""
+    from repro.apps import predict_kernel
+    from repro.core import DFSSSPEngine
+    from repro.routing import MinHopEngine
+
+    mh = predict_kernel(MinHopEngine().route(fab).tables, "ep", 16,
+                        allocation=parts16)
+    df = predict_kernel(DFSSSPEngine().route(fab).tables, "ep", 16,
+                        allocation=parts16)
+    assert abs(mh.gflops - df.gflops) / mh.gflops < 0.01

@@ -1,0 +1,85 @@
+"""Netgauge eBB harness."""
+
+import numpy as np
+import pytest
+
+from repro import topologies
+from repro.apps import DEIMOS_LINK_MIBS, core_allocation, netgauge_ebb
+from repro.core import DFSSSPEngine
+from repro.exceptions import SimulationError
+from repro.routing import MinHopEngine
+
+
+@pytest.fixture(scope="module")
+def deimos():
+    return topologies.deimos(scale=0.1)
+
+
+@pytest.fixture(scope="module")
+def routed(deimos):
+    return MinHopEngine().route(deimos)
+
+
+def test_allocation_one_core_per_node(deimos):
+    alloc = core_allocation(deimos, 16, seed=0)
+    assert len(alloc) == 16
+    assert len(set(int(a) for a in alloc)) == 16  # distinct nodes
+
+
+def test_allocation_oversubscribed(deimos):
+    n = deimos.num_terminals
+    alloc = core_allocation(deimos, 2 * n, seed=0)
+    assert len(alloc) == 2 * n
+    counts = np.bincount(alloc.astype(int))
+    assert counts[counts > 0].max() == 2  # round-robin doubling
+
+
+def test_allocation_needs_two_cores(deimos):
+    with pytest.raises(SimulationError):
+        core_allocation(deimos, 1)
+
+
+def test_ebb_bounded_by_link_speed(routed):
+    result = netgauge_ebb(routed.tables, 32, num_patterns=10, seed=1)
+    assert 0 < result.ebb_mibs <= DEIMOS_LINK_MIBS + 1e-9
+
+
+def test_ebb_deterministic(routed):
+    a = netgauge_ebb(routed.tables, 32, num_patterns=5, seed=2)
+    b = netgauge_ebb(routed.tables, 32, num_patterns=5, seed=2)
+    assert np.allclose(a.per_pattern_mibs, b.per_pattern_mibs)
+
+
+def test_ebb_decreases_with_more_cores(routed, deimos):
+    """The paper's Fig. 12: absolute eBB drops as cores grow (congestion)."""
+    small = netgauge_ebb(routed.tables, 16, num_patterns=20, seed=3)
+    n = deimos.num_terminals
+    big = netgauge_ebb(routed.tables, n, num_patterns=20, seed=3)
+    assert big.ebb_mibs <= small.ebb_mibs + 30  # allow sampling noise
+
+
+def test_shared_allocation_isolates_routing_effect(deimos, routed):
+    alloc = core_allocation(deimos, 48, seed=4)
+    mh = netgauge_ebb(routed.tables, 48, num_patterns=10, seed=5, allocation=alloc)
+    df_tables = DFSSSPEngine().route(deimos).tables
+    df = netgauge_ebb(df_tables, 48, num_patterns=10, seed=5, allocation=alloc)
+    # DFSSSP keeps SSSP's balanced paths: never worse than MinHop here.
+    assert df.ebb_mibs >= mh.ebb_mibs * 0.95
+
+
+def test_oversubscribed_run_executes(routed, deimos):
+    n = deimos.num_terminals
+    result = netgauge_ebb(routed.tables, 2 * n, num_patterns=5, seed=6)
+    assert result.cores == 2 * n
+    assert result.ebb_mibs > 0
+
+
+def test_allocation_shorter_than_cores_rejected(routed, deimos):
+    alloc = core_allocation(deimos, 8, seed=0)
+    with pytest.raises(SimulationError, match="allocation"):
+        netgauge_ebb(routed.tables, 16, allocation=alloc)
+
+
+def test_std_field(routed):
+    result = netgauge_ebb(routed.tables, 32, num_patterns=10, seed=7)
+    assert result.std_mibs >= 0

@@ -1,0 +1,84 @@
+"""Performance model: Gflop/s predictions and improvement metric."""
+
+import pytest
+
+from repro import topologies
+from repro.apps import (
+    core_allocation,
+    improvement_percent,
+    predict_kernel,
+)
+from repro.core import DFSSSPEngine
+from repro.exceptions import SimulationError
+from repro.routing import MinHopEngine
+
+
+@pytest.fixture(scope="module")
+def setup():
+    fab = topologies.ranger(scale=0.05)
+    mh = MinHopEngine().route(fab).tables
+    df = DFSSSPEngine().route(fab).tables
+    alloc = core_allocation(fab, 64, seed=1)
+    return fab, mh, df, alloc
+
+
+def test_prediction_fields(setup):
+    fab, mh, _df, alloc = setup
+    pred = predict_kernel(mh, "ft", 64, allocation=alloc)
+    assert pred.kernel == "ft"
+    assert pred.cores == 64
+    assert pred.total_seconds == pytest.approx(pred.comp_seconds + pred.comm_seconds)
+    assert 0 < pred.comm_fraction < 1
+    assert pred.gflops > 0
+
+
+def test_gflops_consistent_with_time(setup):
+    fab, mh, _df, alloc = setup
+    pred = predict_kernel(mh, "bt", 64, allocation=alloc)
+    from repro.apps.nas import KERNELS
+
+    assert pred.gflops == pytest.approx(
+        KERNELS["bt"].total_flops / pred.total_seconds / 1e9
+    )
+
+
+def test_dfsssp_improves_or_ties(setup):
+    fab, mh, df, alloc = setup
+    for kernel in ("bt", "ft", "cg"):
+        p_mh = predict_kernel(mh, kernel, 64, allocation=alloc)
+        p_df = predict_kernel(df, kernel, 64, allocation=alloc)
+        gain = improvement_percent(p_mh, p_df)
+        assert gain >= -2.0, f"{kernel}: DFSSSP regressed {gain:.1f}%"
+
+
+def test_improvement_requires_same_configuration(setup):
+    fab, mh, df, alloc = setup
+    a = predict_kernel(mh, "ft", 64, allocation=alloc)
+    b = predict_kernel(df, "ft", 32, allocation=alloc)
+    with pytest.raises(SimulationError, match="different"):
+        improvement_percent(a, b)
+
+
+def test_invalid_rank_count_rejected(setup):
+    fab, mh, _df, alloc = setup
+    with pytest.raises(SimulationError, match="cannot run"):
+        predict_kernel(mh, "bt", 63, allocation=alloc)
+
+
+def test_faster_cores_shift_bottleneck(setup):
+    """Higher per-core flop rate -> communication dominates more."""
+    fab, mh, _df, alloc = setup
+    slow = predict_kernel(mh, "ft", 64, allocation=alloc, per_core_gflops=0.5)
+    fast = predict_kernel(mh, "ft", 64, allocation=alloc, per_core_gflops=5.0)
+    assert fast.comm_fraction > slow.comm_fraction
+    assert fast.gflops > slow.gflops
+
+
+def test_comm_fraction_grows_with_cores():
+    """Strong-scaling: communication share rises with P (NPB behaviour)."""
+    fab = topologies.deimos(scale=0.2)
+    tables = MinHopEngine().route(fab).tables
+    alloc = core_allocation(fab, 128, seed=2)
+    small = predict_kernel(tables, "ft", 16, allocation=alloc)
+    large = predict_kernel(tables, "ft", 128, allocation=alloc)
+    assert large.comm_fraction > small.comm_fraction

@@ -1,0 +1,120 @@
+"""Trace-driven replay."""
+
+import numpy as np
+import pytest
+
+from repro import topologies
+from repro.apps import get_kernel
+from repro.apps.trace import CommTrace, TraceRecord, replay_trace
+from repro.core import DFSSSPEngine
+from repro.exceptions import SimulationError
+from repro.routing import MinHopEngine
+
+
+@pytest.fixture(scope="module")
+def setup():
+    fab = topologies.deimos(scale=0.1)
+    tables = MinHopEngine().route(fab).tables
+    alloc = [int(t) for t in fab.terminals]
+    return fab, tables, alloc
+
+
+def _simple_trace():
+    return CommTrace(
+        [
+            TraceRecord(0, 0, 1, 1024.0),
+            TraceRecord(0, 2, 3, 1024.0),
+            TraceRecord(1, 1, 0, 2048.0),
+        ]
+    )
+
+
+def test_trace_properties():
+    trace = _simple_trace()
+    assert trace.num_phases == 2
+    assert trace.num_ranks == 4
+    assert trace.total_bytes == 4096.0
+    assert [p for p, _ in trace.phases()] == [0, 1]
+
+
+def test_malformed_records_rejected():
+    with pytest.raises(SimulationError, match="self-communication"):
+        CommTrace([TraceRecord(0, 1, 1, 8.0)])
+    with pytest.raises(SimulationError, match="malformed"):
+        CommTrace([TraceRecord(0, 0, 1, 0.0)])
+    with pytest.raises(SimulationError, match="malformed"):
+        CommTrace([TraceRecord(-1, 0, 1, 8.0)])
+
+
+def test_file_roundtrip(tmp_path):
+    trace = _simple_trace()
+    p = tmp_path / "app.trace"
+    trace.save(p)
+    loaded = CommTrace.from_file(p)
+    assert loaded.records == trace.records
+
+
+def test_file_parsing_errors(tmp_path):
+    p = tmp_path / "bad.trace"
+    p.write_text("0 0 1\n")
+    with pytest.raises(SimulationError, match="4 fields"):
+        CommTrace.from_file(p)
+    p.write_text("# only comments\n")
+    with pytest.raises(SimulationError, match="empty"):
+        CommTrace.from_file(p)
+
+
+def test_replay_basic(setup):
+    fab, tables, alloc = setup
+    result = replay_trace(tables, _simple_trace(), alloc)
+    assert len(result.phase_seconds) == 2
+    assert result.total_seconds > 0
+    assert result.effective_bandwidth > 0
+    # Phase 1 moves twice the bytes of each phase-0 flow.
+    assert result.phase_seconds[1] >= result.phase_seconds[0]
+
+
+def test_replay_scales_linearly(setup):
+    fab, tables, alloc = setup
+    small = replay_trace(tables, _simple_trace(), alloc)
+    doubled = CommTrace(
+        [TraceRecord(r.phase, r.src_rank, r.dst_rank, 2 * r.nbytes) for r in _simple_trace().records]
+    )
+    big = replay_trace(tables, doubled, alloc)
+    assert big.total_seconds == pytest.approx(2 * small.total_seconds)
+
+
+def test_replay_skips_colocated_ranks(setup):
+    fab, tables, alloc = setup
+    trace = CommTrace([TraceRecord(0, 0, 1, 512.0)])
+    shared = [alloc[0], alloc[0]]  # both ranks on one node
+    result = replay_trace(tables, trace, shared)
+    assert result.total_seconds == 0.0
+
+
+def test_replay_rank_overflow_rejected(setup):
+    fab, tables, alloc = setup
+    trace = _simple_trace()
+    with pytest.raises(SimulationError, match="ranks"):
+        replay_trace(tables, trace, alloc[:2])
+
+
+def test_from_kernel_matches_perfmodel_structure(setup):
+    fab, tables, alloc = setup
+    kernel = get_kernel("ft")
+    participants = alloc[:16]
+    trace = CommTrace.from_kernel(kernel, fab, participants)
+    assert trace.num_phases == 2 * 15  # transposes x shift rounds
+    assert trace.num_ranks <= 16
+    result = replay_trace(tables, trace, participants)
+    assert result.total_seconds > 0
+
+
+def test_routing_comparison_via_trace(setup):
+    """Replay isolates routing effects just like the perf model."""
+    fab, mh_tables, alloc = setup
+    df_tables = DFSSSPEngine().route(fab).tables
+    trace = CommTrace.from_kernel(get_kernel("ft"), fab, alloc[:16])
+    t_mh = replay_trace(mh_tables, trace, alloc[:16]).total_seconds
+    t_df = replay_trace(df_tables, trace, alloc[:16]).total_seconds
+    assert t_df <= t_mh * 1.1

@@ -1,0 +1,61 @@
+"""Shared fixtures: small fabrics and routed results reused across the suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import topologies
+from repro.core import DFSSSPEngine, SSSPEngine
+from repro.routing import MinHopEngine, extract_paths
+
+
+@pytest.fixture(scope="session")
+def ring5():
+    """The paper's §III example: 5-switch ring, one terminal each."""
+    return topologies.ring(5, terminals_per_switch=1)
+
+
+@pytest.fixture(scope="session")
+def torus333():
+    return topologies.torus((3, 3, 3), terminals_per_switch=1)
+
+
+@pytest.fixture(scope="session")
+def ktree42():
+    return topologies.kary_ntree(4, 2)
+
+
+@pytest.fixture(scope="session")
+def random16():
+    """Irregular 16-switch fabric; needs >= 2 virtual layers under DFSSSP."""
+    return topologies.random_topology(16, 34, terminals_per_switch=3, seed=42)
+
+
+@pytest.fixture(scope="session")
+def deimos_small():
+    return topologies.deimos(scale=0.12)
+
+
+@pytest.fixture(scope="session")
+def sssp_ring5(ring5):
+    return SSSPEngine().route(ring5)
+
+
+@pytest.fixture(scope="session")
+def dfsssp_ring5(ring5):
+    return DFSSSPEngine().route(ring5)
+
+
+@pytest.fixture(scope="session")
+def minhop_random16(random16):
+    return MinHopEngine().route(random16)
+
+
+@pytest.fixture(scope="session")
+def dfsssp_random16(random16):
+    return DFSSSPEngine().route(random16)
+
+
+@pytest.fixture(scope="session")
+def paths_dfsssp_random16(dfsssp_random16):
+    return extract_paths(dfsssp_random16.tables)

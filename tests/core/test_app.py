@@ -1,0 +1,82 @@
+"""APP formalism: paths, covers, the paper's Figure 3 example."""
+
+import pytest
+
+from repro.core import APPInstance, APPPath, nondeterministic_verify
+
+
+def test_path_rejects_duplicates():
+    with pytest.raises(ValueError, match="distinct"):
+        APPPath(("a", "b", "a"))
+
+
+def test_path_rejects_empty():
+    with pytest.raises(ValueError, match="at least one"):
+        APPPath(())
+
+
+def test_path_nodes_and_edges():
+    p = APPPath(("a", "b", "c"))
+    assert p.nodes == frozenset({"a", "b", "c"})
+    assert p.edges == (("a", "b"), ("b", "c"))
+    assert len(p) == 3
+
+
+def test_single_label_path_has_no_edges():
+    p = APPPath(("x",))
+    assert p.edges == ()
+
+
+@pytest.fixture()
+def figure3():
+    """The paper's Figure 3: p1 = bc, p2 = abc, p3 = cdab."""
+    return APPInstance.from_sequences([("b", "c"), ("a", "b", "c"), ("c", "d", "a", "b")])
+
+
+def test_figure3_cover(figure3):
+    # The paper's cover: {p1, p2} and {p3}.
+    assert figure3.is_cover([[0, 1], [2]])
+
+
+def test_figure3_whole_set_is_cyclic(figure3):
+    # p2 + p3 close the cycle a->b->c->d->a.
+    assert not figure3.subset_acyclic([1, 2])
+    assert not figure3.is_cover([[0, 1, 2]])
+
+
+def test_figure3_singletons_cover(figure3):
+    assert figure3.is_cover([[0], [1], [2]])
+
+
+def test_cover_rejects_empty_class(figure3):
+    assert not figure3.is_cover([[0, 1, 2], []])
+
+
+def test_cover_rejects_overlap(figure3):
+    assert not figure3.is_cover([[0, 1], [1, 2]])
+
+
+def test_cover_rejects_missing_path(figure3):
+    assert not figure3.is_cover([[0], [1]])
+
+
+def test_induced_edges_union(figure3):
+    edges = figure3.induced_edges([0, 1])
+    assert edges == {("b", "c"), ("a", "b")}
+
+
+def test_nondeterministic_verify_accepts_witness(figure3):
+    assert nondeterministic_verify(figure3, [0, 0, 1], k=2)
+
+
+def test_nondeterministic_verify_rejects_cyclic_assignment(figure3):
+    assert not nondeterministic_verify(figure3, [0, 0, 0], k=1)
+
+
+def test_nondeterministic_verify_rejects_bad_shape(figure3):
+    assert not nondeterministic_verify(figure3, [0, 0], k=2)
+    assert not nondeterministic_verify(figure3, [0, 0, 5], k=2)
+
+
+def test_subset_acyclic_empty(figure3):
+    assert figure3.subset_acyclic([])

@@ -1,0 +1,68 @@
+"""Exact APP solver on small instances."""
+
+import pytest
+
+from repro.core import APPInstance, has_k_cover, minimum_cover
+
+
+@pytest.fixture()
+def figure3():
+    return APPInstance.from_sequences([("b", "c"), ("a", "b", "c"), ("c", "d", "a", "b")])
+
+
+def test_figure3_minimum_is_two(figure3):
+    k, witness = minimum_cover(figure3)
+    assert k == 2
+    assert figure3.is_cover(witness)
+
+
+def test_has_k_cover_monotone(figure3):
+    assert not has_k_cover(figure3, 1)
+    assert has_k_cover(figure3, 2)
+    assert has_k_cover(figure3, 3)  # singletons
+    assert not has_k_cover(figure3, 4)  # more classes than paths
+
+
+def test_acyclic_instance_needs_one_layer():
+    inst = APPInstance.from_sequences([("a", "b"), ("b", "c"), ("a", "c")])
+    k, witness = minimum_cover(inst)
+    assert k == 1
+    assert witness == [[0, 1, 2]]
+
+
+def test_two_cycles_force_two_classes():
+    # (a->b, b->a) and (c->d, d->c): 2-cycles, each pair must split — but
+    # the two halves of different cycles can share classes.
+    inst = APPInstance.from_sequences([("a", "b"), ("b", "a"), ("c", "d"), ("d", "c")])
+    k, witness = minimum_cover(inst)
+    assert k == 2
+    assert inst.is_cover(witness)
+
+
+def test_triangle_of_mutual_cycles_needs_three():
+    # every pair of paths closes a 2-cycle -> pairwise conflict -> k = 3
+    inst = APPInstance.from_sequences(
+        [("x", "y", "zA", "wA"), ("y", "x", "zB", "wB"), ("wA", "zA", "wB", "zB")]
+    )
+    # p0/p1 conflict via (x,y)/(y,x); p0/p2 via (zA,wA)/(wA,zA); p1/p2 via (zB,wB)/(wB,zB)
+    k, witness = minimum_cover(inst)
+    assert k == 3
+
+
+def test_has_k_cover_edge_cases():
+    empty = APPInstance([])
+    assert not has_k_cover(empty, 1)
+    single = APPInstance.from_sequences([("a", "b")])
+    assert has_k_cover(single, 1)
+    assert not has_k_cover(single, 2)
+    assert not has_k_cover(single, 0)
+
+
+def test_minimum_cover_empty_rejected():
+    with pytest.raises(ValueError):
+        minimum_cover(APPInstance([]))
+
+
+def test_witness_classes_nonempty(figure3):
+    _k, witness = minimum_cover(figure3)
+    assert all(witness)

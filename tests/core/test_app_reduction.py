@@ -1,0 +1,141 @@
+"""Theorem 1: the k-colorability <-> APP reduction, verified constructively.
+
+These tests execute the NP-completeness proof on concrete graphs: the
+transformation is computed, covers are searched exactly, and the witness
+translations are checked in both directions.
+"""
+
+import itertools
+
+import pytest
+
+from repro.core import (
+    APPInstance,
+    chromatic_number,
+    coloring_to_app,
+    coloring_to_cover,
+    cover_to_coloring,
+    has_k_cover,
+    is_proper_coloring,
+    minimum_cover,
+)
+
+
+TRIANGLE = (["u", "v", "w"], [("u", "v"), ("v", "w"), ("u", "w")])
+PATH3 = (["u", "v", "w"], [("u", "v"), ("v", "w")])
+SQUARE = (["a", "b", "c", "d"], [("a", "b"), ("b", "c"), ("c", "d"), ("d", "a")])
+STAR = (["c", "x", "y", "z"], [("c", "x"), ("c", "y"), ("c", "z")])
+K4 = (["1", "2", "3", "4"], list(itertools.combinations(["1", "2", "3", "4"], 2)))
+EMPTY3 = (["a", "b", "c"], [])
+
+
+@pytest.mark.parametrize(
+    "graph,chi",
+    [(TRIANGLE, 3), (PATH3, 2), (SQUARE, 2), (STAR, 2), (K4, 4), (EMPTY3, 1)],
+)
+def test_minimum_cover_equals_chromatic_number(graph, chi):
+    """The heart of Theorem 1: min-k cover of f(G) == chi(G)."""
+    nodes, edges = graph
+    assert chromatic_number(nodes, edges) == chi
+    instance, _order = coloring_to_app(nodes, edges)
+    k, _witness = minimum_cover(instance)
+    assert k == chi
+
+
+@pytest.mark.parametrize("graph", [TRIANGLE, PATH3, SQUARE, K4])
+def test_adjacent_nodes_paths_conflict(graph):
+    """Proposition 1: (v,w) in E => G[{p_v, p_w}] cyclic."""
+    nodes, edges = graph
+    instance, order = coloring_to_app(nodes, edges)
+    index = {v: i for i, v in enumerate(order)}
+    for a, b in edges:
+        assert not instance.subset_acyclic([index[a], index[b]])
+
+
+@pytest.mark.parametrize("graph", [TRIANGLE, PATH3, SQUARE, STAR])
+def test_independent_sets_paths_acyclic(graph):
+    """Proposition 2: independent set => acyclic induced graph."""
+    nodes, edges = graph
+    instance, order = coloring_to_app(nodes, edges)
+    index = {v: i for i, v in enumerate(order)}
+    adj = set()
+    for a, b in edges:
+        adj.add((a, b))
+        adj.add((b, a))
+    for r in range(1, len(nodes) + 1):
+        for subset in itertools.combinations(nodes, r):
+            independent = all(
+                (a, b) not in adj for a, b in itertools.combinations(subset, 2)
+            )
+            if independent:
+                assert instance.subset_acyclic([index[v] for v in subset])
+
+
+def test_forward_witness_translation():
+    """A proper coloring maps to a valid cover (the '=>' direction)."""
+    nodes, edges = SQUARE
+    instance, order = coloring_to_app(nodes, edges)
+    coloring = {"a": 0, "b": 1, "c": 0, "d": 1}
+    assert is_proper_coloring(edges, coloring)
+    cover = coloring_to_cover(order, coloring)
+    assert instance.is_cover(cover)
+
+
+def test_backward_witness_translation():
+    """A cover maps back to a proper coloring (the '<=' direction)."""
+    nodes, edges = TRIANGLE
+    instance, order = coloring_to_app(nodes, edges)
+    k, witness = minimum_cover(instance)
+    coloring = cover_to_coloring(order, witness)
+    assert is_proper_coloring(edges, coloring)
+    assert len(set(coloring.values())) == k
+
+
+def test_decision_equivalence_at_every_k():
+    nodes, edges = SQUARE
+    instance, _order = coloring_to_app(nodes, edges)
+    # chi(SQUARE) = 2: k=1 no, k=2..4 yes (padding by splitting classes).
+    assert not has_k_cover(instance, 1)
+    for k in (2, 3, 4):
+        assert has_k_cover(instance, k)
+
+
+def test_transformation_is_polynomial_sized():
+    nodes, edges = K4
+    instance, _order = coloring_to_app(nodes, edges)
+    # |P| = |V|; |p_v| = 1 + 2 deg(v).
+    assert len(instance) == 4
+    for path in instance.paths:
+        assert len(path) == 1 + 2 * 3
+
+
+def test_isolated_nodes_become_singleton_paths():
+    instance, order = coloring_to_app(["a", "b"], [])
+    assert all(len(p) == 1 for p in instance.paths)
+    assert minimum_cover(instance)[0] == 1
+
+
+def test_self_loop_rejected():
+    with pytest.raises(ValueError, match="self-loop"):
+        coloring_to_app(["a"], [("a", "a")])
+
+
+def test_chromatic_number_empty_graph():
+    assert chromatic_number([], []) == 0
+
+
+def test_random_graphs_equivalence():
+    """Randomised spot-check of the equivalence on 5-node graphs."""
+    import random
+
+    rng = random.Random(7)
+    for _ in range(8):
+        nodes = list("abcde")
+        edges = [
+            e for e in itertools.combinations(nodes, 2) if rng.random() < 0.4
+        ]
+        chi = chromatic_number(nodes, edges)
+        instance, _order = coloring_to_app(nodes, edges)
+        k, witness = minimum_cover(instance)
+        assert k == chi, f"edges={edges}: chi={chi}, APP min={k}"
+        assert instance.is_cover(witness)

@@ -1,0 +1,69 @@
+"""Cycle-edge selection heuristics."""
+
+import numpy as np
+import pytest
+
+from repro.core.heuristics import (
+    HEURISTICS,
+    first_edge,
+    get_heuristic,
+    strongest_edge,
+    weakest_edge,
+)
+from repro.deadlock.cdg import ChannelDependencyGraph
+from repro.network import FabricBuilder
+
+
+@pytest.fixture()
+def weighted_cycle():
+    """Triangle CDG whose edges carry 1, 2 and 3 inducing paths."""
+    b = FabricBuilder()
+    s = [b.add_switch() for _ in range(3)]
+    for i in range(3):
+        b.add_link(s[i], s[(i + 1) % 3])
+    t = b.add_terminal()
+    b.add_link(t, s[0])
+    t2 = b.add_terminal()
+    b.add_link(t2, s[1])
+    fab = b.build()
+    c = [fab.channel_between(i, (i + 1) % 3) for i in range(3)]
+    cdg = ChannelDependencyGraph(fab)
+    pid = 0
+    for count, (c1, c2) in zip((1, 2, 3), [(c[0], c[1]), (c[1], c[2]), (c[2], c[0])]):
+        for _ in range(count):
+            cdg.add_path(pid, np.array([c1, c2], dtype=np.int32))
+            pid += 1
+    cycle = [(c[0], c[1]), (c[1], c[2]), (c[2], c[0])]
+    return cdg, cycle, c
+
+
+def test_weakest_picks_min_weight(weighted_cycle):
+    cdg, cycle, c = weighted_cycle
+    assert weakest_edge(cdg, cycle) == (c[0], c[1])
+
+
+def test_strongest_picks_max_weight(weighted_cycle):
+    cdg, cycle, c = weighted_cycle
+    assert strongest_edge(cdg, cycle) == (c[2], c[0])
+
+
+def test_first_picks_first(weighted_cycle):
+    cdg, cycle, _c = weighted_cycle
+    assert first_edge(cdg, cycle) == cycle[0]
+
+
+def test_ties_resolve_to_first_occurrence(weighted_cycle):
+    cdg, cycle, c = weighted_cycle
+    # add a path so edge 0 and edge 1 both weigh 2
+    cdg.add_path(99, np.array([c[0], c[1]], dtype=np.int32))
+    assert weakest_edge(cdg, cycle) == (c[0], c[1])
+
+
+def test_registry_lookup():
+    assert get_heuristic("weakest") is weakest_edge
+    assert set(HEURISTICS) == {"weakest", "strongest", "first"}
+
+
+def test_unknown_heuristic_rejected():
+    with pytest.raises(ValueError, match="unknown heuristic"):
+        get_heuristic("random-walk")

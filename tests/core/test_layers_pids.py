@@ -1,0 +1,67 @@
+"""Layer assignment with a restricted path population (the CA-to-CA fix).
+
+Regression coverage for the full-scale Fig. 10 finding: paths outside the
+``pids`` selection must neither constrain cycle breaking nor be moved by
+balancing.
+"""
+
+import numpy as np
+import pytest
+
+from repro import topologies
+from repro.core import SSSPEngine, assign_layers_offline, assign_layers_online
+from repro.routing import extract_paths
+
+
+@pytest.fixture(scope="module")
+def tree_paths():
+    fab = topologies.kary_ntree(3, 2)
+    tables = SSSPEngine().route(fab).tables
+    return fab, extract_paths(tables)
+
+
+def test_inactive_paths_stay_on_layer_zero(tree_paths):
+    fab, paths = tree_paths
+    active = paths.active_pids()
+    assignment = assign_layers_offline(paths, max_layers=8, balance=True, pids=active)
+    inactive = np.setdiff1d(np.arange(paths.num_paths), active)
+    assert (assignment.path_layers[inactive] == 0).all()
+
+
+def test_balancing_only_moves_active_paths(tree_paths):
+    fab, paths = tree_paths
+    active = paths.active_pids()
+    assignment = assign_layers_offline(paths, max_layers=4, balance=True, pids=active)
+    moved = np.flatnonzero(assignment.path_layers > 0)
+    assert set(moved.tolist()) <= set(active.tolist())
+    # Balancing did spread the active population over all 4 lanes.
+    assert np.count_nonzero(np.bincount(assignment.path_layers[active], minlength=4)) == 4
+
+
+def test_online_respects_pids(tree_paths):
+    fab, paths = tree_paths
+    active = paths.active_pids()
+    assignment = assign_layers_online(paths, max_layers=8, pids=active)
+    inactive = np.setdiff1d(np.arange(paths.num_paths), active)
+    assert (assignment.path_layers[inactive] == 0).all()
+
+
+def test_restricting_pids_never_increases_layers():
+    """Fewer constraints can only help: layers(active) <= layers(all)."""
+    fab = topologies.tsubame(scale=0.08)
+    tables = SSSPEngine().route(fab).tables
+    paths = extract_paths(tables)
+    full = assign_layers_offline(paths, max_layers=16, balance=False)
+    active = assign_layers_offline(
+        paths, max_layers=16, balance=False, pids=paths.active_pids()
+    )
+    assert active.layers_needed <= full.layers_needed
+
+
+def test_default_pids_is_everything(tree_paths):
+    fab, paths = tree_paths
+    a = assign_layers_offline(paths, max_layers=8, balance=False)
+    b = assign_layers_offline(
+        paths, max_layers=8, balance=False, pids=range(paths.num_paths)
+    )
+    assert (a.path_layers == b.path_layers).all()

@@ -1,0 +1,118 @@
+"""LMC multipathing: plane divergence, joint deadlock-freedom, striping."""
+
+import numpy as np
+import pytest
+
+from repro import topologies
+from repro.core import (
+    ConcatenatedPaths,
+    DFSSSPEngine,
+    MultipathCongestionSimulator,
+    MultipathDFSSSPEngine,
+)
+from repro.exceptions import RoutingError, SimulationError
+from repro.routing import extract_paths, path_minimality_violations
+from repro.simulator import CongestionSimulator, shift_pattern
+
+
+@pytest.fixture(scope="module")
+def fabric():
+    return topologies.ranger(scale=0.04)
+
+
+@pytest.fixture(scope="module")
+def lmc2(fabric):
+    return MultipathDFSSSPEngine(lmc=2).route(fabric)
+
+
+def test_plane_count(lmc2):
+    assert lmc2.num_planes == 4
+    assert len(lmc2.planes) == 4
+    assert lmc2.stats["lmc"] == 2
+
+
+def test_lmc0_matches_single_path(fabric):
+    mp = MultipathDFSSSPEngine(lmc=0).route(fabric)
+    single = DFSSSPEngine().route(fabric)
+    assert (mp.planes[0].next_channel == single.tables.next_channel).all()
+
+
+def test_planes_diverge(lmc2):
+    """Consecutive LID planes must not be copies of each other."""
+    a = lmc2.planes[0].next_channel
+    b = lmc2.planes[1].next_channel
+    assert (a != b).any()
+
+
+def test_every_plane_minimal(fabric, lmc2):
+    for tables in lmc2.planes:
+        paths = extract_paths(tables)
+        assert path_minimality_violations(tables, paths) == 0
+
+
+def test_joint_deadlock_freedom(lmc2):
+    assert lmc2.verify_deadlock_free()
+
+
+def test_layers_cover_all_planes(fabric, lmc2):
+    expected = 4 * fabric.num_switches * fabric.num_terminals
+    assert len(lmc2.path_layers) == expected
+
+
+def test_plane_for_is_deterministic_and_spread(fabric, lmc2):
+    terms = [int(t) for t in fabric.terminals[:8]]
+    planes = {lmc2.plane_for(terms[0], d) for d in terms[1:]}
+    assert len(planes) >= 2  # destinations spread over planes
+    assert lmc2.plane_for(terms[0], terms[1]) == lmc2.plane_for(terms[0], terms[1])
+
+
+def test_plane_for_rejects_switches(fabric, lmc2):
+    with pytest.raises(RoutingError):
+        lmc2.plane_for(int(fabric.switches[0]), int(fabric.terminals[0]))
+
+
+def test_striping_improves_worst_flow(fabric, lmc2):
+    """The headline LMC effect: tail bandwidth under adversarial shifts."""
+    single = DFSSSPEngine().route(fabric)
+    sim1 = CongestionSimulator(single.tables)
+    sim2 = MultipathCongestionSimulator(lmc2, mode="stripe")
+    pattern = shift_pattern(fabric, 1)
+    worst_single = sim1.evaluate(pattern).min_bandwidth
+    worst_striped = float(sim2.evaluate(pattern).min())
+    assert worst_striped >= worst_single
+
+
+def test_select_mode_runs(fabric, lmc2):
+    sim = MultipathCongestionSimulator(lmc2, mode="select")
+    pattern = shift_pattern(fabric, 3)
+    bw = sim.evaluate(pattern)
+    assert (bw > 0).all() and (bw <= 1.0 + 1e-9).all()
+
+
+def test_ebb_estimator(fabric, lmc2):
+    sim = MultipathCongestionSimulator(lmc2)
+    ebb = sim.effective_bisection_bandwidth(5, seed=0)
+    assert 0 < ebb.ebb <= 1.0
+
+
+def test_invalid_parameters(fabric, lmc2):
+    with pytest.raises(ValueError):
+        MultipathDFSSSPEngine(lmc=4)
+    with pytest.raises(SimulationError):
+        MultipathCongestionSimulator(lmc2, mode="anycast")
+    sim = MultipathCongestionSimulator(lmc2)
+    with pytest.raises(SimulationError):
+        sim.evaluate([])
+
+
+def test_concatenated_paths_indexing(fabric, lmc2):
+    combined = lmc2.combined_paths()
+    plane_size = combined.plane_size
+    for plane in range(4):
+        pid = plane * plane_size + 7
+        assert (combined.path(pid) == lmc2.path_sets[plane].path(7)).all()
+
+
+def test_concatenated_paths_validation(fabric):
+    with pytest.raises(RoutingError):
+        ConcatenatedPaths([])

@@ -1,0 +1,125 @@
+"""CycleSearch: witness validity, resumability, black-set persistence."""
+
+import numpy as np
+import pytest
+
+from repro.deadlock.cdg import ChannelDependencyGraph
+from repro.deadlock.cycles import CycleSearch, find_any_cycle, is_acyclic
+from repro.network import FabricBuilder
+
+
+def _cycle_fabric(n):
+    """n switches in a directed ring of dependencies."""
+    b = FabricBuilder()
+    s = [b.add_switch() for _ in range(n)]
+    for i in range(n):
+        b.add_link(s[i], s[(i + 1) % n])
+    t = b.add_terminal()
+    b.add_link(t, s[0])
+    t2 = b.add_terminal()
+    b.add_link(t2, s[1])
+    return b.build()
+
+
+def _ring_chain(fabric, n):
+    """Channel chain around the ring: c(0,1), c(1,2), ..., c(n-1,0), c(0,1)."""
+    return [fabric.channel_between(i, (i + 1) % n) for i in range(n)]
+
+
+def test_acyclic_graph_returns_none():
+    fab = _cycle_fabric(4)
+    cdg = ChannelDependencyGraph(fab)
+    chain = _ring_chain(fab, 4)
+    cdg.add_path(0, np.array(chain[:3], dtype=np.int32))  # open chain
+    assert find_any_cycle(cdg) is None
+    assert is_acyclic(cdg)
+
+
+def test_cycle_found_and_valid():
+    fab = _cycle_fabric(5)
+    cdg = ChannelDependencyGraph(fab)
+    chain = _ring_chain(fab, 5)
+    # close the ring with overlapping 2-channel paths
+    for i in range(5):
+        c1, c2 = chain[i], chain[(i + 1) % 5]
+        cdg.add_path(i, np.array([c1, c2], dtype=np.int32))
+    cycle = find_any_cycle(cdg)
+    assert cycle is not None
+    # edge list is closed and consistent
+    for (a1, b1), (a2, b2) in zip(cycle, cycle[1:]):
+        assert b1 == a2
+    assert cycle[-1][1] == cycle[0][0]
+    # every edge exists in the CDG
+    for a, b in cycle:
+        assert cdg.has_edge(a, b)
+
+
+def test_search_resumes_after_removal():
+    fab = _cycle_fabric(6)
+    cdg = ChannelDependencyGraph(fab)
+    chain = _ring_chain(fab, 6)
+    for i in range(6):
+        cdg.add_path(i, np.array([chain[i], chain[(i + 1) % 6]], dtype=np.int32))
+    search = CycleSearch(cdg)
+    cycle = search.find_cycle()
+    assert cycle is not None
+    # break the cycle: remove one edge's inducing path
+    a, b = cycle[0]
+    pid = next(iter(cdg.pids_of_edge(a, b)))
+    cdg.remove_path(pid, np.array([a, b], dtype=np.int32))
+    assert search.find_cycle() is None
+
+
+def test_black_nodes_persist_across_calls():
+    fab = _cycle_fabric(4)
+    cdg = ChannelDependencyGraph(fab)
+    chain = _ring_chain(fab, 4)
+    cdg.add_path(0, np.array(chain[:3], dtype=np.int32))
+    search = CycleSearch(cdg)
+    assert search.find_cycle() is None
+    assert len(search._black) > 0
+    assert search.find_cycle() is None  # second call with settled set
+
+
+def test_two_cycles_found_one_at_a_time():
+    # Two disjoint triangles in one fabric.
+    b = FabricBuilder()
+    s = [b.add_switch() for _ in range(6)]
+    for base in (0, 3):
+        for i in range(3):
+            b.add_link(s[base + i], s[base + (i + 1) % 3])
+    t = b.add_terminal()
+    b.add_link(t, s[0])
+    t2 = b.add_terminal()
+    b.add_link(t2, s[3])
+    fab = b.build()
+
+    cdg = ChannelDependencyGraph(fab)
+    pid = 0
+    for base in (0, 3):
+        chans = [fab.channel_between(base + i, base + (i + 1) % 3) for i in range(3)]
+        for i in range(3):
+            cdg.add_path(pid, np.array([chans[i], chans[(i + 1) % 3]], dtype=np.int32))
+            pid += 1
+    search = CycleSearch(cdg)
+    first = search.find_cycle()
+    assert first is not None
+    # dissolve the first cycle entirely
+    seen_edges = set(first)
+    for a, bb in first:
+        for p in list(cdg.pids_of_edge(a, bb)):
+            cdg.remove_path(p, np.array([a, bb], dtype=np.int32))
+    second = search.find_cycle()
+    assert second is not None
+    assert not seen_edges.intersection(second)
+
+
+def test_self_loop_edge_is_a_cycle():
+    # A CDG can never have self-loops from real paths (c != next c), but
+    # the search must still terminate on adversarial input.
+    fab = _cycle_fabric(3)
+    cdg = ChannelDependencyGraph(fab)
+    c = fab.channel_between(0, 1)
+    cdg.succ[c] = {c: {0}}
+    cycle = find_any_cycle(cdg)
+    assert cycle == [(c, c)]

@@ -1,0 +1,150 @@
+"""FabricBuilder: node/cable creation, radix enforcement, error paths."""
+
+import pytest
+
+from repro.exceptions import FabricError
+from repro.network import FabricBuilder, NodeKind
+
+
+def test_empty_builder_builds_empty_fabric():
+    fabric = FabricBuilder().build()
+    assert fabric.num_nodes == 0
+    assert fabric.num_channels == 0
+
+
+def test_add_switch_and_terminal_ids_are_dense():
+    b = FabricBuilder()
+    ids = [b.add_switch(), b.add_terminal(), b.add_switch()]
+    assert ids == [0, 1, 2]
+
+
+def test_kinds_recorded():
+    b = FabricBuilder()
+    s = b.add_switch()
+    t = b.add_terminal()
+    fabric = b.build()
+    assert fabric.is_switch(s) and not fabric.is_terminal(s)
+    assert fabric.is_terminal(t) and not fabric.is_switch(t)
+    assert fabric.kinds[s] == NodeKind.SWITCH
+    assert fabric.kinds[t] == NodeKind.TERMINAL
+
+
+def test_default_names_and_custom_names():
+    b = FabricBuilder()
+    b.add_switch()
+    b.add_terminal(name="storage0")
+    fabric = b.build()
+    assert fabric.names[0].startswith("sw")
+    assert fabric.names[1] == "storage0"
+
+
+def test_add_link_creates_channel_pair():
+    b = FabricBuilder()
+    s0, s1 = b.add_switch(), b.add_switch()
+    fwd = b.add_link(s0, s1)
+    fabric = b.build()
+    assert len(fwd) == 1
+    c = fabric.channels[fwd[0]]
+    r = fabric.channels[c.reverse]
+    assert (c.src, c.dst) == (s0, s1)
+    assert (r.src, r.dst) == (s1, s0)
+    assert r.reverse == c.cid
+
+
+def test_trunked_link_count():
+    b = FabricBuilder()
+    s0, s1 = b.add_switch(), b.add_switch()
+    fwd = b.add_link(s0, s1, count=30)
+    fabric = b.build()
+    assert len(fwd) == 30
+    assert fabric.num_channels == 60
+    assert len(fabric.channels_between(s0, s1)) == 30
+
+
+def test_self_loop_rejected():
+    b = FabricBuilder()
+    s = b.add_switch()
+    with pytest.raises(FabricError, match="self-loop"):
+        b.add_link(s, s)
+
+
+def test_unknown_node_rejected():
+    b = FabricBuilder()
+    s = b.add_switch()
+    with pytest.raises(FabricError, match="unknown node"):
+        b.add_link(s, 99)
+
+
+def test_terminal_to_terminal_rejected():
+    b = FabricBuilder()
+    t0, t1 = b.add_terminal(), b.add_terminal()
+    with pytest.raises(FabricError, match="terminal-to-terminal"):
+        b.add_link(t0, t1)
+
+
+def test_zero_or_negative_cable_count_rejected():
+    b = FabricBuilder()
+    s0, s1 = b.add_switch(), b.add_switch()
+    with pytest.raises(FabricError, match="count"):
+        b.add_link(s0, s1, count=0)
+
+
+def test_nonpositive_capacity_rejected():
+    b = FabricBuilder()
+    s0, s1 = b.add_switch(), b.add_switch()
+    with pytest.raises(FabricError, match="capacity"):
+        b.add_link(s0, s1, capacity=0.0)
+
+
+def test_radix_enforced():
+    b = FabricBuilder()
+    s = b.add_switch(radix=2)
+    others = [b.add_switch() for _ in range(3)]
+    b.add_link(s, others[0])
+    b.add_link(s, others[1])
+    with pytest.raises(FabricError, match="radix"):
+        b.add_link(s, others[2])
+
+
+def test_radix_counts_trunks():
+    b = FabricBuilder()
+    s0 = b.add_switch(radix=4)
+    s1 = b.add_switch()
+    with pytest.raises(FabricError, match="radix"):
+        b.add_link(s0, s1, count=5)
+
+
+def test_default_radix_applies():
+    b = FabricBuilder(default_radix=1)
+    s0, s1, s2 = b.add_switch(), b.add_switch(), b.add_switch()
+    b.add_link(s0, s1)
+    with pytest.raises(FabricError, match="radix"):
+        b.add_link(s0, s2)
+
+
+def test_ports_free_accounting():
+    b = FabricBuilder()
+    s = b.add_switch(radix=5)
+    t = b.add_terminal()
+    assert b.ports_free(s) == 5
+    b.add_link(t, s)
+    assert b.ports_free(s) == 4
+    assert b.ports_free(t) is None  # unlimited
+
+
+def test_coordinates_attached():
+    b = FabricBuilder()
+    s = b.add_switch()
+    b.set_coordinates(s, (1, 2, 3))
+    fabric = b.build()
+    assert fabric.coordinates[s] == (1, 2, 3)
+
+
+def test_bulk_helpers():
+    b = FabricBuilder()
+    switches = b.add_switches(4, prefix="leaf")
+    terms = b.add_terminals(3)
+    fabric_names = b._names
+    assert switches == [0, 1, 2, 3]
+    assert terms == [4, 5, 6]
+    assert fabric_names[0] == "leaf0"

@@ -1,0 +1,58 @@
+"""ChannelVector and Channel primitives."""
+
+import numpy as np
+import pytest
+
+from repro.network.channels import Channel, ChannelVector
+
+
+def test_channel_dataclass_accessors():
+    c = Channel(cid=3, src=1, dst=2, reverse=4, capacity=2.0)
+    assert c.endpoints() == (1, 2)
+    assert c.capacity == 2.0
+
+
+def test_channel_vector_length_and_indexing():
+    cv = ChannelVector([0, 1], [1, 0], [1, 0], [1.0, 1.0])
+    assert len(cv) == 2
+    c = cv[0]
+    assert (c.src, c.dst, c.reverse) == (0, 1, 1)
+    assert isinstance(c, Channel)
+
+
+def test_channel_vector_mismatched_lengths_rejected():
+    with pytest.raises(ValueError, match="equal length"):
+        ChannelVector([0], [1, 2], [0], [1.0])
+
+
+def test_pairs_consistent_true_for_valid_pairing():
+    cv = ChannelVector([0, 1, 0, 2], [1, 0, 2, 0], [1, 0, 3, 2], [1.0] * 4)
+    assert cv.pairs_consistent()
+
+
+def test_pairs_consistent_false_when_not_involution():
+    cv = ChannelVector([0, 1, 0], [1, 0, 1], [1, 0, 1], [1.0] * 3)
+    assert not cv.pairs_consistent()
+
+
+def test_pairs_consistent_false_when_endpoints_mismatch():
+    # reverse ids form an involution but endpoints don't swap
+    cv = ChannelVector([0, 0], [1, 1], [1, 0], [1.0, 1.0])
+    assert not cv.pairs_consistent()
+
+
+def test_pairs_consistent_false_for_out_of_range_reverse():
+    cv = ChannelVector([0], [1], [5], [1.0])
+    assert not cv.pairs_consistent()
+
+
+def test_empty_vector_is_consistent():
+    cv = ChannelVector([], [], [], [])
+    assert cv.pairs_consistent()
+    assert len(cv) == 0
+
+
+def test_dtype_normalisation():
+    cv = ChannelVector(np.array([0.0, 1.0]), [1, 0], [1, 0], [1, 1])
+    assert cv.src.dtype == np.int32
+    assert cv.capacity.dtype == np.float64

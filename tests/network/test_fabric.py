@@ -1,0 +1,112 @@
+"""Fabric: CSR adjacency, channel pairing, node partitions, exports."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import FabricError
+from repro.network import Fabric, FabricBuilder
+from repro.network.channels import ChannelVector
+
+
+def _line_fabric():
+    """t0 - s0 - s1 - t1 with a trunked middle."""
+    b = FabricBuilder()
+    s0, s1 = b.add_switch(), b.add_switch()
+    t0, t1 = b.add_terminal(), b.add_terminal()
+    b.add_link(t0, s0)
+    b.add_link(s0, s1, count=2)
+    b.add_link(s1, t1)
+    return b.build(), (s0, s1, t0, t1)
+
+
+def test_node_partitions():
+    fabric, (s0, s1, t0, t1) = _line_fabric()
+    assert list(fabric.switches) == [s0, s1]
+    assert list(fabric.terminals) == [t0, t1]
+    assert fabric.num_switches == 2
+    assert fabric.num_terminals == 2
+
+
+def test_term_and_switch_index_maps():
+    fabric, (s0, s1, t0, t1) = _line_fabric()
+    assert fabric.term_index[t0] == 0
+    assert fabric.term_index[t1] == 1
+    assert fabric.term_index[s0] == -1
+    assert fabric.switch_index[s0] == 0
+    assert fabric.switch_index[s1] == 1
+    assert fabric.switch_index[t0] == -1
+
+
+def test_out_channels_cover_all_cables():
+    fabric, (s0, s1, t0, t1) = _line_fabric()
+    # s0 has: 1 to t0, 2 to s1 -> degree 3.
+    assert fabric.degree(s0) == 3
+    outs = fabric.out_channels(s0)
+    assert all(fabric.channels.src[c] == s0 for c in outs)
+
+
+def test_in_channels_are_reverses():
+    fabric, (s0, *_rest) = _line_fabric()
+    ins = fabric.in_channels(s0)
+    assert all(fabric.channels.dst[c] == s0 for c in ins)
+
+
+def test_neighbors_unique_despite_trunk():
+    fabric, (s0, s1, t0, t1) = _line_fabric()
+    assert sorted(fabric.neighbors(s0)) == sorted([t0, s1])
+
+
+def test_channel_between_and_channels_between():
+    fabric, (s0, s1, *_r) = _line_fabric()
+    assert fabric.channel_between(s0, s1) >= 0
+    assert len(fabric.channels_between(s0, s1)) == 2
+    assert fabric.channel_between(s1, 3) >= 0
+    assert fabric.channel_between(0, 0) == -1
+
+
+def test_attached_switches():
+    fabric, (s0, s1, t0, t1) = _line_fabric()
+    assert list(fabric.attached_switches(t0)) == [s0]
+    with pytest.raises(FabricError, match="not a terminal"):
+        fabric.attached_switches(s0)
+
+
+def test_is_switch_channel_classification():
+    fabric, (s0, s1, t0, t1) = _line_fabric()
+    sw_chans = fabric.switch_channel_ids()
+    assert len(sw_chans) == 4  # 2 trunk cables x 2 directions
+    for c in sw_chans:
+        assert fabric.is_switch(int(fabric.channels.src[c]))
+        assert fabric.is_switch(int(fabric.channels.dst[c]))
+
+
+def test_terminal_of_index_roundtrip():
+    fabric, (_, _, t0, t1) = _line_fabric()
+    assert fabric.terminal_of_index(0) == t0
+    assert fabric.terminal_of_index(1) == t1
+
+
+def test_to_networkx_export():
+    fabric, _ = _line_fabric()
+    g = fabric.to_networkx()
+    assert g.number_of_nodes() == fabric.num_nodes
+    assert g.number_of_edges() == fabric.num_channels
+
+
+def test_channel_endpoint_out_of_range_rejected():
+    cv = ChannelVector([0], [5], [0], [1.0])  # dst 5 does not exist
+    with pytest.raises(FabricError, match="out of range"):
+        Fabric(kinds=np.zeros(2, dtype=np.int8), channels=cv)
+
+
+def test_inconsistent_reverse_pairing_rejected():
+    # reverse pointing at itself but endpoints don't swap
+    cv = ChannelVector([0, 1], [1, 0], [0, 1], [1.0, 1.0])
+    with pytest.raises(FabricError, match="pairing"):
+        Fabric(kinds=np.zeros(2, dtype=np.int8), channels=cv)
+
+
+def test_names_length_mismatch_rejected():
+    cv = ChannelVector([], [], [], [])
+    with pytest.raises(FabricError, match="names"):
+        Fabric(kinds=np.zeros(2, dtype=np.int8), channels=cv, names=["only-one"])

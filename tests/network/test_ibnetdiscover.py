@@ -1,0 +1,137 @@
+"""ibnetdiscover parser."""
+
+import pytest
+
+from repro.exceptions import FabricError
+from repro.network.ibnetdiscover import load_ibnetdiscover, parse_ibnetdiscover
+from repro.network.validate import check_routable
+
+SAMPLE = """
+#
+# Topology file: generated on Thu Jun  9 11:02:06 2011
+#
+vendid=0x2c9
+devid=0xb924
+sysimgguid=0x2c902400c8853
+switchguid=0x2c902400c8850(2c902400c8850)
+Switch  24 "S-0002c902400c8850"  # "ISR9024D Voltaire" base port 0 lid 6 lmc 0
+[1]  "H-0002c9020020e78c"[1](2c9020020e78d)  # "node-01 HCA-1" lid 4 4xSDR
+[2]  "H-0002c9020020e790"[1](2c9020020e791)  # "node-02 HCA-1" lid 9 4xSDR
+[13]  "S-0002c902400c8851"[13]  # "ISR9024D Voltaire" lid 7 4xDDR
+
+switchguid=0x2c902400c8851(2c902400c8851)
+Switch  24 "S-0002c902400c8851"  # "ISR9024D Voltaire" base port 0 lid 7 lmc 0
+[3]  "H-0002c9020020e794"[1](2c9020020e795)  # "node-03 HCA-1" lid 12 4xSDR
+[13]  "S-0002c902400c8850"[13]  # "ISR9024D Voltaire" lid 6 4xDDR
+
+vendid=0x2c9
+devid=0x6274
+caguid=0x2c9020020e78c
+Ca  2 "H-0002c9020020e78c"  # "node-01 HCA-1"
+[1](2c9020020e78d)  "S-0002c902400c8850"[1]  # lid 4 lmc 0 "ISR9024D" lid 6 4xSDR
+
+caguid=0x2c9020020e790
+Ca  2 "H-0002c9020020e790"  # "node-02 HCA-1"
+[1](2c9020020e791)  "S-0002c902400c8850"[2]  # lid 9 lmc 0 "ISR9024D" lid 6 4xSDR
+
+caguid=0x2c9020020e794
+Ca  2 "H-0002c9020020e794"  # "node-03 HCA-1"
+[1](2c9020020e795)  "S-0002c902400c8851"[3]  # lid 12 lmc 0 "ISR9024D" lid 7 4xSDR
+"""
+
+
+def test_parse_sample():
+    fabric = parse_ibnetdiscover(SAMPLE)
+    assert fabric.num_switches == 2
+    assert fabric.num_terminals == 3
+    # 3 host cables + 1 inter-switch cable.
+    assert fabric.num_channels == 8
+    check_routable(fabric)
+
+
+def test_names_from_comments():
+    fabric = parse_ibnetdiscover(SAMPLE)
+    assert "ISR9024D Voltaire" in fabric.names
+    assert "node-01 HCA-1" in fabric.names
+
+
+def test_cables_deduplicated_across_sightings():
+    fabric = parse_ibnetdiscover(SAMPLE)
+    sw = [int(s) for s in fabric.switches]
+    assert len(fabric.channels_between(sw[0], sw[1])) == 1
+
+
+def test_parsed_fabric_routes():
+    from repro.core import DFSSSPEngine
+    from repro.deadlock import verify_deadlock_free
+    from repro.routing import extract_paths
+
+    fabric = parse_ibnetdiscover(SAMPLE)
+    result = DFSSSPEngine().route(fabric)
+    paths = extract_paths(result.tables)
+    assert verify_deadlock_free(result.layered, paths).deadlock_free
+
+
+def test_load_from_file(tmp_path):
+    p = tmp_path / "fabric.topo"
+    p.write_text(SAMPLE)
+    fabric = load_ibnetdiscover(p)
+    assert fabric.num_nodes == 5
+
+
+def test_router_sections_skipped():
+    text = SAMPLE + """
+rtguid=0xdead
+Rt  2 "R-00dead"  # "gateway"
+[1]  "S-0002c902400c8850"[20]  # lid 99
+"""
+    fabric = parse_ibnetdiscover(text)
+    assert fabric.num_switches == 2  # router not added
+
+
+def test_undeclared_peer_rejected():
+    text = """
+Switch  24 "S-1"  # "sw"
+[1]  "H-404"[1]  # missing host
+"""
+    with pytest.raises(FabricError, match="undeclared"):
+        parse_ibnetdiscover(text)
+
+
+def test_duplicate_port_rejected():
+    text = """
+Switch  24 "S-1"  # "sw"
+[1]  "H-2"[1]  #
+[1]  "H-2"[1]  #
+Ca  2 "H-2"  # "host"
+[1]  "S-1"[1]  #
+"""
+    with pytest.raises(FabricError, match="duplicate port"):
+        parse_ibnetdiscover(text)
+
+
+def test_mismatched_backlink_rejected():
+    text = """
+Switch  24 "S-1"  # "sw1"
+[1]  "H-2"[1]  #
+Switch  24 "S-3"  # "sw2"
+[1]  "H-2"[1]  #
+Ca  2 "H-2"  # "host"
+[1]  "S-1"[1]  #
+"""
+    with pytest.raises(FabricError, match="mismatch"):
+        parse_ibnetdiscover(text)
+
+
+def test_empty_input_rejected():
+    with pytest.raises(FabricError, match="no Switch/Ca"):
+        parse_ibnetdiscover("# nothing here\n")
+
+
+def test_kind_conflict_rejected():
+    text = """
+Switch  24 "X-1"  # "a"
+Ca  2 "X-1"  # "b"
+"""
+    with pytest.raises(FabricError, match="both"):
+        parse_ibnetdiscover(text)

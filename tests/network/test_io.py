@@ -1,0 +1,136 @@
+"""Fabric serialization round-trips (JSON and edge-list formats)."""
+
+import json
+
+import pytest
+
+from repro import topologies
+from repro.exceptions import FabricError
+from repro.network import (
+    FabricBuilder,
+    fabric_from_dict,
+    fabric_to_dict,
+    load_edge_list,
+    load_fabric,
+    save_edge_list,
+    save_fabric,
+)
+
+
+def _assert_same_structure(a, b):
+    assert a.num_nodes == b.num_nodes
+    assert a.num_channels == b.num_channels
+    assert list(a.kinds) == list(b.kinds)
+    assert a.names == b.names
+    # Cable multiset by endpoint pair.
+    def cable_multiset(f):
+        out = {}
+        for cid in range(f.num_channels):
+            key = (int(f.channels.src[cid]), int(f.channels.dst[cid]))
+            out[key] = out.get(key, 0) + 1
+        return out
+
+    assert cable_multiset(a) == cable_multiset(b)
+
+
+def test_json_roundtrip(tmp_path, random16):
+    p = tmp_path / "f.json"
+    save_fabric(random16, p)
+    loaded = load_fabric(p)
+    _assert_same_structure(random16, loaded)
+    assert loaded.metadata["family"] == "random"
+
+
+def test_json_roundtrip_preserves_coordinates(tmp_path, torus333):
+    p = tmp_path / "t.json"
+    save_fabric(torus333, p)
+    loaded = load_fabric(p)
+    assert loaded.coordinates == torus333.coordinates
+
+
+def test_json_roundtrip_preserves_capacity(tmp_path):
+    b = FabricBuilder()
+    s0, s1 = b.add_switch(), b.add_switch()
+    t0, t1 = b.add_terminal(), b.add_terminal()
+    b.add_link(t0, s0)
+    b.add_link(s0, s1, capacity=4.0)
+    b.add_link(s1, t1)
+    p = tmp_path / "c.json"
+    save_fabric(b.build(), p)
+    loaded = load_fabric(p)
+    c = loaded.channel_between(s0, s1)
+    assert loaded.channels.capacity[c] == 4.0
+
+
+def test_dict_version_check():
+    with pytest.raises(FabricError, match="version"):
+        fabric_from_dict({"version": 999, "nodes": [], "cables": []})
+
+
+def test_dict_dense_ids_required(ring5):
+    data = fabric_to_dict(ring5)
+    data["nodes"][0]["id"] = 77
+    with pytest.raises(FabricError, match="dense"):
+        fabric_from_dict(data)
+
+
+def test_dict_unknown_kind_rejected(ring5):
+    data = fabric_to_dict(ring5)
+    data["nodes"][0]["kind"] = "router"
+    with pytest.raises(FabricError, match="kind"):
+        fabric_from_dict(data)
+
+
+def test_edge_list_roundtrip(tmp_path, ring5):
+    p = tmp_path / "f.edges"
+    save_edge_list(ring5, p)
+    loaded = load_edge_list(p)
+    assert loaded.num_switches == ring5.num_switches
+    assert loaded.num_terminals == ring5.num_terminals
+    assert loaded.num_channels == ring5.num_channels
+
+
+def test_edge_list_implicit_kinds(tmp_path):
+    p = tmp_path / "imp.edges"
+    p.write_text("H0 -- leaf\nH1 -- leaf\nleaf -- spine\n")
+    fabric = load_edge_list(p)
+    assert fabric.num_terminals == 2
+    assert fabric.num_switches == 2
+
+
+def test_edge_list_comments_and_blank_lines(tmp_path):
+    p = tmp_path / "c.edges"
+    p.write_text("# comment\n\nnode S a\nnode S b\na -- b  # trailing\n")
+    fabric = load_edge_list(p)
+    assert fabric.num_switches == 2
+    assert fabric.num_channels == 2
+
+
+def test_edge_list_duplicate_node_rejected(tmp_path):
+    p = tmp_path / "dup.edges"
+    p.write_text("node S a\nnode S a\n")
+    with pytest.raises(FabricError, match="duplicate"):
+        load_edge_list(p)
+
+
+def test_edge_list_bad_cable_rejected(tmp_path):
+    p = tmp_path / "bad.edges"
+    p.write_text("node S a\nthis is not a cable\n")
+    with pytest.raises(FabricError, match="cable"):
+        load_edge_list(p)
+
+
+def test_edge_list_export_requires_unique_names():
+    b = FabricBuilder()
+    b.add_switch(name="dup")
+    b.add_switch(name="dup")
+    with pytest.raises(FabricError, match="unique"):
+        save_edge_list(b.build(), "/tmp/never-written.edges")
+
+
+def test_json_file_is_valid_json(tmp_path, ring5):
+    p = tmp_path / "j.json"
+    save_fabric(ring5, p)
+    data = json.loads(p.read_text())
+    assert data["version"] == 1
+    assert len(data["nodes"]) == ring5.num_nodes

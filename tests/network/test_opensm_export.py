@@ -1,0 +1,47 @@
+"""OpenSM-style dump exporters."""
+
+import re
+
+import pytest
+
+from repro.network.opensm_export import export_lft, export_route, export_sl_assignment
+
+
+def test_lft_contains_every_switch_and_lid(dfsssp_random16, random16):
+    dump = export_lft(dfsssp_random16.tables)
+    for sw in random16.switches:
+        assert f"'{random16.names[int(sw)]}'" in dump
+    # last LID appears
+    assert f"0x{random16.num_terminals:x} " in dump
+    # every switch block reports full validity
+    assert dump.count(f"{random16.num_terminals} valid lids") == random16.num_switches
+
+
+def test_lft_ports_are_consistent(dfsssp_random16, random16):
+    dump = export_lft(dfsssp_random16.tables)
+    # Port numbers are 1-based and bounded by the switch degree.
+    max_degree = max(random16.degree(int(s)) for s in random16.switches)
+    for m in re.finditer(r"0x[0-9a-f]+\s+(\d{3}) :", dump):
+        port = int(m.group(1))
+        assert 1 <= port <= max_degree
+
+
+def test_sl_dump_shape(dfsssp_random16, random16):
+    dump = export_sl_assignment(dfsssp_random16.layered)
+    lines = [l for l in dump.splitlines() if l.startswith("DLID")]
+    assert len(lines) == random16.num_terminals
+    # every line lists one SL per source switch
+    for line in lines:
+        sls = line.split(":")[1].split()
+        assert len(sls) == random16.num_switches
+        assert all(0 <= int(sl) < dfsssp_random16.num_layers for sl in sls)
+
+
+def test_route_dump(dfsssp_random16, random16):
+    src = int(random16.terminals[0])
+    dst = int(random16.terminals[5])
+    dump = export_route(dfsssp_random16.tables, src, dst)
+    assert dump.startswith(f"From '{random16.names[src]}'")
+    hops = dfsssp_random16.tables.hops(src, dst)
+    assert f"{hops} hops" in dump
+    assert dump.count("->") == hops

@@ -1,0 +1,110 @@
+"""Cluster lookalikes: published structure reproduced at every scale."""
+
+import pytest
+
+from repro.exceptions import FabricError
+from repro.network.topologies import CLUSTERS, cluster
+from repro.network.validate import check_routable
+
+
+@pytest.mark.parametrize("name", sorted(CLUSTERS))
+def test_all_clusters_routable_at_small_scale(name):
+    fab = cluster(name, scale=0.08)
+    check_routable(fab)
+    assert fab.metadata["system"] == name
+
+
+@pytest.mark.parametrize("name", sorted(CLUSTERS))
+def test_scale_monotone_in_hosts(name):
+    small = cluster(name, scale=0.05)
+    big = cluster(name, scale=0.2)
+    assert big.num_terminals >= small.num_terminals
+
+
+def test_full_scale_host_counts():
+    # Published node counts (within the +2 service-node allowances).
+    assert abs(cluster("odin").num_terminals - 128) <= 2
+    assert abs(cluster("deimos").num_terminals - 724) <= 2
+    assert abs(cluster("chic").num_terminals - 550) <= 4
+    assert abs(cluster("juropa").num_terminals - 3288) <= 4
+    assert abs(cluster("ranger").num_terminals - 3936) <= 2
+    assert abs(cluster("tsubame").num_terminals - 1430) <= 4
+
+
+def test_deimos_has_two_trunk_groups():
+    fab = cluster("deimos", scale=0.2)
+    assert fab.metadata["trunk"] == 6  # 30 * 0.2
+
+
+def test_odin_is_internally_clos():
+    fab = cluster("odin", scale=1.0)
+    # ceil(128/12) = 11 populated line boards + 12 spine chips.
+    assert fab.num_switches == 23
+    lines = [s for s in fab.switches if fab.names[int(s)].startswith("core_line")]
+    spines = [s for s in fab.switches if fab.names[int(s)].startswith("core_spine")]
+    assert len(lines) == 11 and len(spines) == 12
+    # Full bipartite internal Clos.
+    for line in lines:
+        ups = [n for n in fab.neighbors(int(line)) if fab.is_switch(int(n))]
+        assert len(ups) == 12
+
+
+def test_ranger_dual_homed_chassis():
+    fab = cluster("ranger", scale=0.06)
+    # Every chassis (NEM) switch connects to exactly 2 core line switches.
+    for s in fab.switches:
+        s = int(s)
+        if fab.names[s].startswith("nem"):
+            uplinks = [n for n in fab.neighbors(s) if fab.is_switch(int(n))]
+            assert len(uplinks) == 2
+
+
+def test_chic_has_dual_homed_storage():
+    fab = cluster("chic", scale=0.1)
+    storage = [int(t) for t in fab.terminals if fab.names[int(t)].startswith("storage")]
+    assert len(storage) == 2
+
+
+def test_juropa_has_service_nodes():
+    fab = cluster("juropa", scale=0.05)
+    lustre = [int(t) for t in fab.terminals if fab.names[int(t)].startswith("lustre")]
+    assert len(lustre) == 2
+
+
+def test_unknown_cluster_rejected():
+    with pytest.raises(FabricError, match="unknown cluster"):
+        cluster("does-not-exist")
+
+
+def test_bad_scale_rejected():
+    with pytest.raises(FabricError, match="scale"):
+        cluster("odin", scale=0.0)
+    with pytest.raises(FabricError, match="scale"):
+        cluster("odin", scale=1.5)
+
+
+def test_thunderbird_taper():
+    fab = cluster("thunderbird", scale=0.05)
+    assert fab.metadata["taper"] == "2:1"
+    # Leaves carry up to 16 hosts but only 8 uplinks.
+    for s in fab.switches:
+        if fab.names[int(s)].startswith("leaf"):
+            ups = [n for n in fab.neighbors(int(s)) if fab.is_switch(int(n))]
+            assert len(ups) == 8
+
+
+def test_jaguar_is_a_torus():
+    fab = cluster("jaguar", scale=0.01)
+    assert fab.metadata["family"] == "torus"
+    assert fab.metadata["system"] == "jaguar"
+    assert len(fab.metadata["dims"]) == 3
+    # DOR can route it — the structured property the real machine relies on.
+    from repro.routing import DOREngine
+
+    DOREngine().route(fab)
+
+
+def test_jaguar_dims_scale_with_cube_root():
+    small = cluster("jaguar", scale=0.005)
+    large = cluster("jaguar", scale=0.04)
+    assert large.num_switches > small.num_switches

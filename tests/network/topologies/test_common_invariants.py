@@ -1,0 +1,76 @@
+"""Invariants every topology generator must satisfy, checked uniformly."""
+
+import pytest
+
+from repro import topologies
+from repro.network.validate import check_routable
+
+GENERATORS = {
+    "ring": lambda: topologies.ring(6, 2),
+    "chordal_ring": lambda: topologies.chordal_ring(8, (3,), 1),
+    "torus": lambda: topologies.torus((3, 4), 1),
+    "mesh": lambda: topologies.mesh((3, 3), 1),
+    "hypercube": lambda: topologies.hypercube(3, 1),
+    "kary_ntree": lambda: topologies.kary_ntree(3, 2),
+    "xgft": lambda: topologies.xgft(2, (4, 3), (1, 2)),
+    "kautz": lambda: topologies.kautz(2, 3, 20),
+    "random": lambda: topologies.random_topology(9, 20, 2, seed=1),
+    "dragonfly": lambda: topologies.dragonfly(3, 2, 1),
+    "grown": lambda: topologies.grown_cluster(growth_phases=1, seed=2),
+    "odin": lambda: topologies.odin(scale=0.3),
+    "deimos": lambda: topologies.deimos(scale=0.1),
+    "chic": lambda: topologies.chic(scale=0.1),
+    "juropa": lambda: topologies.juropa(scale=0.04),
+    "ranger": lambda: topologies.ranger(scale=0.04),
+    "tsubame": lambda: topologies.tsubame(scale=0.06),
+    "thunderbird": lambda: topologies.thunderbird(scale=0.04),
+    "jaguar": lambda: topologies.jaguar(scale=0.006),
+}
+
+
+@pytest.fixture(scope="module", params=sorted(GENERATORS), name="fabric")
+def _fabric(request):
+    return GENERATORS[request.param]()
+
+
+def test_routable(fabric):
+    check_routable(fabric)
+
+
+def test_channel_pairing_is_involution(fabric):
+    assert fabric.channels.pairs_consistent()
+
+
+def test_metadata_family_present(fabric):
+    assert "family" in fabric.metadata
+
+
+def test_node_partitions_cover_everything(fabric):
+    assert fabric.num_switches + fabric.num_terminals == fabric.num_nodes
+    assert fabric.num_terminals >= 2
+
+
+def test_terminals_only_touch_switches(fabric):
+    for t in fabric.terminals:
+        for n in fabric.neighbors(int(t)):
+            assert fabric.is_switch(int(n))
+
+
+def test_csr_adjacency_consistent(fabric):
+    # Every channel appears exactly once in its source's CSR slice.
+    seen = 0
+    for v in range(fabric.num_nodes):
+        outs = fabric.out_channels(v)
+        assert all(int(fabric.channels.src[c]) == v for c in outs)
+        seen += len(outs)
+    assert seen == fabric.num_channels
+
+
+def test_every_generator_routes_with_dfsssp(fabric):
+    from repro.core import DFSSSPEngine
+    from repro.deadlock import verify_deadlock_free
+    from repro.routing import extract_paths
+
+    result = DFSSSPEngine(max_layers=16).route(fabric)
+    paths = extract_paths(result.tables)
+    assert verify_deadlock_free(result.layered, paths).deadlock_free

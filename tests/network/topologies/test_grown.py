@@ -1,0 +1,73 @@
+"""Grown-cluster generator."""
+
+import pytest
+
+from repro.exceptions import FabricError, UnsupportedTopologyError
+from repro.network.topologies import grown_cluster
+from repro.network.validate import check_routable
+from repro.routing import FatTreeEngine
+
+
+def test_phase_zero_is_clean_fat_tree():
+    fab = grown_cluster(growth_phases=0, seed=1)
+    check_routable(fab)
+    FatTreeEngine().route(fab)  # structural inference accepts it
+
+
+def test_growth_adds_leaves_and_hosts():
+    base = grown_cluster(growth_phases=0, seed=1)
+    grown = grown_cluster(growth_phases=2, seed=1)
+    assert grown.num_switches == base.num_switches + 2 * 3
+    assert grown.num_terminals == base.num_terminals + 2 * 3 * 6
+
+
+def test_grown_fabric_is_not_a_fat_tree():
+    fab = grown_cluster(growth_phases=1, seed=2)
+    with pytest.raises(UnsupportedTopologyError):
+        FatTreeEngine().route(fab)
+
+
+def test_grown_fabric_still_routable():
+    for phases in (1, 2, 3):
+        check_routable(grown_cluster(growth_phases=phases, seed=3))
+
+
+def test_new_leaves_have_fewer_uplinks():
+    # An extension leaf creates at most 2 uplinks of its own; links to
+    # *base* switches are exactly those (later extensions may daisy-chain
+    # onto it, adding ext-to-ext cables we don't count here).
+    fab = grown_cluster(growth_phases=1, seed=4)
+    ext_seen = 0
+    for s in fab.switches:
+        name = fab.names[int(s)]
+        if name.startswith("ext"):
+            ext_seen += 1
+            base_links = [
+                n
+                for n in fab.neighbors(int(s))
+                if fab.is_switch(int(n)) and not fab.names[int(n)].startswith("ext")
+            ]
+            assert 0 <= len(base_links) <= 2
+            assert any(fab.is_switch(int(n)) for n in fab.neighbors(int(s)))
+    assert ext_seen == 3
+
+
+def test_deterministic_per_seed():
+    a = grown_cluster(growth_phases=2, seed=9)
+    b = grown_cluster(growth_phases=2, seed=9)
+    assert (a.channels.src == b.channels.src).all()
+
+
+def test_radix_respected():
+    fab = grown_cluster(growth_phases=3, radix=24, seed=5)
+    for s in fab.switches:
+        assert fab.degree(int(s)) <= 24
+
+
+def test_invalid_parameters():
+    with pytest.raises(FabricError):
+        grown_cluster(base_leaves=1)
+    with pytest.raises(FabricError):
+        grown_cluster(hosts_per_leaf=0)
+    with pytest.raises(FabricError, match="radix"):
+        grown_cluster(hosts_per_leaf=20, spines=8, radix=24)

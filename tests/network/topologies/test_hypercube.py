@@ -1,0 +1,39 @@
+"""Hypercube generator."""
+
+import pytest
+
+from repro.exceptions import FabricError
+from repro.network.topologies import hypercube
+from repro.network.validate import check_connected
+
+
+def test_counts():
+    fab = hypercube(3, terminals_per_switch=1)
+    assert fab.num_switches == 8
+    assert fab.num_terminals == 8
+    # n * 2^(n-1) cables between switches.
+    assert len(fab.switch_channel_ids()) == 2 * 12
+
+
+def test_neighbors_differ_in_one_bit():
+    fab = hypercube(4, terminals_per_switch=0)
+    for s in fab.switches:
+        s = int(s)
+        for n in fab.neighbors(s):
+            assert bin(s ^ int(n)).count("1") == 1
+
+
+def test_coordinates_are_bits():
+    fab = hypercube(3)
+    assert fab.coordinates[5] == (1, 0, 1)
+
+
+def test_connected():
+    check_connected(hypercube(4, 1))
+
+
+def test_invalid_dimension():
+    with pytest.raises(FabricError):
+        hypercube(0)
+    with pytest.raises(FabricError, match="large"):
+        hypercube(20)

@@ -1,0 +1,74 @@
+"""Kautz-graph generator: vertex counts, degree bounds, diameter."""
+
+import networkx as nx
+import pytest
+
+from repro.exceptions import FabricError
+from repro.network.topologies import kautz, kautz_num_switches
+from repro.network.topologies.kautz import kautz_words
+from repro.network.validate import check_connected
+
+
+def test_word_count_formula():
+    for b, n in [(2, 2), (2, 3), (3, 3), (4, 3)]:
+        assert len(kautz_words(b, n)) == kautz_num_switches(b, n)
+
+
+def test_words_have_distinct_adjacent_letters():
+    for w in kautz_words(2, 3):
+        assert all(w[i] != w[i + 1] for i in range(len(w) - 1))
+
+
+def test_switch_counts_match_paper_parameters():
+    # Table I: Kautz(2,2) -> 6 switches, Kautz(3,3) -> 36, Kautz(6,3) -> 252.
+    assert kautz(2, 2, 64).num_switches == 6
+    assert kautz(3, 3, 64).num_switches == 36
+    assert kautz_num_switches(6, 3) == 252
+
+
+def test_terminals_round_robin():
+    fab = kautz(2, 2, 13)
+    counts = [
+        sum(1 for n in fab.neighbors(int(s)) if fab.is_terminal(int(n)))
+        for s in fab.switches
+    ]
+    assert max(counts) - min(counts) <= 1
+    assert sum(counts) == 13
+
+
+def test_degree_bounded_by_2b():
+    # Undirected Kautz degree <= 2b (b out + b in, some overlapping).
+    fab = kautz(3, 3, 0)
+    for s in fab.switches:
+        sw_neighbors = [n for n in fab.neighbors(int(s)) if fab.is_switch(int(n))]
+        assert len(sw_neighbors) <= 2 * 3
+
+
+def test_minimal_diameter():
+    # Kautz K(b, n) has diameter n (directed); undirected is <= n.
+    fab = kautz(2, 3, 0)
+    g = nx.Graph()
+    for cid in fab.switch_channel_ids():
+        g.add_edge(int(fab.channels.src[cid]), int(fab.channels.dst[cid]))
+    assert nx.diameter(g) <= 3
+
+
+def test_connected():
+    check_connected(kautz(2, 2, 12))
+    check_connected(kautz(3, 3, 72))
+
+
+def test_invalid_parameters():
+    with pytest.raises(FabricError):
+        kautz(1, 2, 8)
+    with pytest.raises(FabricError):
+        kautz(2, 1, 8)
+    with pytest.raises(FabricError):
+        kautz(2, 2, -1)
+
+
+def test_metadata():
+    fab = kautz(2, 2, 10)
+    assert fab.metadata["family"] == "kautz"
+    assert fab.metadata["b"] == 2
+    assert fab.metadata["num_switches"] == 6

@@ -1,0 +1,75 @@
+"""Random-topology generator (the Figure 9 family)."""
+
+import pytest
+
+from repro.exceptions import FabricError
+from repro.network.topologies import random_topology
+from repro.network.validate import check_connected
+
+
+def test_link_count_exact():
+    fab = random_topology(10, 20, terminals_per_switch=2, seed=0)
+    assert len(fab.switch_channel_ids()) == 2 * 20
+
+
+def test_always_connected():
+    for seed in range(10):
+        fab = random_topology(12, 11, terminals_per_switch=1, seed=seed)
+        check_connected(fab)
+
+
+def test_terminal_count():
+    fab = random_topology(8, 10, terminals_per_switch=16, radix=32, seed=1)
+    assert fab.num_terminals == 128
+
+
+def test_radix_respected():
+    fab = random_topology(8, 12, terminals_per_switch=4, radix=8, seed=2)
+    for s in fab.switches:
+        assert fab.degree(int(s)) <= 8
+
+
+def test_deterministic_per_seed():
+    a = random_topology(10, 20, 2, seed=7)
+    b = random_topology(10, 20, 2, seed=7)
+    assert (a.channels.src == b.channels.src).all()
+    assert (a.channels.dst == b.channels.dst).all()
+
+
+def test_different_seeds_differ():
+    a = random_topology(10, 20, 2, seed=7)
+    b = random_topology(10, 20, 2, seed=8)
+    assert (a.channels.src != b.channels.src).any() or (a.channels.dst != b.channels.dst).any()
+
+
+def test_no_parallel_links_by_default():
+    fab = random_topology(6, 12, 0, seed=3)
+    seen = {}
+    for cid in fab.switch_channel_ids():
+        u, v = int(fab.channels.src[cid]), int(fab.channels.dst[cid])
+        key = (min(u, v), max(u, v))
+        # two directions of one cable share the key; parallel cables would triple it
+        seen.setdefault(key, 0)
+        seen[key] += 1
+    assert all(v == 2 for v in seen.values())
+
+
+def test_parallel_links_allowed_when_requested():
+    fab = random_topology(3, 9, 0, seed=4, allow_parallel=True)
+    assert len(fab.switch_channel_ids()) == 18
+
+
+def test_too_few_links_rejected():
+    with pytest.raises(FabricError, match="cannot connect"):
+        random_topology(10, 5, 1, seed=0)
+
+
+def test_radix_too_small_for_terminals_rejected():
+    with pytest.raises(FabricError, match="no switch ports"):
+        random_topology(4, 4, terminals_per_switch=8, radix=8, seed=0)
+
+
+def test_impossible_density_rejected():
+    # 4 switches with tiny radix cannot hold 30 links.
+    with pytest.raises(FabricError):
+        random_topology(4, 30, terminals_per_switch=0, radix=4, seed=0)

@@ -1,0 +1,67 @@
+"""Ring and chordal-ring generators."""
+
+import pytest
+
+from repro.exceptions import FabricError
+from repro.network.topologies import chordal_ring, ring
+from repro.network.validate import check_connected
+
+
+def test_ring_counts():
+    fab = ring(6, terminals_per_switch=2)
+    assert fab.num_switches == 6
+    assert fab.num_terminals == 12
+    assert fab.num_channels == 2 * (6 + 12)  # 6 ring cables + 12 host cables
+
+
+def test_ring_is_cycle():
+    fab = ring(5, terminals_per_switch=0)
+    for s in fab.switches:
+        assert fab.degree(int(s)) == 2
+
+
+def test_ring_coordinates_for_dor():
+    fab = ring(4)
+    assert fab.coordinates[0] == (0,)
+    assert fab.coordinates[3] == (3,)
+
+
+def test_ring_connected():
+    check_connected(ring(7, 1))
+
+
+def test_ring_too_small_rejected():
+    with pytest.raises(FabricError, match=">= 3"):
+        ring(2)
+
+
+def test_ring_negative_terminals_rejected():
+    with pytest.raises(FabricError):
+        ring(4, terminals_per_switch=-1)
+
+
+def test_chordal_ring_adds_chords():
+    plain = ring(8, 0)
+    chorded = chordal_ring(8, chords=(3,), terminals_per_switch=0)
+    assert chorded.num_channels > plain.num_channels
+    check_connected(chordal_ring(8, chords=(3,), terminals_per_switch=1))
+
+
+def test_chordal_ring_rejects_trivial_strides():
+    with pytest.raises(FabricError, match="duplicates"):
+        chordal_ring(8, chords=(1,))
+    with pytest.raises(FabricError, match="duplicates"):
+        chordal_ring(8, chords=(8,))
+
+
+def test_chordal_ring_half_stride_not_duplicated():
+    # Stride n/2 pairs i with i+n/2: each chord counted once.
+    fab = chordal_ring(8, chords=(4,), terminals_per_switch=0)
+    # ring cables 8 + chords 4 = 12 cables
+    assert fab.num_channels == 24
+
+
+def test_metadata():
+    fab = chordal_ring(8, chords=(2, 3), terminals_per_switch=1)
+    assert fab.metadata["family"] == "chordal_ring"
+    assert fab.metadata["chords"] == (2, 3)

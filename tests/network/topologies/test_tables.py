@@ -1,0 +1,79 @@
+"""Table I parameter sets: endpoint counts and the 36-port constraint."""
+
+import pytest
+
+from repro.exceptions import FabricError
+from repro.network.topologies import (
+    NOMINAL_SIZES,
+    build_kautz,
+    build_ktree,
+    build_table1,
+    build_xgft,
+)
+from repro.network.topologies.tables import KTREE_PARAMS, XGFT_PARAMS
+
+
+@pytest.mark.parametrize("nominal", [64, 128, 256])
+def test_xgft_exact_endpoint_counts(nominal):
+    assert build_xgft(nominal).num_terminals == nominal
+
+
+def test_xgft_exact_at_all_sizes_by_formula():
+    for nominal, (h, ms, ws) in XGFT_PARAMS.items():
+        hosts = 1
+        for m in ms:
+            hosts *= m
+        assert hosts == nominal
+
+
+@pytest.mark.parametrize("nominal", [64, 128, 256])
+def test_kautz_exact_endpoint_counts(nominal):
+    assert build_kautz(nominal).num_terminals == nominal
+
+
+@pytest.mark.parametrize("nominal", [64, 256])
+def test_ktree_close_to_nominal(nominal):
+    fab = build_ktree(nominal)
+    k, n = KTREE_PARAMS[nominal]
+    assert fab.num_terminals == k**n
+    assert abs(fab.num_terminals - nominal) / nominal < 0.25
+
+
+def test_xgft_respects_36_port_radix():
+    for nominal in (64, 256, 512):
+        fab = build_xgft(nominal)
+        for s in fab.switches:
+            assert fab.degree(int(s)) <= 36
+
+
+def test_ktree_respects_36_port_radix():
+    fab = build_ktree(256)
+    for s in fab.switches:
+        assert fab.degree(int(s)) <= 36
+
+
+def test_build_table1_dispatch():
+    assert build_table1("xgft", 64).metadata["family"] == "xgft"
+    assert build_table1("kautz", 64).metadata["family"] == "kautz"
+    assert build_table1("ktree", 64).metadata["family"] == "kary_ntree"
+
+
+def test_build_table1_unknown_family():
+    with pytest.raises(FabricError, match="unknown family"):
+        build_table1("hypertorus", 64)
+
+
+def test_unknown_nominal_size():
+    with pytest.raises(FabricError, match="no XGFT"):
+        build_xgft(100)
+    with pytest.raises(FabricError, match="no Kautz"):
+        build_kautz(100)
+    with pytest.raises(FabricError, match="no k-ary"):
+        build_ktree(100)
+
+
+def test_nominal_sizes_cover_paper_sweep():
+    assert NOMINAL_SIZES == (64, 128, 256, 512, 1024, 2048, 4096)
+    for nominal in NOMINAL_SIZES:
+        assert nominal in XGFT_PARAMS
+        assert nominal in KTREE_PARAMS

@@ -1,0 +1,70 @@
+"""Torus and mesh generators: regularity, wraparound, coordinates."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import FabricError
+from repro.network.topologies import mesh, torus
+from repro.network.validate import check_connected
+
+
+def test_torus_switch_count():
+    fab = torus((3, 4), terminals_per_switch=1)
+    assert fab.num_switches == 12
+    assert fab.num_terminals == 12
+
+
+def test_torus_regular_degree():
+    fab = torus((4, 4), terminals_per_switch=0)
+    for s in fab.switches:
+        assert fab.degree(int(s)) == 4  # 2 per dimension
+
+
+def test_torus_cable_count_3d():
+    fab = torus((3, 3, 3), terminals_per_switch=0)
+    # k-ary n-cube with k>2: n * k^n cables.
+    assert fab.num_channels == 2 * 3 * 27
+
+
+def test_torus_dim2_no_duplicate_wrap():
+    fab = torus((2, 3), terminals_per_switch=0)
+    # dim of size 2: single cable per pair along that axis.
+    for s in fab.switches:
+        c = fab.coordinates[int(s)]
+        peers = [tuple(x) for x in (fab.coordinates[int(n)] for n in fab.neighbors(int(s)))]
+        assert len(peers) == len(set(peers))
+
+
+def test_mesh_no_wraparound():
+    fab = mesh((4,), terminals_per_switch=0)
+    ends = [s for s in fab.switches if fab.degree(int(s)) == 1]
+    assert len(ends) == 2  # line ends
+
+
+def test_mesh_interior_degree():
+    fab = mesh((3, 3), terminals_per_switch=0)
+    degrees = sorted(fab.degree(int(s)) for s in fab.switches)
+    assert degrees == [2, 2, 2, 2, 3, 3, 3, 3, 4]
+
+
+def test_coordinates_complete():
+    fab = torus((3, 3), terminals_per_switch=1)
+    for s in fab.switches:
+        assert int(s) in fab.coordinates
+
+
+def test_connected():
+    check_connected(torus((3, 3, 3), 1))
+    check_connected(mesh((4, 4), 1))
+
+
+def test_bad_dimensions_rejected():
+    with pytest.raises(FabricError, match=">= 2"):
+        torus((1, 3))
+    with pytest.raises(FabricError, match="dimension"):
+        torus(())
+
+
+def test_metadata_records_wrap():
+    assert torus((3, 3), 0).metadata["wraparound"] is True
+    assert mesh((3, 3), 0).metadata["wraparound"] is False

@@ -1,0 +1,120 @@
+"""k-ary n-tree and XGFT generators: the structural laws of fat trees."""
+
+import math
+
+import pytest
+
+from repro.exceptions import FabricError
+from repro.network.topologies import kary_ntree, xgft
+from repro.network.validate import check_connected
+
+
+class TestKaryNTree:
+    def test_host_count(self):
+        assert kary_ntree(4, 2).num_terminals == 16
+        assert kary_ntree(2, 3).num_terminals == 8
+
+    def test_switch_count(self):
+        # n levels of k^(n-1) switches.
+        fab = kary_ntree(4, 2)
+        assert fab.num_switches == 2 * 4
+        fab = kary_ntree(2, 3)
+        assert fab.num_switches == 3 * 4
+
+    def test_leaf_switches_have_k_hosts(self):
+        fab = kary_ntree(3, 2)
+        levels = fab.metadata["switch_levels"]
+        for s in fab.switches:
+            s = int(s)
+            hosts = [n for n in fab.neighbors(s) if fab.is_terminal(int(n))]
+            if levels[s] == 1:
+                assert len(hosts) == 3
+            else:
+                assert len(hosts) == 0
+
+    def test_interior_switch_degree(self):
+        # Non-root switches have k down + k up; roots only k down.
+        fab = kary_ntree(3, 3)
+        levels = fab.metadata["switch_levels"]
+        for s in fab.switches:
+            s = int(s)
+            expected = 3 if levels[s] == 3 else 6
+            assert fab.degree(s) == expected
+
+    def test_connected(self):
+        check_connected(kary_ntree(4, 2))
+        check_connected(kary_ntree(2, 4))
+
+    def test_full_bisection_edges(self):
+        # Between adjacent levels there are exactly k^n cables.
+        fab = kary_ntree(4, 2)
+        assert len(fab.switch_channel_ids()) == 2 * 16
+
+    def test_invalid_parameters(self):
+        with pytest.raises(FabricError):
+            kary_ntree(1, 2)
+        with pytest.raises(FabricError):
+            kary_ntree(4, 0)
+        with pytest.raises(FabricError, match="refusing"):
+            kary_ntree(30, 5)
+
+
+class TestXGFT:
+    def test_host_count_is_product_of_ms(self):
+        fab = xgft(2, (4, 4), (1, 2))
+        assert fab.num_terminals == 16
+        fab = xgft(3, (2, 3, 4), (1, 2, 2))
+        assert fab.num_terminals == 24
+
+    def test_level_sizes(self):
+        # N_i = (prod m_{i+1..h}) * (prod w_{1..i})
+        fab = xgft(2, (4, 4), (1, 2))
+        levels = fab.metadata["switch_levels"]
+        by_level = {}
+        for s, level in levels.items():
+            by_level[level] = by_level.get(level, 0) + 1
+        assert by_level[1] == 4 * 1  # m2 * w1
+        assert by_level[2] == 1 * 2  # w1 * w2
+
+    def test_child_and_parent_degrees(self):
+        fab = xgft(2, (3, 3), (1, 2))
+        levels = fab.metadata["switch_levels"]
+        for s in fab.switches:
+            s = int(s)
+            ups = [
+                n
+                for n in fab.neighbors(s)
+                if fab.is_switch(int(n)) and levels[int(n)] == levels[s] + 1
+            ]
+            downs = len(list(fab.neighbors(s))) - len(ups)
+            if levels[s] == 1:
+                assert downs == 3 and len(ups) == 2  # m1 children, w2 parents
+            else:
+                assert downs == 3 and len(ups) == 0  # m2 children, top
+
+    def test_hosts_single_homed_with_w1_one(self):
+        fab = xgft(2, (4, 4), (1, 2))
+        for t in fab.terminals:
+            assert fab.degree(int(t)) == 1
+
+    def test_hosts_multi_homed_with_w1_two(self):
+        fab = xgft(1, (4,), (2,))
+        for t in fab.terminals:
+            assert fab.degree(int(t)) == 2
+
+    def test_connected(self):
+        check_connected(xgft(2, (4, 4), (1, 2)))
+        check_connected(xgft(3, (2, 2, 2), (1, 2, 2)))
+
+    def test_parameter_validation(self):
+        with pytest.raises(FabricError, match="exactly h"):
+            xgft(2, (4,), (1, 2))
+        with pytest.raises(FabricError, match=">= 1"):
+            xgft(2, (4, 0), (1, 2))
+        with pytest.raises(FabricError, match="h >= 1"):
+            xgft(0, (), ())
+
+    def test_single_level_xgft_is_star(self):
+        fab = xgft(1, (6,), (1,))
+        assert fab.num_switches == 1
+        assert fab.num_terminals == 6

@@ -1,0 +1,114 @@
+"""RoutingTables / LayeredRouting containers."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import RoutingError
+from repro.routing import MinHopEngine, RoutingTables
+from repro.routing.base import LayeredRouting
+
+
+def test_empty_tables_shape(ring5):
+    tables = RoutingTables.empty(ring5)
+    assert tables.next_channel.shape == (ring5.num_nodes, ring5.num_terminals)
+    assert (tables.next_channel == -1).all()
+
+
+def test_wrong_shape_rejected(ring5):
+    with pytest.raises(RoutingError, match="shape"):
+        RoutingTables(ring5, np.zeros((2, 2), dtype=np.int32))
+
+
+def test_next_hop_roundtrip(minhop_random16, random16):
+    tables = minhop_random16.tables
+    dest = int(random16.terminals[0])
+    src = int(random16.terminals[1])
+    c = tables.next_hop(src, dest)
+    assert c >= 0
+    assert random16.channels.src[c] == src
+
+
+def test_next_hop_non_terminal_dest_rejected(minhop_random16, random16):
+    sw = int(random16.switches[0])
+    with pytest.raises(RoutingError, match="not a terminal"):
+        minhop_random16.tables.next_hop(0, sw)
+
+
+def test_path_channels_reach_destination(minhop_random16, random16):
+    tables = minhop_random16.tables
+    src = int(random16.terminals[2])
+    dst = int(random16.terminals[5])
+    chans = tables.path_channels(src, dst)
+    assert len(chans) >= 2  # inject + ... + eject
+    assert int(random16.channels.dst[chans[-1]]) == dst
+    # consecutive channels chain correctly
+    for a, b in zip(chans, chans[1:]):
+        assert random16.channels.dst[a] == random16.channels.src[b]
+
+
+def test_path_channels_incomplete_tables_raise(ring5):
+    tables = RoutingTables.empty(ring5, engine="empty")
+    with pytest.raises(RoutingError, match="no table entry"):
+        tables.path_channels(int(ring5.terminals[0]), int(ring5.terminals[1]))
+
+
+def test_path_channels_loop_detected(ring5):
+    nc = np.full((ring5.num_nodes, ring5.num_terminals), -1, dtype=np.int32)
+    # switch 0 -> switch 1 -> switch 0 forwarding loop toward terminal 0
+    c01 = ring5.channel_between(0, 1)
+    c10 = ring5.channel_between(1, 0)
+    nc[0, 0] = c01
+    nc[1, 0] = c10
+    tables = RoutingTables(ring5, nc, engine="loopy")
+    with pytest.raises(RoutingError, match="loop"):
+        tables.path_channels(0, int(ring5.terminals[0]))
+
+
+def test_hops(minhop_random16, random16):
+    tables = minhop_random16.tables
+    src, dst = int(random16.terminals[0]), int(random16.terminals[1])
+    assert tables.hops(src, dst) == len(tables.path_channels(src, dst))
+
+
+class TestLayeredRouting:
+    def test_single_layer_wrap(self, minhop_random16, random16):
+        layered = LayeredRouting.single_layer(minhop_random16.tables)
+        assert layered.num_layers == 1
+        assert layered.layers_used == 1
+        assert (layered.path_layers == 0).all()
+
+    def test_wrong_length_rejected(self, minhop_random16):
+        with pytest.raises(RoutingError, match="shape"):
+            LayeredRouting(minhop_random16.tables, np.zeros(3, dtype=np.int16), 1)
+
+    def test_out_of_range_layers_rejected(self, minhop_random16, random16):
+        n = random16.num_switches * random16.num_terminals
+        bad = np.full(n, 5, dtype=np.int16)
+        with pytest.raises(RoutingError, match="out of range"):
+            LayeredRouting(minhop_random16.tables, bad, 2)
+
+    def test_layer_for_terminal_source(self, dfsssp_random16, random16):
+        layered = dfsssp_random16.layered
+        src, dst = int(random16.terminals[0]), int(random16.terminals[1])
+        layer = layered.layer_for(src, dst)
+        assert 0 <= layer < layered.num_layers
+
+    def test_layer_for_self_rejected(self, dfsssp_random16, random16):
+        t = int(random16.terminals[0])
+        with pytest.raises(RoutingError, match="self-path"):
+            dfsssp_random16.layered.layer_for(t, t)
+
+    def test_layer_histogram_sums_to_paths(self, dfsssp_random16, random16):
+        hist = dfsssp_random16.layered.layer_histogram()
+        assert hist.sum() == random16.num_switches * random16.num_terminals
+
+    def test_pid_requires_switch_and_terminal(self, dfsssp_random16, random16):
+        t = int(random16.terminals[0])
+        with pytest.raises(RoutingError):
+            dfsssp_random16.layered.pid(t, t)
+
+
+def test_routing_result_properties(dfsssp_random16, minhop_random16):
+    assert dfsssp_random16.num_layers == 8
+    assert minhop_random16.num_layers == 1
+    assert minhop_random16.layers_used == 1

@@ -1,0 +1,95 @@
+"""Dimension-ordered routing: minimality, dimension order, failure modes."""
+
+import pytest
+
+from repro import topologies
+from repro.deadlock import verify_deadlock_free
+from repro.exceptions import UnsupportedTopologyError
+from repro.routing import DOREngine, extract_paths, path_minimality_violations
+from repro.routing.base import LayeredRouting
+
+
+def test_routes_torus(torus333):
+    result = DOREngine().route(torus333)
+    paths = extract_paths(result.tables)
+    assert paths.num_paths == torus333.num_switches * torus333.num_terminals
+
+
+def test_minimal_on_torus(torus333):
+    result = DOREngine().route(torus333)
+    paths = extract_paths(result.tables)
+    assert path_minimality_violations(result.tables, paths) == 0
+
+
+def test_dimension_order_respected():
+    fab = topologies.mesh((4, 4), terminals_per_switch=1)
+    result = DOREngine().route(fab)
+    paths = extract_paths(result.tables)
+    for pid in range(paths.num_paths):
+        chans = paths.path(pid)
+        # extract the switch-level moves' axes; x moves must precede y moves
+        axes = []
+        for c in chans:
+            u, v = int(fab.channels.src[c]), int(fab.channels.dst[c])
+            if fab.is_switch(u) and fab.is_switch(v):
+                cu, cv = fab.coordinates[u], fab.coordinates[v]
+                axes.append(0 if cu[0] != cv[0] else 1)
+        assert axes == sorted(axes), f"pid {pid}: axes {axes} out of order"
+
+
+def test_mesh_dor_is_deadlock_free():
+    fab = topologies.mesh((3, 3), terminals_per_switch=1)
+    result = DOREngine().route(fab)
+    paths = extract_paths(result.tables)
+    report = verify_deadlock_free(LayeredRouting.single_layer(result.tables), paths)
+    assert report.deadlock_free
+
+
+def test_hypercube_dor_is_deadlock_free():
+    fab = topologies.hypercube(4, terminals_per_switch=1)
+    result = DOREngine().route(fab)
+    paths = extract_paths(result.tables)
+    report = verify_deadlock_free(LayeredRouting.single_layer(result.tables), paths)
+    assert report.deadlock_free
+
+
+def test_torus_dor_has_cycles():
+    # Wraparound rings create channel-dependency cycles: the reason LASH
+    # exists and DOR is "not deadlock-free" in the paper's comparison.
+    fab = topologies.torus((5,), terminals_per_switch=1)
+    result = DOREngine().route(fab)
+    paths = extract_paths(result.tables)
+    report = verify_deadlock_free(LayeredRouting.single_layer(result.tables), paths)
+    assert not report.deadlock_free
+
+
+def test_ring_supported(ring5):
+    result = DOREngine().route(ring5)
+    extract_paths(result.tables)
+
+
+def test_wrap_choice_takes_short_way():
+    fab = topologies.ring(6, terminals_per_switch=1)
+    result = DOREngine().route(fab)
+    # switch 0 to terminal at switch 5: one hop counter-clockwise.
+    term5 = next(int(t) for t in fab.terminals if 5 in [int(n) for n in fab.neighbors(int(t))])
+    chans = result.tables.path_channels(0, term5)
+    assert len(chans) == 2  # one ring hop + eject
+
+
+def test_unsupported_family_rejected(random16):
+    with pytest.raises(UnsupportedTopologyError, match="coordinate topology"):
+        DOREngine().route(random16)
+
+
+def test_tree_rejected(ktree42):
+    with pytest.raises(UnsupportedTopologyError):
+        DOREngine().route(ktree42)
+
+
+def test_degraded_torus_rejected(torus333):
+    from repro.network import fail_links
+
+    degraded = fail_links(torus333, 1, seed=0).fabric
+    with pytest.raises(UnsupportedTopologyError, match="cannot route"):
+        DOREngine().route(degraded)

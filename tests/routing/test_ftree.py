@@ -1,0 +1,112 @@
+"""Fat-tree engine: NCA routing on trees, structural inference, rejections."""
+
+import pytest
+
+from repro import topologies
+from repro.deadlock import verify_deadlock_free
+from repro.exceptions import UnsupportedTopologyError
+from repro.routing import FatTreeEngine, extract_paths, path_minimality_violations, tree_ranks
+from repro.routing.ftree import infer_switch_levels
+
+
+def test_routes_kary_ntree(ktree42):
+    result = FatTreeEngine().route(ktree42)
+    paths = extract_paths(result.tables)
+    assert paths.num_paths == ktree42.num_switches * ktree42.num_terminals
+    assert result.deadlock_free
+
+
+def test_deadlock_free_verified(ktree42):
+    result = FatTreeEngine().route(ktree42)
+    paths = extract_paths(result.tables)
+    assert verify_deadlock_free(result.layered, paths).deadlock_free
+
+
+def test_minimal_paths_on_ktree(ktree42):
+    result = FatTreeEngine().route(ktree42)
+    paths = extract_paths(result.tables)
+    assert path_minimality_violations(result.tables, paths) == 0
+
+
+def test_routes_xgft():
+    fab = topologies.xgft(2, (4, 4), (1, 2))
+    result = FatTreeEngine().route(fab)
+    paths = extract_paths(result.tables)
+    assert verify_deadlock_free(result.layered, paths).deadlock_free
+
+
+def test_spreads_over_parallel_spines():
+    fab = topologies.kary_ntree(4, 2)
+    result = FatTreeEngine().route(fab)
+    paths = extract_paths(result.tables)
+    import numpy as np
+
+    counts = np.bincount(paths.chans, minlength=fab.num_channels)
+    up = [
+        c
+        for c in fab.switch_channel_ids()
+        if tree_ranks(fab)[fab.channels.dst[c]] < tree_ranks(fab)[fab.channels.src[c]]
+    ]
+    used = counts[up]
+    assert used.max() <= 4 * used[used > 0].min()  # reasonably even spread
+
+
+def test_ring_rejected(ring5):
+    with pytest.raises(UnsupportedTopologyError):
+        FatTreeEngine().route(ring5)
+
+
+def test_random_rejected(random16):
+    with pytest.raises(UnsupportedTopologyError):
+        FatTreeEngine().route(random16)
+
+
+def test_infers_levels_on_metadata_free_clos():
+    # Odin lookalike has no switch_levels metadata; inference must kick in.
+    fab = topologies.odin(scale=0.3)
+    levels = infer_switch_levels(fab)
+    assert set(levels.values()) == {1, 2}
+    result = FatTreeEngine().route(fab)
+    assert result.deadlock_free
+
+
+def test_inference_rejects_trunked_leaf_to_leaf():
+    fab = topologies.deimos(scale=0.1)
+    with pytest.raises(UnsupportedTopologyError):
+        FatTreeEngine().route(fab)
+
+
+def test_inference_rejects_mid_level_terminals():
+    fab = topologies.chic(scale=0.15)
+    with pytest.raises(UnsupportedTopologyError):
+        FatTreeEngine().route(fab)
+
+
+def test_inference_rejects_capped_subspines():
+    fab = topologies.tsubame(scale=0.08)
+    with pytest.raises(UnsupportedTopologyError, match="no up-links|levels"):
+        FatTreeEngine().route(fab)
+
+
+def test_degraded_tree_still_routes(ktree42):
+    # Losing a root switch leaves a thinner but valid fat tree; the level
+    # metadata is remapped by failure injection and routing proceeds.
+    from repro.network import fail_switches
+
+    degraded = fail_switches(ktree42, 1, seed=1).fabric
+    result = FatTreeEngine().route(degraded)
+    paths = extract_paths(result.tables)
+    assert verify_deadlock_free(result.layered, paths).deadlock_free
+
+
+def test_leaf_shortcut_cable_rejected(ktree42):
+    # A retrofit cable between two leaf switches breaks fat-tree leveling.
+    from repro.network import fabric_from_dict, fabric_to_dict
+
+    data = fabric_to_dict(ktree42)
+    levels = ktree42.metadata["switch_levels"]
+    leaves = [s for s, level in levels.items() if level == 1]
+    data["cables"].append({"a": leaves[0], "b": leaves[1], "capacity": 1.0})
+    hacked = fabric_from_dict(data)
+    with pytest.raises(UnsupportedTopologyError, match="adjacent|levels"):
+        FatTreeEngine().route(hacked)

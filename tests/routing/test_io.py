@@ -1,0 +1,74 @@
+"""Routing-state persistence."""
+
+import numpy as np
+import pytest
+
+from repro import topologies
+from repro.exceptions import RoutingError
+from repro.routing.io import fabric_fingerprint, load_routing, save_routing
+
+
+def test_roundtrip_tables_and_layers(tmp_path, dfsssp_random16, random16):
+    p = tmp_path / "routing.npz"
+    save_routing(p, dfsssp_random16.tables, dfsssp_random16.layered)
+    tables, layered = load_routing(p, random16)
+    assert (tables.next_channel == dfsssp_random16.tables.next_channel).all()
+    assert tables.engine == "dfsssp"
+    assert layered is not None
+    assert (layered.path_layers == dfsssp_random16.layered.path_layers).all()
+    assert layered.num_layers == dfsssp_random16.layered.num_layers
+
+
+def test_roundtrip_without_layers(tmp_path, minhop_random16, random16):
+    p = tmp_path / "mh.npz"
+    save_routing(p, minhop_random16.tables)
+    tables, layered = load_routing(p, random16)
+    assert layered is None
+    assert (tables.next_channel == minhop_random16.tables.next_channel).all()
+
+
+def test_fingerprint_rejects_recabled_fabric(tmp_path, dfsssp_random16):
+    p = tmp_path / "r.npz"
+    save_routing(p, dfsssp_random16.tables, dfsssp_random16.layered)
+    other = topologies.random_topology(16, 34, terminals_per_switch=3, seed=43)
+    with pytest.raises(RoutingError, match="does not match"):
+        load_routing(p, other)
+
+
+def test_fingerprint_ignores_names(random16):
+    fp1 = fabric_fingerprint(random16)
+    # Same structure, different names.
+    from repro.network import fabric_from_dict, fabric_to_dict
+
+    data = fabric_to_dict(random16)
+    for node in data["nodes"]:
+        node["name"] = f"renamed{node['id']}"
+    renamed = fabric_from_dict(data)
+    assert fabric_fingerprint(renamed) == fp1
+
+
+def test_fingerprint_sensitive_to_capacity(random16):
+    from repro.network import fabric_from_dict, fabric_to_dict
+
+    data = fabric_to_dict(random16)
+    data["cables"][0]["capacity"] = 7.0
+    changed = fabric_from_dict(data)
+    assert fabric_fingerprint(changed) != fabric_fingerprint(random16)
+
+
+def test_mismatched_layered_rejected(tmp_path, dfsssp_random16, minhop_random16):
+    p = tmp_path / "bad.npz"
+    with pytest.raises(RoutingError, match="different tables"):
+        save_routing(p, minhop_random16.tables, dfsssp_random16.layered)
+
+
+def test_loaded_tables_route_identically(tmp_path, dfsssp_random16, random16):
+    """The reloaded state drives the simulator identically."""
+    from repro.simulator import CongestionSimulator
+
+    p = tmp_path / "sim.npz"
+    save_routing(p, dfsssp_random16.tables, dfsssp_random16.layered)
+    tables, _ = load_routing(p, random16)
+    a = CongestionSimulator(dfsssp_random16.tables).effective_bisection_bandwidth(5, seed=1)
+    b = CongestionSimulator(tables).effective_bisection_bandwidth(5, seed=1)
+    assert np.allclose(a.per_pattern_mean, b.per_pattern_mean)

@@ -1,0 +1,109 @@
+"""MinHop engine: minimality, balancing, completeness."""
+
+import numpy as np
+import pytest
+
+from repro import topologies
+from repro.routing import MinHopEngine, bfs_hops_to, extract_paths, path_minimality_violations
+
+
+def test_complete_tables(minhop_random16, random16):
+    paths = extract_paths(minhop_random16.tables)  # raises if incomplete
+    assert paths.num_paths == random16.num_switches * random16.num_terminals
+
+
+def test_minimal_paths_on_every_family():
+    for fab in (
+        topologies.ring(6, 1),
+        topologies.torus((3, 3), 1),
+        topologies.kary_ntree(3, 2),
+        topologies.kautz(2, 2, 8),
+    ):
+        result = MinHopEngine().route(fab)
+        paths = extract_paths(result.tables)
+        assert path_minimality_violations(result.tables, paths) == 0
+
+
+def test_not_claimed_deadlock_free(minhop_random16):
+    assert minhop_random16.deadlock_free is False
+    assert minhop_random16.layered is None
+
+
+def test_balances_trunked_links():
+    # Two switches with a 4-cable trunk and 8 terminals per side: the 8
+    # cross destinations per switch must spread over all 4 trunk cables.
+    from repro.network import FabricBuilder
+
+    b = FabricBuilder()
+    s0, s1 = b.add_switch(), b.add_switch()
+    b.add_link(s0, s1, count=4)
+    for i in range(8):
+        t = b.add_terminal()
+        b.add_link(t, s0 if i < 4 else s1)
+    fab = b.build()
+    result = MinHopEngine().route(fab)
+    trunk = fab.channels_between(s0, s1)
+    # count destination entries per trunk channel at s0
+    usage = {c: 0 for c in trunk}
+    for t_idx in range(fab.num_terminals):
+        c = int(result.tables.next_channel[s0, t_idx])
+        if c in usage:
+            usage[c] += 1
+    counts = sorted(usage.values())
+    assert counts == [1, 1, 1, 1]  # 4 cross-destinations spread 1 each
+
+
+def test_bfs_hops_symmetric_distance(ring5):
+    dest = int(ring5.terminals[0])
+    hops = bfs_hops_to(ring5, dest)
+    assert hops[dest] == 0
+    sw0 = int(ring5.attached_switches(dest)[0])
+    assert hops[sw0] == 1
+    assert (hops >= 0).all()
+
+
+def test_bfs_does_not_route_through_terminals():
+    # Dual-homed terminal between two otherwise-distant switches must not
+    # become a transit shortcut.
+    from repro.network import FabricBuilder
+
+    b = FabricBuilder()
+    s = [b.add_switch() for _ in range(4)]
+    for i in range(3):
+        b.add_link(s[i], s[i + 1])
+    t_far = b.add_terminal()
+    b.add_link(t_far, s[0])
+    b.add_link(t_far, s[3])  # dual-homed
+    t0 = b.add_terminal()
+    b.add_link(t0, s[0])
+    t3 = b.add_terminal()
+    b.add_link(t3, s[3])
+    fab = b.build()
+    hops = bfs_hops_to(fab, t0)
+    # Without transit through t_far, s[3] is 4 hops from t0 (3 switch hops + eject).
+    assert hops[s[3]] == 4
+    result = MinHopEngine().route(fab)
+    path = result.tables.path_channels(t3, t0)
+    nodes = [int(fab.channels.src[c]) for c in path]
+    assert t_far not in nodes
+
+
+def test_stats_contain_load(minhop_random16):
+    assert minhop_random16.stats["max_port_load"] > 0
+
+
+def test_deterministic(random16):
+    a = MinHopEngine().route(random16).tables.next_channel
+    b = MinHopEngine().route(random16).tables.next_channel
+    assert (a == b).all()
+
+
+def test_vectorized_equals_scalar_reference(random16, ktree42):
+    """The vectorised per-destination pass must reproduce the sequential
+    OpenSM-style loop bit for bit (see the module docstring's argument)."""
+    for fab in (random16, ktree42, topologies.deimos(scale=0.08)):
+        engine = MinHopEngine()
+        fast = engine._route(fab)
+        slow = engine._route_scalar(fab)
+        assert (fast.tables.next_channel == slow.tables.next_channel).all()
+        assert fast.stats["max_port_load"] == slow.stats["max_port_load"]

@@ -1,0 +1,137 @@
+"""PathSet extraction: completeness, layout, flows, minimality counter."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import RoutingError
+from repro.routing import (
+    MinHopEngine,
+    RoutingTables,
+    extract_paths,
+    flow_channels,
+    path_minimality_violations,
+)
+from repro.routing.paths import PathSet
+
+
+def test_pathset_shape(minhop_random16, random16):
+    paths = extract_paths(minhop_random16.tables)
+    assert paths.num_paths == random16.num_switches * random16.num_terminals
+
+
+def test_every_path_terminates_at_destination(minhop_random16, random16):
+    paths = extract_paths(minhop_random16.tables)
+    for pid in range(0, paths.num_paths, 17):
+        chans = paths.path(pid)
+        src_sw, dst_term = paths.endpoints_of(pid)
+        if len(chans) == 0:
+            continue
+        assert int(random16.channels.src[chans[0]]) == src_sw
+        assert int(random16.channels.dst[chans[-1]]) == dst_term
+
+
+def test_paths_chain_consecutively(minhop_random16, random16):
+    paths = extract_paths(minhop_random16.tables)
+    for pid in range(0, paths.num_paths, 23):
+        chans = paths.path(pid)
+        for a, b in zip(chans, chans[1:]):
+            assert random16.channels.dst[a] == random16.channels.src[b]
+
+
+def test_pid_layout_destination_major(minhop_random16, random16):
+    paths = extract_paths(minhop_random16.tables)
+    sw = int(random16.switches[3])
+    term = int(random16.terminals[2])
+    pid = paths.pid(sw, term)
+    assert pid == 2 * random16.num_switches + 3
+    src_sw, dst_term = paths.endpoints_of(pid)
+    assert (src_sw, dst_term) == (sw, term)
+
+
+def test_path_between_matches_walk(minhop_random16, random16):
+    paths = extract_paths(minhop_random16.tables)
+    sw = int(random16.switches[0])
+    term = int(random16.terminals[4])
+    expected = minhop_random16.tables.path_channels(sw, term)
+    assert list(paths.path_between(sw, term)) == expected
+
+
+def test_lengths_and_histogram(minhop_random16):
+    paths = extract_paths(minhop_random16.tables)
+    lengths = paths.lengths()
+    hist = paths.hop_histogram()
+    assert hist.sum() == paths.num_paths
+    assert paths.mean_hops() == pytest.approx(float(lengths.mean()))
+
+
+def test_extract_raises_on_missing_entry(ring5):
+    tables = RoutingTables.empty(ring5, engine="empty")
+    with pytest.raises(RoutingError, match="missing table entry"):
+        extract_paths(tables)
+
+
+def test_extract_raises_on_loop(ring5):
+    nc = np.full((ring5.num_nodes, ring5.num_terminals), -1, dtype=np.int32)
+    for t_idx in range(ring5.num_terminals):
+        # every switch forwards clockwise forever
+        for s in range(5):
+            nc[s, t_idx] = ring5.channel_between(s, (s + 1) % 5)
+    tables = RoutingTables(ring5, nc, engine="loop")
+    with pytest.raises(RoutingError, match="loop"):
+        extract_paths(tables)
+
+
+def test_flow_channels_prepends_injection(minhop_random16, random16):
+    paths = extract_paths(minhop_random16.tables)
+    src, dst = int(random16.terminals[0]), int(random16.terminals[7])
+    flow = flow_channels(minhop_random16.tables, paths, src, dst)
+    assert int(random16.channels.src[flow[0]]) == src
+    assert int(random16.channels.dst[flow[-1]]) == dst
+
+
+def test_flow_channels_self_flow_rejected(minhop_random16, random16):
+    paths = extract_paths(minhop_random16.tables)
+    t = int(random16.terminals[0])
+    with pytest.raises(RoutingError, match="distinct"):
+        flow_channels(minhop_random16.tables, paths, t, t)
+
+
+def test_minhop_paths_are_minimal(minhop_random16):
+    paths = extract_paths(minhop_random16.tables)
+    assert path_minimality_violations(minhop_random16.tables, paths) == 0
+
+
+def test_pathset_bad_offsets_rejected(random16):
+    with pytest.raises(RoutingError, match="offsets"):
+        PathSet(random16, np.zeros(3, dtype=np.int64), np.zeros(0, dtype=np.int32))
+
+
+def test_same_switch_paths_are_single_hop(minhop_random16, random16):
+    paths = extract_paths(minhop_random16.tables)
+    term = int(random16.terminals[0])
+    sw = int(random16.attached_switches(term)[0])
+    chans = paths.path_between(sw, term)
+    assert len(chans) == 1
+    assert int(random16.channels.dst[chans[0]]) == term
+
+
+def test_active_mask_marks_leaf_sources(ktree42):
+    """Only switches hosting terminals originate traffic (CA-to-CA)."""
+    from repro.routing import MinHopEngine
+
+    paths = extract_paths(MinHopEngine().route(ktree42).tables)
+    mask = paths.active_mask()
+    levels = ktree42.metadata["switch_levels"]
+    S = ktree42.num_switches
+    for pid in range(paths.num_paths):
+        src_sw, _dst = paths.endpoints_of(pid)
+        expect = levels[src_sw] == 1  # leaf switches host the terminals
+        assert bool(mask[pid]) == expect
+
+
+def test_active_pids_consistent_with_mask(minhop_random16):
+    paths = extract_paths(minhop_random16.tables)
+    mask = paths.active_mask()
+    pids = paths.active_pids()
+    assert mask.sum() == len(pids)
+    assert mask.all()  # every random16 switch hosts terminals

@@ -1,0 +1,43 @@
+"""Engine registry."""
+
+import pytest
+
+from repro.routing import DEADLOCK_FREE_ENGINES, ENGINES, PAPER_ENGINES, make_engine
+from repro.routing.base import RoutingEngine
+
+
+def test_all_paper_engines_registered():
+    for name in PAPER_ENGINES:
+        assert name in ENGINES
+
+
+def test_make_engine_returns_instances():
+    for name in PAPER_ENGINES:
+        engine = make_engine(name)
+        assert isinstance(engine, RoutingEngine)
+        assert engine.name == name
+
+
+def test_make_engine_forwards_kwargs():
+    engine = make_engine("dfsssp", max_layers=4, heuristic="first")
+    assert engine.max_layers == 4
+    assert engine.heuristic == "first"
+
+
+def test_unknown_engine_rejected():
+    with pytest.raises(ValueError, match="unknown routing engine"):
+        make_engine("ecmp")
+
+
+def test_deadlock_free_set_is_registered():
+    assert set(DEADLOCK_FREE_ENGINES) <= set(ENGINES)
+    assert "dfsssp" in DEADLOCK_FREE_ENGINES
+    assert "dor_vc" in DEADLOCK_FREE_ENGINES
+    assert "minhop" not in DEADLOCK_FREE_ENGINES
+
+
+def test_lazy_mapping_behaves_like_dict():
+    assert len(ENGINES) == 8
+    assert sorted(ENGINES) == sorted(ENGINES.keys())
+    assert all(callable(v) for v in ENGINES.values())
+    assert ("dfsssp" in ENGINES) is True

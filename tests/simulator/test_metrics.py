@@ -1,0 +1,50 @@
+"""Utilization metrics: Gini, balance ratio."""
+
+import numpy as np
+import pytest
+
+from repro import topologies
+from repro.routing import MinHopEngine
+from repro.simulator import (
+    CongestionSimulator,
+    bisection_pattern,
+    gini_coefficient,
+    utilization_stats,
+)
+
+
+def test_gini_of_uniform_is_zero():
+    assert gini_coefficient(np.array([3.0, 3.0, 3.0])) == pytest.approx(0.0, abs=1e-12)
+
+
+def test_gini_of_concentrated_approaches_one():
+    v = np.zeros(100)
+    v[0] = 1.0
+    assert gini_coefficient(v) > 0.95
+
+
+def test_gini_of_empty_and_zero():
+    assert gini_coefficient(np.array([])) == 0.0
+    assert gini_coefficient(np.zeros(5)) == 0.0
+
+
+def test_gini_scale_invariant():
+    v = np.array([1.0, 2.0, 3.0, 4.0])
+    assert gini_coefficient(v) == pytest.approx(gini_coefficient(10 * v))
+
+
+def test_utilization_stats_fields(random16, minhop_random16):
+    sim = CongestionSimulator(minhop_random16.tables)
+    result = sim.evaluate(bisection_pattern(random16, seed=0))
+    stats = utilization_stats(result)
+    assert stats.max_load >= 1
+    assert stats.nonzero_channels <= stats.total_channels
+    assert 0 <= stats.gini <= 1
+    assert 0 < stats.balance_ratio <= 1
+
+
+def test_utilization_stats_switch_mask(random16, minhop_random16):
+    sim = CongestionSimulator(minhop_random16.tables)
+    result = sim.evaluate(bisection_pattern(random16, seed=0))
+    masked = utilization_stats(result, random16.is_switch_channel)
+    assert masked.total_channels == int(random16.is_switch_channel.sum())

@@ -1,0 +1,74 @@
+"""ORCS compatibility layer."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.simulator.orcs import METRICS, OrcsResult, run_orcs
+
+
+@pytest.fixture(scope="module")
+def tables(dfsssp_random16):
+    return dfsssp_random16.tables
+
+
+def test_bisect_avg_matches_ebb(tables):
+    from repro.simulator import CongestionSimulator
+
+    orcs = run_orcs(tables, "bisect", "avg_bandwidth", num_runs=10, seed=5)
+    direct = CongestionSimulator(tables).effective_bisection_bandwidth(10, seed=5)
+    assert orcs.mean == pytest.approx(direct.ebb)
+
+
+def test_bisect_fb_doubles_flows(tables):
+    uni = run_orcs(tables, "bisect", "max_congestion", num_runs=5, seed=1)
+    bi = run_orcs(tables, "bisect_fb", "max_congestion", num_runs=5, seed=1)
+    assert bi.mean >= uni.mean  # ping-pong can only add load
+
+
+def test_shift_is_deterministic(tables):
+    a = run_orcs(tables, "shift_3", "avg_bandwidth", num_runs=3, seed=0)
+    assert len(set(a.samples)) == 1  # same pattern every run
+
+
+def test_rand_perm_runs(tables):
+    result = run_orcs(tables, "rand_perm", "min_bandwidth", num_runs=5, seed=2)
+    assert 0 < result.mean <= 1.0
+    assert result.minimum <= result.maximum
+
+
+def test_alltoall_aggregates_rounds(tables):
+    result = run_orcs(tables, "alltoall", "max_congestion", num_runs=1)
+    assert result.mean >= 1.0
+
+
+def test_hotspot_pattern(tables):
+    result = run_orcs(tables, "hotspot_2", "max_congestion", num_runs=4, seed=3)
+    assert result.mean >= 1.0
+
+
+def test_hist_metric(tables):
+    result = run_orcs(tables, "bisect", "hist", num_runs=5, seed=4)
+    assert result.histogram is not None
+    assert result.histogram.sum() > 0
+    assert "congestion" in result.report()
+
+
+def test_report_format(tables):
+    result = run_orcs(tables, "bisect", "avg_bandwidth", num_runs=3, seed=6)
+    report = result.report()
+    assert "pattern: bisect" in report
+    assert "mean=" in report
+
+
+def test_unknown_pattern_and_metric(tables):
+    with pytest.raises(SimulationError, match="unknown ORCS pattern"):
+        run_orcs(tables, "tornado")
+    with pytest.raises(SimulationError, match="unknown metric"):
+        run_orcs(tables, "bisect", "p99")
+    with pytest.raises(SimulationError, match="num_runs"):
+        run_orcs(tables, "bisect", num_runs=0)
+
+
+def test_metric_list_is_stable():
+    assert METRICS == ("avg_bandwidth", "min_bandwidth", "max_congestion", "hist")

