@@ -32,7 +32,7 @@ def _experiment():
         row: list = [fabric.num_terminals]
         times = {}
         for engine_name in ENGINES:
-            timer = Timer()
+            timer = Timer(metric="routing_runtime_seconds", engine=engine_name)
             with timer:
                 make_engine(engine_name).route(fabric)
             times[engine_name] = timer.elapsed

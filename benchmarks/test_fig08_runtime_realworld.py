@@ -28,7 +28,7 @@ def _experiment():
         row: list = [system]
         times = {}
         for engine_name in PAPER_ENGINES:
-            timer = Timer()
+            timer = Timer(metric="routing_runtime_seconds", engine=engine_name)
             try:
                 with timer:
                     make_engine(engine_name).route(fabric)

@@ -27,7 +27,7 @@ import numpy as np
 
 from repro.exceptions import SimulationError
 from repro.routing.base import RoutingTables
-from repro.routing.paths import PathSet, extract_paths
+from repro.routing.paths import PathSet
 from repro.simulator.congestion import CongestionSimulator
 from repro.simulator.patterns import Pattern
 from repro.utils.prng import make_rng

@@ -30,12 +30,17 @@ class RoutingUtilization:
 
     @property
     def balance_ratio(self) -> float:
-        """mean/max — 1.0 means perfectly flat utilisation."""
+        """mean/max — 1.0 means perfectly flat utilisation (an unloaded
+        fabric counts as trivially flat)."""
         return self.mean / self.maximum if self.maximum else 1.0
 
 
 def routing_utilization(tables: RoutingTables, paths: PathSet | None = None) -> RoutingUtilization:
-    """Count, for every inter-switch channel, the paths crossing it."""
+    """Count, for every inter-switch channel, the paths crossing it.
+
+    Degenerate fabrics are fine: with no inter-switch channels (or no
+    paths) every statistic is 0.0 / the gini is 0.0 — never NaN.
+    """
     if paths is None:
         paths = extract_paths(tables)
     fabric = tables.fabric

@@ -9,10 +9,17 @@ Subcommands mirror the OpenSM-era workflow on the fabric model:
 * ``deadlock``   — flit-level deadlock experiment on a pattern;
 * ``throughput`` — open-loop saturation sweep (offered vs delivered load);
 * ``bisection``  — theoretical bisection width of the fabric;
-* ``orcs``       — ORCS-style named pattern / metric evaluation.
+* ``orcs``       — ORCS-style named pattern / metric evaluation;
+* ``stats``      — render a ``--metrics`` JSON dump as a table.
 
 Fabrics come from generators (``--family``), saved JSON (``--fabric``) or
 real ``ibnetdiscover`` dumps (``--ibnetdiscover``).
+
+Observability: ``route``, ``simulate``, ``deadlock`` and ``throughput``
+accept ``--trace FILE`` (JSON-lines span events) and ``--metrics FILE``
+(metrics-registry dump after the run; ``-`` = stdout, ``*.json`` = JSON,
+anything else Prometheus text). ``route`` and ``simulate`` also accept
+``--json`` for machine-readable results.
 
 Examples::
 
@@ -20,17 +27,23 @@ Examples::
         --terminals-per-switch 4 --seed 7 --out fabric.json
     repro-route simulate --fabric fabric.json --engines minhop,dfsssp
     repro-route deadlock --family ring --switches 5 --shift 2
+    repro-route route --family ring --switches 5 --terminals-per-switch 2 \
+        --engine dfsssp --trace trace.jsonl --metrics metrics.json
+    repro-route stats metrics.json
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import os
 import sys
 
 from repro.exceptions import ReproError
 from repro.network import load_fabric, save_fabric
 from repro.network import topologies as topo
 from repro.network.fabric import Fabric
+from repro.obs import JsonlSink, get_registry, set_sink
 from repro.routing import PAPER_ENGINES, extract_paths, make_engine
 from repro.routing.base import LayeredRouting
 from repro.deadlock import verify_deadlock_free
@@ -94,6 +107,30 @@ def _add_topo_args(p: argparse.ArgumentParser) -> None:
     p.add_argument("--seed", type=int, default=0)
 
 
+def _add_obs_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--trace", metavar="FILE",
+        help="write span start/stop events as JSON lines ('-' = stdout)",
+    )
+    p.add_argument(
+        "--metrics", metavar="FILE",
+        help="dump the metrics registry after the run "
+        "('-' = stdout as Prometheus text; '*.json' = JSON; else Prometheus text)",
+    )
+
+
+def _dump_metrics(target: str) -> None:
+    reg = get_registry()
+    if target == "-":
+        sys.stdout.write(reg.render_prometheus())
+    elif target.endswith(".json"):
+        with open(target, "w", encoding="utf-8") as fp:
+            fp.write(reg.render_json() + "\n")
+    else:
+        with open(target, "w", encoding="utf-8") as fp:
+            fp.write(reg.render_prometheus())
+
+
 def cmd_topo(args) -> int:
     fabric = _build_topo(args)
     print(fabric)
@@ -131,7 +168,7 @@ def cmd_route(args) -> int:
             )
         except ReproError as err:
             table.add_row([name, f"failed: {type(err).__name__}", None, None, None, None])
-    print(table.render())
+    print(table.to_json() if args.json else table.render())
     return 0
 
 
@@ -149,6 +186,29 @@ def cmd_simulate(args) -> int:
             table.add_row([name, ebb.ebb, ebb.minimum, ebb.maximum])
         except ReproError:
             table.add_row([name, None, None, None])
+    print(table.to_json() if args.json else table.render())
+    return 0
+
+
+def cmd_stats(args) -> int:
+    """Render a ``--metrics`` JSON dump as a fixed-width table."""
+    if args.file == "-":
+        data = json.load(sys.stdin)
+    else:
+        with open(args.file, encoding="utf-8") as fp:
+            data = json.load(fp)
+    entries = data.get("metrics")
+    if entries is None:
+        raise ReproError(f"{args.file}: not a metrics dump (no 'metrics' key)")
+    table = Table(["metric", "type", "labels", "value"], title="metrics registry")
+    for e in entries:
+        labels = ",".join(f"{k}={v}" for k, v in sorted(e.get("labels", {}).items())) or "-"
+        if e["type"] == "histogram":
+            table.add_row([f"{e['name']}_count", e["type"], labels, e["count"]])
+            table.add_row([f"{e['name']}_sum", e["type"], labels, float(e["sum"])])
+            table.add_row([f"{e['name']}_mean", e["type"], labels, float(e["mean"])])
+        else:
+            table.add_row([e["name"], e["type"], labels, e["value"]])
     print(table.render())
     return 0
 
@@ -263,13 +323,17 @@ def main(argv: list[str] | None = None) -> int:
 
     p = sub.add_parser("route", help="run routing engines, show path stats")
     _add_topo_args(p)
-    p.add_argument("--engines", default=",".join(PAPER_ENGINES))
+    _add_obs_args(p)
+    p.add_argument("--engines", "--engine", default=",".join(PAPER_ENGINES))
+    p.add_argument("--json", action="store_true", help="machine-readable JSON output")
     p.set_defaults(func=cmd_route)
 
     p = sub.add_parser("simulate", help="effective bisection bandwidth")
     _add_topo_args(p)
-    p.add_argument("--engines", default="minhop,dfsssp")
+    _add_obs_args(p)
+    p.add_argument("--engines", "--engine", default="minhop,dfsssp")
     p.add_argument("--patterns", type=int, default=50)
+    p.add_argument("--json", action="store_true", help="machine-readable JSON output")
     p.set_defaults(func=cmd_simulate)
 
     p = sub.add_parser("vls", help="virtual-lane requirements")
@@ -279,7 +343,8 @@ def main(argv: list[str] | None = None) -> int:
 
     p = sub.add_parser("throughput", help="open-loop saturation sweep")
     _add_topo_args(p)
-    p.add_argument("--engines", default="dfsssp")
+    _add_obs_args(p)
+    p.add_argument("--engines", "--engine", default="dfsssp")
     p.add_argument("--rates", default="0.1,0.3,0.6,0.9")
     p.add_argument("--buffers", type=int, default=2)
     p.add_argument("--packet-length", type=int, default=1, dest="packet_length")
@@ -302,19 +367,43 @@ def main(argv: list[str] | None = None) -> int:
 
     p = sub.add_parser("deadlock", help="flit-level deadlock experiment")
     _add_topo_args(p)
-    p.add_argument("--engines", default="sssp,dfsssp")
+    _add_obs_args(p)
+    p.add_argument("--engines", "--engine", default="sssp,dfsssp")
     p.add_argument("--shift", type=int, default=2)
     p.add_argument("--buffers", type=int, default=1)
     p.add_argument("--packets", type=int, default=8)
     p.add_argument("--packet-length", type=int, default=1, dest="packet_length")
     p.set_defaults(func=cmd_deadlock)
 
+    p = sub.add_parser("stats", help="render a --metrics JSON dump as a table")
+    p.add_argument("file", help="metrics JSON file ('-' = stdin)")
+    p.set_defaults(func=cmd_stats)
+
     args = parser.parse_args(argv)
+    sink = prev_sink = None
     try:
-        return args.func(args)
-    except ReproError as err:
+        if getattr(args, "trace", None):
+            sink = JsonlSink(sys.stdout if args.trace == "-" else args.trace)
+            prev_sink = set_sink(sink)
+        rc = args.func(args)
+    except BrokenPipeError:
+        # stdout went away (e.g. `| head`); suppress the exit-flush noise.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
+    except (ReproError, OSError, json.JSONDecodeError) as err:
         print(f"error: {err}", file=sys.stderr)
         return 1
+    finally:
+        if sink is not None:
+            set_sink(prev_sink)
+            sink.close()
+    if getattr(args, "metrics", None):
+        try:
+            _dump_metrics(args.metrics)
+        except OSError as err:
+            print(f"error: {err}", file=sys.stderr)
+            return 1
+    return rc
 
 
 if __name__ == "__main__":  # pragma: no cover

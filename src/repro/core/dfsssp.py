@@ -16,8 +16,6 @@ both halves (identical tables; acyclic per-layer CDGs).
 
 from __future__ import annotations
 
-import time
-
 from repro.core.layers import (
     DEFAULT_MAX_LAYERS,
     assign_layers_offline,
@@ -25,6 +23,7 @@ from repro.core.layers import (
 )
 from repro.core.sssp import SSSPEngine
 from repro.network.fabric import Fabric
+from repro.obs import COUNT_BUCKETS, get_registry, span
 from repro.routing.base import LayeredRouting, RoutingEngine, RoutingResult
 from repro.routing.paths import extract_paths
 
@@ -72,32 +71,47 @@ class DFSSSPEngine(RoutingEngine):
         )
 
     def _route(self, fabric: Fabric) -> RoutingResult:
-        t0 = time.perf_counter()
-        tables, total_weight = self._sssp._run(fabric)
-        tables.engine = self.name  # routes are SSSP's, the engine is ours
-        t_sssp = time.perf_counter() - t0
+        with span("dfsssp.sssp", engine=self.name) as sp_sssp:
+            tables, total_weight = self._sssp._run(fabric)
+            tables.engine = self.name  # routes are SSSP's, the engine is ours
+        t_sssp = sp_sssp.duration
 
-        t0 = time.perf_counter()
-        paths = extract_paths(tables)
-        # OpenSM's DFSSSP layers CA-to-CA paths: only paths whose source
-        # switch hosts terminals ever carry traffic, and layering the
-        # spine-originated suffixes separately would inflate lane counts.
-        active = paths.active_pids()
-        if self.mode == "offline":
-            assignment = assign_layers_offline(
-                paths,
-                max_layers=self.max_layers,
-                heuristic=self.heuristic,
-                balance=self.balance,
-                pids=active,
-            )
-        else:
-            assignment = assign_layers_online(
-                paths, max_layers=self.max_layers, balance=self.balance, pids=active
-            )
-        t_layers = time.perf_counter() - t0
+        with span("dfsssp.layers", mode=self.mode, heuristic=self.heuristic) as sp_layers:
+            paths = extract_paths(tables)
+            # OpenSM's DFSSSP layers CA-to-CA paths: only paths whose source
+            # switch hosts terminals ever carry traffic, and layering the
+            # spine-originated suffixes separately would inflate lane counts.
+            active = paths.active_pids()
+            if self.mode == "offline":
+                assignment = assign_layers_offline(
+                    paths,
+                    max_layers=self.max_layers,
+                    heuristic=self.heuristic,
+                    balance=self.balance,
+                    pids=active,
+                )
+            else:
+                assignment = assign_layers_online(
+                    paths, max_layers=self.max_layers, balance=self.balance, pids=active
+                )
+        t_layers = sp_layers.duration
 
         layered = LayeredRouting(tables, assignment.path_layers, self.max_layers)
+
+        reg = get_registry()
+        reg.gauge(
+            "dfsssp_layers_needed", "virtual layers holding paths before balancing"
+        ).set(assignment.layers_needed)
+        reg.gauge("dfsssp_layers_used", "virtual layers holding paths after balancing").set(
+            layered.layers_used
+        )
+        occupancy = reg.histogram(
+            "dfsssp_layer_occupancy", "paths per (non-empty) virtual layer",
+            buckets=COUNT_BUCKETS,
+        )
+        for n in layered.layer_histogram():
+            if n:
+                occupancy.observe(int(n))
         return RoutingResult(
             tables=tables,
             layered=layered,

@@ -27,6 +27,7 @@ from repro.core.heuristics import get_heuristic
 from repro.deadlock.cdg import ChannelDependencyGraph
 from repro.deadlock.cycles import CycleSearch
 from repro.exceptions import InsufficientLayersError
+from repro.obs import get_hooks, get_registry, span
 from repro.routing.paths import PathSet
 
 #: InfiniBand hardware limit the paper works against (spec allows 16).
@@ -74,6 +75,17 @@ def assign_layers_offline(
         pids = range(paths.num_paths)
     pids = [int(p) for p in pids]
 
+    reg = get_registry()
+    hooks = get_hooks()
+    m_cycles = reg.counter(
+        "dfsssp_cycles_broken", "CDG cycles broken during offline layer assignment"
+    )
+    m_moved = reg.counter("dfsssp_paths_moved", "paths relocated to a higher virtual layer")
+    m_evicted = reg.counter(
+        "dfsssp_edges_evicted", "cycle edges evicted from a layer's CDG",
+        heuristic=str(heuristic),
+    )
+
     cdgs = [ChannelDependencyGraph(fabric)]
     for pid in pids:
         cdgs[0].add_path(pid, paths.path(pid))
@@ -81,30 +93,44 @@ def assign_layers_offline(
     cycles_broken = 0
     paths_moved = 0
     layer = 0
-    while layer < len(cdgs):
-        cdg = cdgs[layer]
-        search = CycleSearch(cdg)
-        while (cycle := search.find_cycle()) is not None:
-            if layer + 1 >= max_layers:
-                raise InsufficientLayersError(
-                    f"cycles remain after filling all {max_layers} layers",
-                    layers_available=max_layers,
-                    layers_needed_at_least=max_layers + 1,
-                )
-            if layer + 1 >= len(cdgs):
-                cdgs.append(ChannelDependencyGraph(fabric))
-            edge = pick(cdg, cycle)
-            movers = sorted(cdg.pids_of_edge(*edge))
-            assert movers, "cycle edge without inducing paths"
-            nxt = cdgs[layer + 1]
-            for pid in movers:
-                chans = paths.path(pid)
-                cdg.remove_path(pid, chans)
-                nxt.add_path(pid, chans)
-                path_layers[pid] = layer + 1
-            cycles_broken += 1
-            paths_moved += len(movers)
-        layer += 1
+    with span("layers.assign_offline", heuristic=str(heuristic), max_layers=max_layers):
+        while layer < len(cdgs):
+            cdg = cdgs[layer]
+            with span("layers.layer", layer=layer) as sp:
+                search = CycleSearch(cdg)
+                while (cycle := search.find_cycle()) is not None:
+                    if layer + 1 >= max_layers:
+                        raise InsufficientLayersError(
+                            f"cycles remain after filling all {max_layers} layers",
+                            layers_available=max_layers,
+                            layers_needed_at_least=max_layers + 1,
+                        )
+                    if layer + 1 >= len(cdgs):
+                        cdgs.append(ChannelDependencyGraph(fabric))
+                    edge = pick(cdg, cycle)
+                    movers = sorted(cdg.pids_of_edge(*edge))
+                    assert movers, "cycle edge without inducing paths"
+                    nxt = cdgs[layer + 1]
+                    for pid in movers:
+                        chans = paths.path(pid)
+                        cdg.remove_path(pid, chans)
+                        nxt.add_path(pid, chans)
+                        path_layers[pid] = layer + 1
+                    cycles_broken += 1
+                    paths_moved += len(movers)
+                    m_cycles.inc()
+                    m_evicted.inc()
+                    m_moved.inc(len(movers))
+                    hooks.cycle_broken(
+                        layer=layer,
+                        edge=edge,
+                        paths_moved=len(movers),
+                        heuristic=str(heuristic),
+                    )
+                sp.set_attr("paths", cdg.num_paths)
+                sp.set_attr("edges", cdg.num_edges)
+            hooks.layer_closed(layer=layer, paths=cdg.num_paths, edges=cdg.num_edges)
+            layer += 1
 
     layers_needed = _compact(path_layers)
     if balance and layers_needed < max_layers:
@@ -148,26 +174,31 @@ def assign_layers_online(
     if pids is None:
         pids = range(paths.num_paths)
     pids = [int(p) for p in pids]
+    m_checks = get_registry().counter(
+        "layers_online_cycle_checks", "per-path acyclicity probes of the online variant"
+    )
     cdgs = [ChannelDependencyGraph(fabric)]
-    for pid in pids:
-        chans = paths.path(pid)
-        placed = False
-        for layer, cdg in enumerate(cdgs):
-            if cdg.try_add_path(pid, chans):
-                path_layers[pid] = layer
-                placed = True
-                break
-        if not placed:
-            if len(cdgs) >= max_layers:
-                raise InsufficientLayersError(
-                    f"path {pid} fits no layer and all {max_layers} layers are in use",
-                    layers_available=max_layers,
-                    layers_needed_at_least=max_layers + 1,
-                )
-            cdgs.append(ChannelDependencyGraph(fabric))
-            ok = cdgs[-1].try_add_path(pid, chans)
-            assert ok, "a single path cannot be cyclic on its own"
-            path_layers[pid] = len(cdgs) - 1
+    with span("layers.assign_online", max_layers=max_layers):
+        for pid in pids:
+            chans = paths.path(pid)
+            placed = False
+            for layer, cdg in enumerate(cdgs):
+                m_checks.inc()
+                if cdg.try_add_path(pid, chans):
+                    path_layers[pid] = layer
+                    placed = True
+                    break
+            if not placed:
+                if len(cdgs) >= max_layers:
+                    raise InsufficientLayersError(
+                        f"path {pid} fits no layer and all {max_layers} layers are in use",
+                        layers_available=max_layers,
+                        layers_needed_at_least=max_layers + 1,
+                    )
+                cdgs.append(ChannelDependencyGraph(fabric))
+                ok = cdgs[-1].try_add_path(pid, chans)
+                assert ok, "a single path cannot be cyclic on its own"
+                path_layers[pid] = len(cdgs) - 1
 
     layers_needed = _compact(path_layers)
     if balance and layers_needed < max_layers:

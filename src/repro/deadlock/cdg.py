@@ -17,6 +17,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.network.fabric import Fabric
+from repro.obs import get_registry
 
 
 class ChannelDependencyGraph:
@@ -28,6 +29,9 @@ class ChannelDependencyGraph:
         # succ[c1][c2] = set of pids inducing the edge (c1, c2)
         self.succ: dict[int, dict[int, set[int]]] = {}
         self.num_paths = 0
+        reg = get_registry()
+        self._m_added = reg.counter("cdg_paths_added", "paths registered in CDG layers")
+        self._m_removed = reg.counter("cdg_paths_removed", "paths removed from CDG layers")
 
     # ------------------------------------------------------------------
     @staticmethod
@@ -48,6 +52,7 @@ class ChannelDependencyGraph:
             else:
                 pids.add(pid)
         self.num_paths += 1
+        self._m_added.inc()
 
     def remove_path(self, pid: int, chans: np.ndarray) -> None:
         """Remove ``pid``'s contribution; edges with no inducing path left
@@ -65,6 +70,7 @@ class ChannelDependencyGraph:
                 if not row:
                     del self.succ[c1]
         self.num_paths -= 1
+        self._m_removed.inc()
 
     # ------------------------------------------------------------------
     def pids_of_edge(self, c1: int, c2: int) -> set[int]:
@@ -108,6 +114,7 @@ class ChannelDependencyGraph:
                 added.append((c1, c2))
         if not pairs:
             self.num_paths += 1
+            self._m_added.inc()
             return True
         if self._cycle_reachable_from(c for c, _ in pairs):
             for c1, c2 in added:
@@ -119,6 +126,7 @@ class ChannelDependencyGraph:
                         del self.succ[c1]
             return False
         self.num_paths += 1
+        self._m_added.inc()
         return True
 
     def _cycle_reachable_from(self, starts) -> bool:

@@ -10,7 +10,10 @@ key speed argument versus the online variant).
 
 from __future__ import annotations
 
+import time
+
 from repro.deadlock.cdg import ChannelDependencyGraph
+from repro.obs import COUNT_BUCKETS, DURATION_BUCKETS, get_registry
 
 _WHITE, _GRAY, _BLACK = 0, 1, 2
 
@@ -28,6 +31,19 @@ class CycleSearch:
     def __init__(self, cdg: ChannelDependencyGraph):
         self.cdg = cdg
         self._black: set[int] = set()
+        reg = get_registry()
+        reg.histogram(
+            "cdg_edges", "CDG edge count at cycle-search start", buckets=COUNT_BUCKETS
+        ).observe(cdg.num_edges)
+        reg.histogram(
+            "cdg_nodes", "CDG node (channel) count at cycle-search start",
+            buckets=COUNT_BUCKETS,
+        ).observe(len(cdg.nodes()))
+        self._m_time = reg.histogram(
+            "cdg_cycle_search_seconds", "wall time per find_cycle call",
+            buckets=DURATION_BUCKETS,
+        )
+        self._m_found = reg.counter("cdg_cycles_found", "cycles returned by find_cycle")
 
     def find_cycle(self) -> list[tuple[int, int]] | None:
         """Return one cycle as a list of edges ``[(c1,c2), (c2,c3), ...,
@@ -36,6 +52,14 @@ class CycleSearch:
         Safe to call again after the caller removed edges; previously
         settled cycle-free nodes are not re-explored.
         """
+        t0 = time.perf_counter()
+        cycle = self._find_cycle()
+        self._m_time.observe(time.perf_counter() - t0)
+        if cycle is not None:
+            self._m_found.inc()
+        return cycle
+
+    def _find_cycle(self) -> list[tuple[int, int]] | None:
         color: dict[int, int] = {}
         for start in list(self.cdg.succ):
             if start in self._black or color.get(start, _WHITE) != _WHITE:

@@ -17,7 +17,7 @@ from pathlib import Path
 
 from repro.exceptions import FabricError
 from repro.network.builder import FabricBuilder
-from repro.network.fabric import Fabric, NodeKind
+from repro.network.fabric import Fabric
 
 FORMAT_VERSION = 1
 

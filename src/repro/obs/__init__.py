@@ -1,0 +1,58 @@
+"""Observability: metrics, tracing and profiling hooks.
+
+One coherent layer across the routing/deadlock/simulator stack:
+
+* :mod:`repro.obs.metrics` — Counter/Gauge/Histogram in a named
+  registry, exported as Prometheus text or JSON;
+* :mod:`repro.obs.tracing` — nestable ``span()`` phases with pluggable
+  sinks (null by default, JSONL for ``--trace``, in-memory for tests);
+* :mod:`repro.obs.profiling` — raw per-event hooks
+  (``on_iteration`` / ``on_cycle_broken`` / ``on_layer_closed``).
+
+See ``docs/observability.md`` for the metric names and span taxonomy.
+"""
+
+from repro.obs.metrics import (
+    COUNT_BUCKETS,
+    DURATION_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+    set_registry,
+)
+from repro.obs.profiling import ProfilingHooks, get_hooks
+from repro.obs.tracing import (
+    InMemorySink,
+    JsonlSink,
+    NullSink,
+    Span,
+    current_span,
+    get_sink,
+    set_sink,
+    span,
+    use_sink,
+)
+
+__all__ = [
+    "COUNT_BUCKETS",
+    "DURATION_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "get_registry",
+    "set_registry",
+    "ProfilingHooks",
+    "get_hooks",
+    "InMemorySink",
+    "JsonlSink",
+    "NullSink",
+    "Span",
+    "current_span",
+    "get_sink",
+    "set_sink",
+    "span",
+    "use_sink",
+]

@@ -1,0 +1,90 @@
+"""Opt-in profiling hooks the engines call at key algorithmic points.
+
+Where metrics aggregate and spans time, hooks expose the *raw events*
+for callers who want every data point — e.g. plotting per-iteration
+edge-weight evolution of Algorithm 1, or logging each cycle Algorithm 2
+breaks. With no subscriber an emit is a single truthiness check, so the
+engines can call these unconditionally.
+
+Events
+------
+``iteration``     — one SSSP destination routed
+                    (engine, iteration, dest, weight_updates, ...)
+``cycle_broken``  — Algorithm 2 evicted one cycle edge
+                    (layer, edge, paths_moved, heuristic)
+``layer_closed``  — a virtual layer became final/acyclic
+                    (layer, paths, edges)
+
+Subscribers receive a single dict; extra keys may appear over time, so
+handlers should take ``event: dict`` and ignore what they don't know.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+Handler = Callable[[dict], None]
+
+EVENTS = ("iteration", "cycle_broken", "layer_closed")
+
+
+class ProfilingHooks:
+    """A set of subscriber lists, one per event type."""
+
+    def __init__(self) -> None:
+        self._subs: dict[str, list[Handler]] = {e: [] for e in EVENTS}
+
+    # -- subscription --------------------------------------------------
+    def subscribe(self, event: str, handler: Handler) -> Handler:
+        if event not in self._subs:
+            raise ValueError(f"unknown event {event!r}; known: {EVENTS}")
+        self._subs[event].append(handler)
+        return handler
+
+    def unsubscribe(self, event: str, handler: Handler) -> None:
+        self._subs[event].remove(handler)
+
+    def on_iteration(self, handler: Handler) -> Handler:
+        """Register for per-SSSP-destination events (decorator-friendly)."""
+        return self.subscribe("iteration", handler)
+
+    def on_cycle_broken(self, handler: Handler) -> Handler:
+        return self.subscribe("cycle_broken", handler)
+
+    def on_layer_closed(self, handler: Handler) -> Handler:
+        return self.subscribe("layer_closed", handler)
+
+    def clear(self) -> None:
+        for subs in self._subs.values():
+            subs.clear()
+
+    def active(self, event: str) -> bool:
+        """Whether anyone is listening (lets engines skip building
+        expensive event payloads)."""
+        return bool(self._subs[event])
+
+    # -- emission (called by instrumented engines) ---------------------
+    def _emit(self, event: str, data: dict) -> None:
+        subs = self._subs[event]
+        if not subs:
+            return
+        data["event"] = event
+        for handler in subs:
+            handler(data)
+
+    def iteration(self, **data) -> None:
+        self._emit("iteration", data)
+
+    def cycle_broken(self, **data) -> None:
+        self._emit("cycle_broken", data)
+
+    def layer_closed(self, **data) -> None:
+        self._emit("layer_closed", data)
+
+
+_hooks = ProfilingHooks()
+
+
+def get_hooks() -> ProfilingHooks:
+    """The process-wide hook set the engines emit into."""
+    return _hooks

@@ -1,0 +1,234 @@
+"""Nestable structured spans with pluggable sinks.
+
+``with span("dfsssp.layers", heuristic="weakest") as sp:`` measures a
+phase, links it to the enclosing span, and emits structured start/stop
+events to the active sink:
+
+* :class:`NullSink` (default) — events are dropped; the only cost of an
+  instrumented region is one small object and two ``perf_counter``
+  calls, so engines stay fast when nobody is watching.
+* :class:`InMemorySink` — collects events and finished spans; used by
+  tests and interactive inspection.
+* :class:`JsonlSink` — one JSON object per line per event, the format
+  behind the CLI's ``--trace FILE`` flag.
+
+Spans always measure wall time regardless of sink (callers such as
+DFSSSP read ``sp.duration`` for their stats dict). Nesting is tracked
+per-context via :mod:`contextvars`, so spans stay correctly parented
+under threads or async tasks.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import time
+from contextlib import contextmanager
+from contextvars import ContextVar
+
+_ids = itertools.count(1)
+
+
+class Span:
+    """One timed phase. ``duration`` is None until the span closes."""
+
+    __slots__ = ("name", "attrs", "span_id", "parent", "start_wall", "duration", "status", "_t0")
+
+    def __init__(self, name: str, attrs: dict, parent: "Span | None"):
+        self.name = name
+        self.attrs = attrs
+        self.span_id = next(_ids)
+        self.parent = parent
+        self.start_wall = time.time()
+        self.duration: float | None = None
+        self.status = "ok"
+        self._t0 = 0.0
+
+    @property
+    def parent_id(self) -> int | None:
+        return self.parent.span_id if self.parent is not None else None
+
+    def set_attr(self, key: str, value) -> None:
+        """Attach/overwrite an attribute mid-span (appears in the stop event)."""
+        self.attrs[key] = value
+
+    def effective_attrs(self) -> dict:
+        """Own attributes merged over every ancestor's (child wins) —
+        the "inherited context" view of attribute propagation."""
+        chain: list[Span] = []
+        node: Span | None = self
+        while node is not None:
+            chain.append(node)
+            node = node.parent
+        merged: dict = {}
+        for s in reversed(chain):
+            merged.update(s.attrs)
+        return merged
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = f"{self.duration:.6f}s" if self.duration is not None else "open"
+        return f"Span({self.name!r}, id={self.span_id}, {state})"
+
+
+# ----------------------------------------------------------------------
+class NullSink:
+    """Discards everything (the near-zero-overhead default)."""
+
+    enabled = False
+
+    def start(self, span: Span) -> None:
+        pass
+
+    def stop(self, span: Span) -> None:
+        pass
+
+    def close(self) -> None:
+        pass
+
+
+class InMemorySink:
+    """Keeps events and finished spans in lists (tests, notebooks)."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self.events: list[tuple[str, Span]] = []
+        self.spans: list[Span] = []
+
+    def start(self, span: Span) -> None:
+        self.events.append(("start", span))
+
+    def stop(self, span: Span) -> None:
+        self.events.append(("stop", span))
+        self.spans.append(span)
+
+    def close(self) -> None:
+        pass
+
+    def find(self, name: str) -> list[Span]:
+        """Finished spans with the given name."""
+        return [s for s in self.spans if s.name == name]
+
+
+class JsonlSink:
+    """Writes one JSON object per event line (the ``--trace`` format).
+
+    ``target`` is a path (opened/closed by the sink) or an open
+    file-like object (left open on :meth:`close` — e.g. stdout).
+    """
+
+    enabled = True
+
+    def __init__(self, target) -> None:
+        if hasattr(target, "write"):
+            self._fp = target
+            self._owns = False
+        else:
+            self._fp = open(target, "w", encoding="utf-8")
+            self._owns = True
+
+    def _emit(self, record: dict) -> None:
+        self._fp.write(json.dumps(record, default=str) + "\n")
+
+    def start(self, span: Span) -> None:
+        self._emit(
+            {
+                "event": "start",
+                "span": span.span_id,
+                "parent": span.parent_id,
+                "name": span.name,
+                "ts": span.start_wall,
+                "attrs": span.attrs,
+            }
+        )
+
+    def stop(self, span: Span) -> None:
+        self._emit(
+            {
+                "event": "stop",
+                "span": span.span_id,
+                "parent": span.parent_id,
+                "name": span.name,
+                "ts": span.start_wall,
+                "duration_s": span.duration,
+                "status": span.status,
+                "attrs": span.attrs,
+            }
+        )
+
+    def close(self) -> None:
+        self._fp.flush()
+        if self._owns:
+            self._fp.close()
+
+
+NULL_SINK = NullSink()
+
+_sink: NullSink | InMemorySink | JsonlSink = NULL_SINK
+_current: ContextVar[Span | None] = ContextVar("repro_obs_current_span", default=None)
+
+
+def get_sink():
+    return _sink
+
+
+def set_sink(sink) -> object:
+    """Install a sink; returns the previous one. ``None`` → NullSink."""
+    global _sink
+    old = _sink
+    _sink = sink if sink is not None else NULL_SINK
+    return old
+
+
+@contextmanager
+def use_sink(sink):
+    """Temporarily install ``sink`` (tests)."""
+    old = set_sink(sink)
+    try:
+        yield sink
+    finally:
+        set_sink(old)
+
+
+def current_span() -> Span | None:
+    """The innermost open span in this context, if any."""
+    return _current.get()
+
+
+class span:
+    """Context manager: time a named phase and emit start/stop events.
+
+    >>> with span("phase", size=3) as sp:
+    ...     pass
+    >>> sp.duration is not None
+    True
+    """
+
+    __slots__ = ("_name", "_attrs", "_span", "_token")
+
+    def __init__(self, name: str, **attrs):
+        self._name = name
+        self._attrs = attrs
+        self._span: Span | None = None
+
+    def __enter__(self) -> Span:
+        s = Span(self._name, self._attrs, _current.get())
+        self._span = s
+        self._token = _current.set(s)
+        sink = _sink
+        if sink.enabled:
+            sink.start(s)
+        s._t0 = time.perf_counter()
+        return s
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        s = self._span
+        assert s is not None, "span.__exit__ without __enter__"
+        s.duration = time.perf_counter() - s._t0
+        _current.reset(self._token)
+        if exc_type is not None:
+            s.status = "error"
+            s.attrs.setdefault("exception", exc_type.__name__)
+        sink = _sink
+        if sink.enabled:
+            sink.stop(s)

@@ -17,7 +17,6 @@ break on (load, channel id), matching the sequential first-minimum scan.
 
 from __future__ import annotations
 
-from collections import deque
 
 import numpy as np
 

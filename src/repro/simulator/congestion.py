@@ -19,6 +19,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.exceptions import SimulationError
+from repro.obs import get_registry, span
 from repro.routing.base import RoutingTables
 from repro.routing.paths import PathSet, extract_paths
 from repro.simulator.patterns import Pattern, bisection_pattern, validate_pattern
@@ -80,6 +81,11 @@ class CongestionSimulator:
         self.fabric = tables.fabric
         self.paths = paths if paths is not None else extract_paths(tables)
         self._inv_capacity = 1.0 / self.fabric.channels.capacity
+        reg = get_registry()
+        self._m_patterns = reg.counter(
+            "sim_patterns_evaluated", "traffic patterns congestion-counted"
+        )
+        self._m_flows = reg.counter("sim_flows_routed", "flows routed across all patterns")
 
     # ------------------------------------------------------------------
     def _flow_arrays(self, pattern: Pattern) -> tuple[np.ndarray, np.ndarray]:
@@ -112,11 +118,14 @@ class CongestionSimulator:
         validate_pattern(self.fabric, pattern)
         if not pattern:
             raise SimulationError("empty pattern")
-        flat, offsets = self._flow_arrays(pattern)
-        load = np.bincount(flat, minlength=self.fabric.num_channels)
-        sharing = load * self._inv_capacity  # capacity-adjusted congestion
-        per_flow_max = np.maximum.reduceat(sharing[flat], offsets[:-1])
-        flow_bw = 1.0 / per_flow_max
+        with span("sim.evaluate", engine=self.tables.engine, flows=len(pattern)):
+            flat, offsets = self._flow_arrays(pattern)
+            load = np.bincount(flat, minlength=self.fabric.num_channels)
+            sharing = load * self._inv_capacity  # capacity-adjusted congestion
+            per_flow_max = np.maximum.reduceat(sharing[flat], offsets[:-1])
+            flow_bw = 1.0 / per_flow_max
+        self._m_patterns.inc()
+        self._m_flows.inc(len(pattern))
         return PatternResult(
             flow_bandwidth=flow_bw,
             channel_load=load,
@@ -138,13 +147,14 @@ class CongestionSimulator:
         rngs = spawn_rngs(seed, num_patterns)
         means = np.empty(num_patterns)
         flows = 0
-        for i, rng in enumerate(rngs):
-            pattern = bisection_pattern(
-                self.fabric, seed=rng, terminals=terminals, bidirectional=bidirectional
-            )
-            result = self.evaluate(pattern)
-            means[i] = result.mean_bandwidth
-            flows = len(pattern)
+        with span("sim.ebb", engine=self.tables.engine, patterns=num_patterns):
+            for i, rng in enumerate(rngs):
+                pattern = bisection_pattern(
+                    self.fabric, seed=rng, terminals=terminals, bidirectional=bidirectional
+                )
+                result = self.evaluate(pattern)
+                means[i] = result.mean_bandwidth
+                flows = len(pattern)
         return EbbResult(per_pattern_mean=means, num_flows=flows, num_patterns=num_patterns)
 
     def phase_times(self, phases: list[Pattern], bytes_per_flow: float, link_bandwidth: float = 1.0) -> list[float]:

@@ -36,9 +36,41 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.exceptions import SimulationError
+from repro.obs import get_registry, span
 from repro.routing.base import LayeredRouting, RoutingTables
 from repro.routing.paths import PathSet, extract_paths
 from repro.simulator.patterns import Pattern, validate_pattern
+
+
+def record_flit_metrics(
+    packets_injected: int,
+    packets_delivered: int,
+    stalls: int,
+    deadlocked: bool,
+    packet_length: int,
+) -> None:
+    """Accumulate one flit-level simulation run into the registry.
+
+    Shared by the closed-loop :class:`FlitSimulator` and the open-loop
+    sweep in :mod:`repro.simulator.throughput` so both report under the
+    same metric names.
+    """
+    reg = get_registry()
+    reg.counter("flit_packets_injected", "packets entering the network").inc(packets_injected)
+    reg.counter("flit_packets_delivered", "packets reaching their terminal").inc(
+        packets_delivered
+    )
+    reg.counter("flit_flits_injected", "flits entering the network").inc(
+        packets_injected * packet_length
+    )
+    reg.counter("flit_flits_delivered", "flits reaching their terminal").inc(
+        packets_delivered * packet_length
+    )
+    reg.counter(
+        "flit_stalls", "head-of-line blocked hop attempts (busy channel or full buffer)"
+    ).inc(stalls)
+    if deadlocked:
+        reg.counter("flit_deadlocks_detected", "runs ending in a proven deadlock").inc()
 
 
 @dataclass
@@ -135,17 +167,34 @@ class FlitSimulator:
         if packets_per_flow < 1:
             raise SimulationError("packets_per_flow must be >= 1")
         source_queues = self._build_packets(pattern, packets_per_flow)
+        total = sum(len(q) for q in source_queues)
+        with span(
+            "flitsim.run", engine=self.tables.engine, flows=len(pattern), packets=total
+        ) as sp:
+            outcome = self._simulate(source_queues, total, max_cycles)
+            sp.set_attr("status", outcome.status)
+            sp.set_attr("cycles", outcome.cycles)
+        return outcome
+
+    def _simulate(
+        self, source_queues: list[deque], total: int, max_cycles: int
+    ) -> FlitSimOutcome:
         chan_dst = self.fabric.channels.dst
 
         # buffers[(channel, vc)] -> deque of packets, created on demand.
         buffers: dict[tuple[int, int], deque] = {}
         delivered = 0
         in_flight = 0
-        total = sum(len(q) for q in source_queues)
+        injected = 0
+        stalls = 0
 
         def space(key: tuple[int, int]) -> int:
             q = buffers.get(key)
             return self.buffer_depth - (len(q) if q else 0)
+
+        def finish(outcome: FlitSimOutcome) -> FlitSimOutcome:
+            record_flit_metrics(injected, delivered, stalls, outcome.deadlocked, L)
+            return outcome
 
         busy_until: dict[int, int] = {}  # channel -> first free cycle
         L = self.packet_length
@@ -181,9 +230,11 @@ class FlitSimulator:
                 nxt = p.next_channel
                 assert nxt is not None, "non-final packet without next hop"
                 if not channel_free(nxt):
+                    stalls += 1
                     continue
                 tgt = (nxt, p.vc)
                 if space(tgt) <= 0:
+                    stalls += 1
                     continue
                 q.popleft()
                 if not q:
@@ -200,35 +251,42 @@ class FlitSimulator:
                 p = q[0]
                 c0 = int(p.channels[0])
                 if not channel_free(c0):
+                    stalls += 1
                     continue
                 tgt = (c0, p.vc)
                 if space(tgt) <= 0:
+                    stalls += 1
                     continue
                 q.popleft()
                 p.pos = 0
                 buffers.setdefault(tgt, deque()).append(p)
                 busy_until[c0] = cycle + L
                 in_flight += 1
+                injected += 1
                 moved += 1
 
             pending = sum(len(q) for q in source_queues)
             if delivered == total:
-                return FlitSimOutcome("delivered", cycle, delivered, 0, 0)
+                return finish(FlitSimOutcome("delivered", cycle, delivered, 0, 0))
             if moved == 0 and in_flight > 0:
                 # Zero movement can be a transient serialisation stall
                 # (L > 1); only a circular wait among FULL buffers proves
                 # a deadlock.
                 witness = self._waitfor_cycle(buffers, self.buffer_depth)
                 if witness:
-                    return FlitSimOutcome(
-                        "deadlock", cycle, delivered, in_flight, pending, witness
+                    return finish(
+                        FlitSimOutcome(
+                            "deadlock", cycle, delivered, in_flight, pending, witness
+                        )
                     )
-        return FlitSimOutcome(
-            "cycle_limit",
-            cycle,
-            delivered,
-            in_flight,
-            sum(len(q) for q in source_queues),
+        return finish(
+            FlitSimOutcome(
+                "cycle_limit",
+                cycle,
+                delivered,
+                in_flight,
+                sum(len(q) for q in source_queues),
+            )
         )
 
     # ------------------------------------------------------------------

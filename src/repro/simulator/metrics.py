@@ -26,13 +26,21 @@ class UtilizationStats:
 
 
 def gini_coefficient(values: np.ndarray) -> float:
-    """Gini inequality of non-negative values (0 = even, →1 = concentrated)."""
-    v = np.sort(np.asarray(values, dtype=np.float64))
-    if len(v) == 0 or v.sum() == 0:
+    """Gini inequality of non-negative values (0 = even, →1 = concentrated).
+
+    Degenerate inputs degrade to 0.0 rather than NaN: empty vectors,
+    all-zero loads, a single channel, and any non-finite entries (which
+    are dropped before computing).
+    """
+    v = np.asarray(values, dtype=np.float64)
+    v = v[np.isfinite(v)]
+    total = v.sum()
+    if len(v) == 0 or total <= 0:
         return 0.0
+    v = np.sort(v)
     n = len(v)
     cum = np.cumsum(v)
-    return float((n + 1 - 2 * (cum / cum[-1]).sum()) / n)
+    return float((n + 1 - 2 * (cum / total).sum()) / n)
 
 
 def utilization_stats(result: PatternResult, switch_channels_only: np.ndarray | None = None) -> UtilizationStats:
@@ -41,10 +49,12 @@ def utilization_stats(result: PatternResult, switch_channels_only: np.ndarray | 
     Pass ``fabric.is_switch_channel`` as the mask to restrict to the
     inter-switch links (terminal links trivially carry one flow each).
     """
-    load = result.channel_load
+    load = np.asarray(result.channel_load)
     if switch_channels_only is not None:
         load = load[switch_channels_only]
     used = load[load > 0]
+    # Empty / all-zero load vectors are legal (e.g. a masked-out fabric
+    # region): every statistic degrades to 0, never NaN.
     return UtilizationStats(
         mean_load=float(used.mean()) if len(used) else 0.0,
         max_load=int(load.max(initial=0)),

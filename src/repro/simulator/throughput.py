@@ -22,7 +22,8 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.exceptions import SimulationError
-from repro.simulator.flitsim import FlitSimulator, Packet
+from repro.obs import span
+from repro.simulator.flitsim import FlitSimulator, Packet, record_flit_metrics
 from repro.simulator.patterns import Pattern, validate_pattern
 from repro.utils.prng import make_rng
 
@@ -59,6 +60,23 @@ def run_open_loop(
     validate_pattern(sim.fabric, pattern)
     if not (0 < rate <= 1):
         raise SimulationError(f"rate must be in (0, 1], got {rate}")
+    with span(
+        "throughput.open_loop", engine=sim.tables.engine, rate=rate, warmup=warmup,
+        measure=measure,
+    ) as sp:
+        result = _run_open_loop(sim, pattern, rate, warmup, measure, seed)
+        sp.set_attr("deadlocked", result.deadlocked)
+    return result
+
+
+def _run_open_loop(
+    sim: FlitSimulator,
+    pattern: Pattern,
+    rate: float,
+    warmup: int,
+    measure: int,
+    seed,
+) -> OpenLoopResult:
     rng = make_rng(seed)
     fab = sim.fabric
     chan_dst = fab.channels.dst
@@ -88,6 +106,9 @@ def run_open_loop(
     busy_until: dict[int, int] = {}
     L = sim.packet_length
     delivered_window = 0
+    delivered_total = 0
+    injected = 0
+    stalls = 0
     latencies: list[int] = []
     pid = 0
     total_cycles = warmup + measure
@@ -116,6 +137,7 @@ def run_open_loop(
             while q and int(chan_dst[q[0].channels[q[0].pos]]) == q[0].dst:
                 p = q.popleft()
                 moved += 1
+                delivered_total += 1
                 if cycle > warmup:
                     delivered_window += 1
                     latencies.append(cycle - p.born)
@@ -134,9 +156,11 @@ def run_open_loop(
             p = q[0]
             nxt = p.next_channel
             if nxt is None or busy_until.get(nxt, 0) > cycle:
+                stalls += 1
                 continue
             tgt = (nxt, p.vc)
             if space(tgt) <= 0:
+                stalls += 1
                 continue
             q.popleft()
             if not q:
@@ -154,14 +178,17 @@ def run_open_loop(
             p = q[0]
             c0 = int(p.channels[0])
             if busy_until.get(c0, 0) > cycle:
+                stalls += 1
                 continue
             tgt = (c0, p.vc)
             if space(tgt) <= 0:
+                stalls += 1
                 continue
             q.popleft()
             p.pos = 0
             buffers.setdefault(tgt, deque()).append(p)
             busy_until[c0] = cycle + L
+            injected += 1
             moved += 1
 
         in_flight = sum(len(q) for q in buffers.values())
@@ -170,6 +197,7 @@ def run_open_loop(
             # serialisation stalls (packet_length > 1) are transient.
             witness = FlitSimulator._waitfor_cycle(buffers, sim.buffer_depth)
             if witness:
+                record_flit_metrics(injected, delivered_total, stalls, True, L)
                 return OpenLoopResult(
                     offered_rate=rate,
                     delivered_rate=delivered_window / max(1, (cycle - warmup)) / len(sources)
@@ -180,6 +208,7 @@ def run_open_loop(
                     cycles=cycle,
                 )
 
+    record_flit_metrics(injected, delivered_total, stalls, False, L)
     return OpenLoopResult(
         offered_rate=rate,
         delivered_rate=delivered_window / measure / len(sources),

@@ -9,7 +9,16 @@ libraries, which are unavailable offline.
 from __future__ import annotations
 
 import io
+import json
 from collections.abc import Iterable, Sequence
+
+
+def _json_default(value):
+    """Make numpy scalars (and anything else odd) JSON-serialisable."""
+    item = getattr(value, "item", None)
+    if callable(item):
+        return item()
+    return str(value)
 
 
 def format_fixed(value, width: int = 10, precision: int = 3) -> str:
@@ -70,6 +79,16 @@ class Table:
                 "".join(format_fixed(c, w, self.precision) for c, w in zip(row, widths)) + "\n"
             )
         return out.getvalue()
+
+    def to_json(self, indent: int | None = 2) -> str:
+        """Machine-readable form: rows as column-keyed objects (the CLI's
+        ``--json`` output mode)."""
+        payload = {
+            "title": self.title,
+            "columns": self.columns,
+            "rows": [dict(zip(self.columns, row)) for row in self.rows],
+        }
+        return json.dumps(payload, indent=indent, default=_json_default)
 
     def to_csv(self) -> str:
         lines = [",".join(self.columns)]

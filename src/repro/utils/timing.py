@@ -4,11 +4,20 @@ The paper reports the wall time of each routing engine on a workstation.
 :class:`Timer` is a tiny context manager around ``time.perf_counter`` that
 also supports accumulating repeated sections, which the benchmark harness
 uses to time the route + layer-assignment phases separately.
+
+Since the ``repro.obs`` layer landed, ``Timer`` is a thin wrapper over
+it: pass ``metric="routing_runtime_seconds"`` (plus optional labels) and
+every timed section is also observed into a histogram of that name in
+the default metrics registry, so benchmark wall times and ``--metrics``
+dumps report the same numbers.
 """
 
 from __future__ import annotations
 
 import time
+
+from repro.obs import get_registry
+from repro.obs.metrics import MetricsRegistry
 
 
 class Timer:
@@ -19,12 +28,24 @@ class Timer:
     ...     _ = sum(range(1000))
     >>> t.elapsed > 0
     True
+
+    With ``metric`` set, each section is additionally recorded into the
+    metrics registry as a histogram observation (labels become metric
+    labels): ``Timer(metric="routing_runtime_seconds", engine="dfsssp")``.
     """
 
-    def __init__(self) -> None:
+    def __init__(
+        self,
+        metric: str | None = None,
+        registry: MetricsRegistry | None = None,
+        **labels,
+    ) -> None:
         self.elapsed: float = 0.0
         self.calls: int = 0
         self._t0: float | None = None
+        self._metric = metric
+        self._registry = registry
+        self._labels = labels
 
     def __enter__(self) -> "Timer":
         self._t0 = time.perf_counter()
@@ -32,9 +53,13 @@ class Timer:
 
     def __exit__(self, *exc) -> None:
         assert self._t0 is not None, "Timer.__exit__ without __enter__"
-        self.elapsed += time.perf_counter() - self._t0
+        dt = time.perf_counter() - self._t0
+        self.elapsed += dt
         self.calls += 1
         self._t0 = None
+        if self._metric is not None:
+            reg = self._registry if self._registry is not None else get_registry()
+            reg.histogram(self._metric, **self._labels).observe(dt)
 
     def reset(self) -> None:
         self.elapsed = 0.0

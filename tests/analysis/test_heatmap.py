@@ -1,10 +1,9 @@
 """Utilization heatmap rendering."""
 
-import pytest
 
 from repro import topologies
 from repro.analysis.heatmap import hot_channels, switch_matrix, utilization_report
-from repro.routing import MinHopEngine, extract_paths
+from repro.routing import MinHopEngine
 
 
 def test_hot_channels_lists_top_n(minhop_random16):

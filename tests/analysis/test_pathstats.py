@@ -4,7 +4,6 @@ import pytest
 
 from repro import topologies
 from repro.analysis import compare_mean_hops, path_stats
-from repro.core import SSSPEngine
 from repro.routing import MinHopEngine, UpDownEngine
 
 

@@ -1,11 +1,10 @@
 """Routing utilization analysis."""
 
-import pytest
 
 from repro import topologies
 from repro.analysis import routing_utilization
 from repro.core import SSSPEngine
-from repro.routing import MinHopEngine, UpDownEngine
+from repro.routing import UpDownEngine
 
 
 def test_fields(minhop_random16, random16):

@@ -1,6 +1,5 @@
 """NAS kernel communication models."""
 
-import math
 
 import pytest
 

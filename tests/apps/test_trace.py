@@ -1,6 +1,5 @@
 """Trace-driven replay."""
 
-import numpy as np
 import pytest
 
 from repro import topologies

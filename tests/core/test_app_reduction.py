@@ -10,7 +10,6 @@ import itertools
 import pytest
 
 from repro.core import (
-    APPInstance,
     chromatic_number,
     coloring_to_app,
     coloring_to_cover,

@@ -1,6 +1,5 @@
 """LMC multipathing: plane divergence, joint deadlock-freedom, striping."""
 
-import numpy as np
 import pytest
 
 from repro import topologies

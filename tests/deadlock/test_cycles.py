@@ -1,7 +1,6 @@
 """CycleSearch: witness validity, resumability, black-set persistence."""
 
 import numpy as np
-import pytest
 
 from repro.deadlock.cdg import ChannelDependencyGraph
 from repro.deadlock.cycles import CycleSearch, find_any_cycle, is_acyclic

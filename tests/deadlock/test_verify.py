@@ -1,7 +1,5 @@
 """Deadlock-freedom verification, cross-checked against networkx."""
 
-import numpy as np
-import pytest
 
 from repro import topologies
 from repro.core import DFSSSPEngine, SSSPEngine

@@ -4,7 +4,6 @@ import json
 
 import pytest
 
-from repro import topologies
 from repro.exceptions import FabricError
 from repro.network import (
     FabricBuilder,

@@ -2,7 +2,6 @@
 
 import re
 
-import pytest
 
 from repro.network.opensm_export import export_lft, export_route, export_sl_assignment
 

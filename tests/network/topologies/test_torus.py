@@ -1,6 +1,5 @@
 """Torus and mesh generators: regularity, wraparound, coordinates."""
 
-import numpy as np
 import pytest
 
 from repro.exceptions import FabricError

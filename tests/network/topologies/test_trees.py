@@ -1,6 +1,5 @@
 """k-ary n-tree and XGFT generators: the structural laws of fat trees."""
 
-import math
 
 import pytest
 

@@ -1,0 +1,18 @@
+"""Observability tests get a clean default registry and hook set."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import get_hooks, get_registry
+
+
+@pytest.fixture(autouse=True)
+def fresh_obs_state():
+    """Metrics/hooks are process-global and accumulate across the suite;
+    wipe them around every obs test so assertions see only their run."""
+    get_registry().reset()
+    get_hooks().clear()
+    yield
+    get_registry().reset()
+    get_hooks().clear()

@@ -1,0 +1,150 @@
+"""Counter/Gauge/Histogram math, registry semantics and exporters."""
+
+import json
+import math
+
+import pytest
+
+from repro.obs import MetricsRegistry
+
+
+@pytest.fixture
+def reg():
+    return MetricsRegistry()
+
+
+def test_counter_basics(reg):
+    c = reg.counter("requests", "total requests")
+    c.inc()
+    c.inc(4)
+    assert c.value == 5
+    with pytest.raises(ValueError):
+        c.inc(-1)
+
+
+def test_counter_get_or_create_returns_same_instance(reg):
+    assert reg.counter("x") is reg.counter("x")
+    assert len(reg) == 1
+
+
+def test_labels_distinguish_metrics(reg):
+    a = reg.counter("evicted", heuristic="weakest")
+    b = reg.counter("evicted", heuristic="strongest")
+    assert a is not b
+    a.inc(3)
+    assert reg.value("evicted", heuristic="weakest") == 3
+    assert reg.value("evicted", heuristic="strongest") == 0
+
+
+def test_type_conflict_raises(reg):
+    reg.counter("thing")
+    with pytest.raises(ValueError, match="already registered"):
+        reg.gauge("thing")
+
+
+def test_gauge_set_inc_dec(reg):
+    g = reg.gauge("layers")
+    g.set(8)
+    g.inc(2)
+    g.dec()
+    assert g.value == 9
+
+
+def test_histogram_math(reg):
+    h = reg.histogram("lat", buckets=[1, 2, 5])
+    for v in (0.5, 1.0, 1.5, 4.0, 100.0):
+        h.observe(v)
+    assert h.count == 5
+    assert h.sum == pytest.approx(107.0)
+    assert h.mean == pytest.approx(21.4)
+    assert h.minimum == 0.5
+    assert h.maximum == 100.0
+    # buckets are upper bounds; +Inf is appended automatically
+    cum = dict((le, n) for le, n in h.cumulative_buckets())
+    assert cum[1] == 2  # 0.5, 1.0
+    assert cum[2] == 3
+    assert cum[5] == 4
+    assert cum[float("inf")] == 5
+
+
+def test_histogram_quantile(reg):
+    h = reg.histogram("q", buckets=[1, 2, 4, 8])
+    for v in (1, 1, 2, 2, 2, 2, 3, 3, 7, 7):
+        h.observe(v)
+    assert h.quantile(0.0) == 1
+    assert h.quantile(0.5) == 2
+    assert h.quantile(1.0) == 7  # clamped to observed max, not bucket edge
+    with pytest.raises(ValueError):
+        h.quantile(1.5)
+
+
+def test_empty_histogram_is_zero_not_nan(reg):
+    h = reg.histogram("empty")
+    assert h.mean == 0.0
+    assert h.minimum == 0.0
+    assert h.maximum == 0.0
+    assert h.quantile(0.5) == 0.0
+    assert not math.isnan(h.mean)
+
+
+def test_unsorted_buckets_rejected(reg):
+    with pytest.raises(ValueError):
+        reg.histogram("bad", buckets=[5, 1])
+
+
+def test_registry_value_and_get(reg):
+    assert reg.get("missing") is None
+    assert reg.value("missing") is None
+    assert reg.value("missing", default=0) == 0
+    reg.counter("c").inc(2)
+    assert reg.value("c") == 2
+    h = reg.histogram("h")
+    h.observe(1.0)
+    assert reg.value("h") == 1  # histograms report their count
+
+
+def test_reset(reg):
+    reg.counter("c").inc()
+    reg.reset()
+    assert len(reg) == 0
+    assert reg.value("c") is None
+
+
+def test_prometheus_export(reg):
+    reg.counter("hits", "hit count").inc(3)
+    reg.gauge("depth").set(2.5)
+    h = reg.histogram("lat", "latency", buckets=[1, 2])
+    h.observe(0.5)
+    h.observe(5.0)
+    text = reg.render_prometheus()
+    assert "# HELP hits hit count" in text
+    assert "# TYPE hits counter" in text
+    assert "hits 3" in text
+    assert "depth 2.5" in text
+    assert '_bucket{le="1"} 1' in text
+    assert '_bucket{le="+Inf"} 2' in text
+    assert "lat_sum 5.5" in text
+    assert "lat_count 2" in text
+    assert text.endswith("\n")
+
+
+def test_prometheus_labels(reg):
+    reg.counter("evicted", heuristic="weakest").inc(7)
+    assert 'evicted{heuristic="weakest"} 7' in reg.render_prometheus()
+
+
+def test_json_export_round_trips(reg):
+    reg.counter("c", "help text", kind="a").inc(2)
+    reg.histogram("h", buckets=[1]).observe(0.5)
+    data = json.loads(reg.render_json())
+    by_name = {e["name"]: e for e in data["metrics"]}
+    assert by_name["c"]["type"] == "counter"
+    assert by_name["c"]["value"] == 2
+    assert by_name["c"]["labels"] == {"kind": "a"}
+    assert by_name["h"]["count"] == 1
+    assert by_name["h"]["buckets"]["+Inf"] == 1
+
+
+def test_empty_registry_exports(reg):
+    assert reg.render_prometheus() == ""
+    assert json.loads(reg.render_json()) == {"metrics": []}

@@ -1,0 +1,59 @@
+"""Hook registration and emission."""
+
+import pytest
+
+from repro.obs import ProfilingHooks, get_hooks
+
+
+def test_emit_without_subscribers_is_noop():
+    hooks = ProfilingHooks()
+    hooks.iteration(engine="sssp", iteration=0)  # must not raise
+
+
+def test_subscribe_and_emit():
+    hooks = ProfilingHooks()
+    seen = []
+    hooks.on_iteration(seen.append)
+    hooks.iteration(engine="sssp", iteration=3, dest=7)
+    assert seen == [{"event": "iteration", "engine": "sssp", "iteration": 3, "dest": 7}]
+
+
+def test_each_event_kind_routes_to_its_subscribers():
+    hooks = ProfilingHooks()
+    got = {"cycle": [], "layer": []}
+    hooks.on_cycle_broken(got["cycle"].append)
+    hooks.on_layer_closed(got["layer"].append)
+    hooks.cycle_broken(layer=0, edge=(1, 2))
+    hooks.layer_closed(layer=0, paths=10, edges=4)
+    assert len(got["cycle"]) == 1 and got["cycle"][0]["edge"] == (1, 2)
+    assert len(got["layer"]) == 1 and got["layer"][0]["paths"] == 10
+
+
+def test_unsubscribe_and_clear():
+    hooks = ProfilingHooks()
+    seen = []
+    handler = hooks.on_iteration(seen.append)
+    hooks.unsubscribe("iteration", handler)
+    hooks.iteration(engine="x")
+    assert seen == []
+    hooks.on_iteration(seen.append)
+    hooks.clear()
+    hooks.iteration(engine="x")
+    assert seen == []
+
+
+def test_active_flag():
+    hooks = ProfilingHooks()
+    assert not hooks.active("iteration")
+    hooks.on_iteration(lambda e: None)
+    assert hooks.active("iteration")
+
+
+def test_unknown_event_rejected():
+    hooks = ProfilingHooks()
+    with pytest.raises(ValueError):
+        hooks.subscribe("nonsense", lambda e: None)
+
+
+def test_global_hooks_singleton():
+    assert get_hooks() is get_hooks()

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.exceptions import RoutingError
-from repro.routing import MinHopEngine, RoutingTables
+from repro.routing import RoutingTables
 from repro.routing.base import LayeredRouting
 
 

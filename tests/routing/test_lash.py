@@ -1,6 +1,5 @@
 """LASH: switch-pair layering, deadlock-freedom, layer budget."""
 
-import numpy as np
 import pytest
 
 from repro import topologies

@@ -1,7 +1,5 @@
 """MinHop engine: minimality, balancing, completeness."""
 
-import numpy as np
-import pytest
 
 from repro import topologies
 from repro.routing import MinHopEngine, bfs_hops_to, extract_paths, path_minimality_violations

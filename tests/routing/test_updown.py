@@ -6,7 +6,6 @@ from repro import topologies
 from repro.deadlock import verify_deadlock_free, verify_with_networkx
 from repro.exceptions import RoutingError
 from repro.routing import UpDownEngine, extract_paths, rank_switches
-from repro.routing.base import LayeredRouting
 
 
 def _assert_up_down_legal(fabric, tables, rank):

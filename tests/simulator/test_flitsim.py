@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro import topologies
 from repro.core import DFSSSPEngine, SSSPEngine
 from repro.exceptions import SimulationError
 from repro.routing import MinHopEngine

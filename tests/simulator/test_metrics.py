@@ -3,8 +3,6 @@
 import numpy as np
 import pytest
 
-from repro import topologies
-from repro.routing import MinHopEngine
 from repro.simulator import (
     CongestionSimulator,
     bisection_pattern,
@@ -48,3 +46,62 @@ def test_utilization_stats_switch_mask(random16, minhop_random16):
     result = sim.evaluate(bisection_pattern(random16, seed=0))
     masked = utilization_stats(result, random16.is_switch_channel)
     assert masked.total_channels == int(random16.is_switch_channel.sum())
+
+
+def test_gini_of_single_channel_is_zero():
+    assert gini_coefficient(np.array([7.0])) == 0.0
+
+
+def test_gini_drops_non_finite_entries():
+    clean = gini_coefficient(np.array([1.0, 2.0, 3.0]))
+    dirty = gini_coefficient(np.array([1.0, np.nan, 2.0, np.inf, 3.0]))
+    assert not np.isnan(dirty)
+    assert dirty == pytest.approx(clean)
+    # Nothing finite left at all -> 0.0, not NaN.
+    assert gini_coefficient(np.array([np.nan, np.inf])) == 0.0
+
+
+def _empty_result(channels=0):
+    from repro.simulator.congestion import PatternResult
+
+    return PatternResult(
+        flow_bandwidth=np.array([]),
+        channel_load=np.zeros(channels, dtype=int),
+        max_congestion=0.0,
+    )
+
+
+def test_utilization_stats_of_empty_result_is_all_zero():
+    stats = utilization_stats(_empty_result(0))
+    assert stats.mean_load == 0.0
+    assert stats.max_load == 0
+    assert stats.nonzero_channels == 0
+    assert stats.total_channels == 0
+    assert stats.gini == 0.0
+    assert stats.balance_ratio == 0.0
+    assert not np.isnan(stats.mean_load)
+
+
+def test_utilization_stats_of_all_zero_load_is_all_zero():
+    stats = utilization_stats(_empty_result(8))
+    assert stats.mean_load == 0.0
+    assert stats.max_load == 0
+    assert stats.total_channels == 8
+    assert stats.gini == 0.0
+    assert stats.balance_ratio == 0.0
+
+
+def test_utilization_stats_single_channel():
+    from repro.simulator.congestion import PatternResult
+
+    stats = utilization_stats(
+        PatternResult(
+            flow_bandwidth=np.array([1.0]),
+            channel_load=np.array([3], dtype=int),
+            max_congestion=1.0,
+        )
+    )
+    assert stats.mean_load == 3.0
+    assert stats.max_load == 3
+    assert stats.gini == 0.0
+    assert stats.balance_ratio == 1.0

@@ -1,10 +1,9 @@
 """ORCS compatibility layer."""
 
-import numpy as np
 import pytest
 
 from repro.exceptions import SimulationError
-from repro.simulator.orcs import METRICS, OrcsResult, run_orcs
+from repro.simulator.orcs import METRICS, run_orcs
 
 
 @pytest.fixture(scope="module")

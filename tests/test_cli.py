@@ -3,6 +3,16 @@
 import pytest
 
 from repro.cli import main
+from repro.obs import get_registry
+
+
+@pytest.fixture(autouse=True)
+def fresh_metrics():
+    """main() runs in-process; the global registry would otherwise
+    accumulate counts across tests."""
+    get_registry().reset()
+    yield
+    get_registry().reset()
 
 
 def test_topo_generates_and_saves(tmp_path, capsys):
@@ -159,3 +169,82 @@ def test_orcs_command(capsys):
     text = capsys.readouterr().out
     assert "pattern: shift_2" in text
     assert "mean=" in text
+
+
+ROUTE_RING = [
+    "route", "--family", "ring", "--switches", "5",
+    "--terminals-per-switch", "2", "--engine", "dfsssp",
+]
+
+
+def test_route_metrics_to_stdout(capsys):
+    rc = main(ROUTE_RING + ["--metrics", "-"])
+    assert rc == 0
+    text = capsys.readouterr().out
+    assert "# TYPE sssp_sources_routed counter" in text
+    assert "sssp_sources_routed 10" in text
+    assert "dfsssp_cycles_broken 2" in text
+    assert "dfsssp_layers_used" in text
+
+
+def test_route_metrics_json_and_stats_roundtrip(tmp_path, capsys):
+    import json
+
+    metrics = tmp_path / "metrics.json"
+    rc = main(ROUTE_RING + ["--metrics", str(metrics)])
+    assert rc == 0
+    data = json.loads(metrics.read_text())
+    names = {e["name"] for e in data["metrics"]}
+    assert {"sssp_sources_routed", "dfsssp_cycles_broken", "dfsssp_layers_used"} <= names
+
+    capsys.readouterr()
+    rc = main(["stats", str(metrics)])
+    assert rc == 0
+    text = capsys.readouterr().out
+    assert "dfsssp_cycles_broken" in text
+    assert "sssp_dijkstra_seconds_count" in text  # histograms expand to rows
+
+
+def test_route_trace_jsonl(tmp_path, capsys):
+    import json
+
+    trace = tmp_path / "trace.jsonl"
+    rc = main(ROUTE_RING + ["--trace", str(trace)])
+    assert rc == 0
+    records = [json.loads(line) for line in trace.read_text().splitlines()]
+    assert records, "trace file should not be empty"
+    assert {r["event"] for r in records} == {"start", "stop"}
+    names = {r["name"] for r in records}
+    assert {"dfsssp.sssp", "dfsssp.layers", "sssp.dijkstra"} <= names
+
+
+def test_route_json_output_roundtrips(capsys):
+    import json
+
+    rc = main(ROUTE_RING + ["--json"])
+    assert rc == 0
+    data = json.loads(capsys.readouterr().out)
+    assert data["columns"]
+    row = data["rows"][0]
+    assert row["engine"] == "dfsssp"
+
+
+def test_simulate_json_output_roundtrips(capsys):
+    import json
+
+    rc = main(
+        ["simulate", "--family", "ring", "--switches", "5",
+         "--terminals-per-switch", "1", "--engines", "minhop",
+         "--patterns", "3", "--json"]
+    )
+    assert rc == 0
+    data = json.loads(capsys.readouterr().out)
+    assert data["rows"][0]["engine"] == "minhop"
+
+
+def test_stats_rejects_non_metrics_file(tmp_path, capsys):
+    bad = tmp_path / "not_metrics.json"
+    bad.write_text('{"rows": []}')
+    rc = main(["stats", str(bad)])
+    assert rc == 1
+    assert "error" in capsys.readouterr().err

@@ -11,7 +11,6 @@ generated inputs:
 * fabric serialization round-trips.
 """
 
-import itertools
 
 import networkx as nx
 import numpy as np

@@ -10,7 +10,6 @@ invariants) with the guarantees the rest of the system leans on:
 * the flit simulator never loses or duplicates packets.
 """
 
-import numpy as np
 from hypothesis import HealthCheck, given, settings, strategies as st
 
 from repro import topologies
