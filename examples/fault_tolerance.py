@@ -1,66 +1,83 @@
 #!/usr/bin/env python3
-"""Failure injection: why arbitrary-topology routing matters.
+"""Fail-in-place resilience: route, degrade, repair, verify — forever.
 
 The paper's introduction argues that real systems are rarely the clean
 tori/fat trees their specialised routings assume — links die and systems
-grow. This script takes a healthy 4x4 torus, kills cables one by one,
-and shows that:
+grow. This script shows both halves of that argument on a 4x4 torus:
 
-* DOR refuses the degraded fabric immediately,
-* the fat-tree engine never applied in the first place,
-* DFSSSP keeps producing verified deadlock-free routes, paying only a
-  gradual bandwidth decline.
+* DOR refuses the fabric the moment a single cable dies;
+* DFSSSP rides out a whole seeded fault storm (link-down, switch-down,
+  link-up) via ``repro.resilience``: each fault is repaired
+  *incrementally* — only the destinations whose forwarding entries
+  crossed the dead channels are re-routed, the untouched paths keep
+  their virtual layers, and deadlock-freedom is re-verified after every
+  event.
 
 Run:  python examples/fault_tolerance.py
 """
 
-from repro import DFSSSPEngine, DOREngine, extract_paths, topologies, verify_deadlock_free
+from repro import DFSSSPEngine, DOREngine, topologies
 from repro.exceptions import ReproError
 from repro.network import fail_links
-from repro.simulator import CongestionSimulator
+from repro.resilience import ChaosRunner
 from repro.utils.reporting import Table
-
-
-def try_engine(engine, fabric):
-    try:
-        result = engine.route(fabric)
-    except ReproError as err:
-        return None, f"failed ({type(err).__name__})"
-    paths = extract_paths(result.tables)
-    if result.layered is not None:
-        assert verify_deadlock_free(result.layered, paths).deadlock_free
-    ebb = CongestionSimulator(result.tables, paths).effective_bisection_bandwidth(
-        num_patterns=30, seed=1
-    )
-    return ebb.ebb, "ok"
 
 
 def main() -> None:
     healthy = topologies.torus((4, 4), terminals_per_switch=2)
     print(f"healthy fabric: {healthy}\n")
 
-    table = Table(
-        ["failed cables", "dor eBB", "dor status", "dfsssp eBB", "dfsssp VLs"],
-        title="torus degradation sweep",
-        precision=3,
+    # -- the specialised baseline dies at the first fault ---------------
+    degraded = fail_links(healthy, 1, seed=1).fabric
+    try:
+        DOREngine().route(degraded)
+        dor_status = "ok"
+    except ReproError as err:
+        dor_status = f"failed ({type(err).__name__})"
+    print(f"DOR after one dead cable: {dor_status}")
+
+    # -- DFSSSP survives a seeded fault storm ---------------------------
+    report = ChaosRunner(DFSSSPEngine()).run(
+        healthy, num_events=25, seed=3, p_switch_down=0.2, p_link_up=0.2
     )
-    fabric = healthy
-    for failures in range(0, 5):
-        if failures:
-            fabric = fail_links(healthy, failures, seed=failures).fabric
-        dor_ebb, dor_status = try_engine(DOREngine(), fabric)
-        dfsssp = DFSSSPEngine().route(fabric)
-        paths = extract_paths(dfsssp.tables)
-        assert verify_deadlock_free(dfsssp.layered, paths).deadlock_free
-        ebb = CongestionSimulator(dfsssp.tables, paths).effective_bisection_bandwidth(
-            num_patterns=30, seed=1
-        )
+    summary = report.summary()
+
+    table = Table(
+        ["event", "fault", "action", "dests repaired", "VLs", "deadlock-free"],
+        title="chaos soak: dfsssp on the degrading torus",
+    )
+    for r in report.records[:10]:
         table.add_row(
-            [failures, dor_ebb, dor_status, ebb.ebb, dfsssp.stats["layers_needed"]]
+            [
+                r.index,
+                r.detail,
+                r.action,
+                f"{r.destinations_repaired}/{r.destinations_total}"
+                if r.destinations_repaired is not None
+                else "-",
+                r.layers_used,
+                r.deadlock_free,
+            ]
         )
+    print()
     print(table.render())
-    print("DOR survives only the pristine grid; DFSSSP re-balances around every")
-    print("failure and stays provably deadlock-free (acyclic layer CDGs).")
+    if len(report.records) > 10:
+        print(f"... {len(report.records) - 10} more events elided ...")
+
+    print()
+    print(f"survived: {summary['survived']}")
+    print(
+        f"incremental repairs: {summary['incremental_repairs']}, "
+        f"full reroutes: {summary['full_reroutes']} (link-up rebuilds), "
+        f"escalations: {summary['escalations']}"
+    )
+    frac = summary["repair_fraction_mean"]
+    print(
+        f"mean share of destinations recomputed per repair: {frac:.1%} — "
+        "the rest of the forwarding state was spliced over untouched"
+    )
+    print("every event was independently re-verified: all pairs reachable,")
+    print("all layer CDGs acyclic. DOR never got past the first cable.")
 
 
 if __name__ == "__main__":

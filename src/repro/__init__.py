@@ -31,6 +31,7 @@ from repro.exceptions import (
     DisconnectedFabricError,
     FabricError,
     InsufficientLayersError,
+    RepairError,
     ReproError,
     RoutingError,
     SimulationError,
@@ -38,6 +39,7 @@ from repro.exceptions import (
 )
 from repro.network import Fabric, FabricBuilder
 from repro.network import topologies
+from repro.resilience import ChaosRunner, FaultInjector, repair_routing
 from repro.routing import (
     DOREngine,
     ENGINES,
@@ -65,6 +67,7 @@ __all__ = [
     "DisconnectedFabricError",
     "FabricError",
     "InsufficientLayersError",
+    "RepairError",
     "ReproError",
     "RoutingError",
     "SimulationError",
@@ -84,5 +87,8 @@ __all__ = [
     "UpDownEngine",
     "extract_paths",
     "make_engine",
+    "ChaosRunner",
+    "FaultInjector",
+    "repair_routing",
     "__version__",
 ]

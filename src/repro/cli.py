@@ -10,6 +10,7 @@ Subcommands mirror the OpenSM-era workflow on the fabric model:
 * ``throughput`` — open-loop saturation sweep (offered vs delivered load);
 * ``bisection``  — theoretical bisection width of the fabric;
 * ``orcs``       — ORCS-style named pattern / metric evaluation;
+* ``chaos``      — fault-injection soak (degrade/repair/verify loop);
 * ``stats``      — render a ``--metrics`` JSON dump as a table.
 
 Fabrics come from generators (``--family``), saved JSON (``--fabric``) or
@@ -29,6 +30,8 @@ Examples::
     repro-route deadlock --family ring --switches 5 --shift 2
     repro-route route --family ring --switches 5 --terminals-per-switch 2 \
         --engine dfsssp --trace trace.jsonl --metrics metrics.json
+    repro-route chaos --family random --switches 12 --links 26 --events 200 \
+        --chaos-seed 42 --out chaos.json
     repro-route stats metrics.json
 """
 
@@ -291,6 +294,54 @@ def cmd_bisection(args) -> int:
     return 0
 
 
+def cmd_chaos(args) -> int:
+    from repro.resilience import ChaosRunner
+
+    fabric = _build_topo(args)
+    runner = ChaosRunner(make_engine(args.engine), verify=not args.no_verify)
+    report = runner.run(
+        fabric,
+        num_events=args.events,
+        seed=args.chaos_seed,
+        p_switch_down=args.p_switch_down,
+        p_link_up=args.p_link_up,
+    )
+    summary = report.summary()
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fp:
+            fp.write(report.to_json() + "\n")
+    if args.json:
+        print(json.dumps(summary, indent=2))
+    else:
+        table = Table(
+            ["field", "value"],
+            title=f"chaos soak: {args.engine} on {fabric}, seed {args.chaos_seed}",
+        )
+        for key in (
+            "events_requested",
+            "events_applied",
+            "incremental_repairs",
+            "full_reroutes",
+            "escalations",
+            "destinations_repaired",
+            "destinations_examined",
+        ):
+            table.add_row([key, summary[key]])
+        for kind, count in sorted(summary["events_by_kind"].items()):
+            table.add_row([f"events[{kind}]", count])
+        if summary["mean_repair_seconds"] is not None:
+            table.add_row(["mean repair [s]", round(summary["mean_repair_seconds"], 6)])
+        if summary["mean_full_reroute_seconds"] is not None:
+            table.add_row(
+                ["mean full reroute [s]", round(summary["mean_full_reroute_seconds"], 6)]
+            )
+        table.add_row(["survived", summary["survived"]])
+        print(table.render())
+        if args.out:
+            print(f"report saved to {args.out}")
+    return 0 if report.survived else 1
+
+
 def cmd_deadlock(args) -> int:
     fabric = _build_topo(args)
     pattern = shift_pattern(fabric, args.shift)
@@ -374,6 +425,22 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--packets", type=int, default=8)
     p.add_argument("--packet-length", type=int, default=1, dest="packet_length")
     p.set_defaults(func=cmd_deadlock)
+
+    p = sub.add_parser("chaos", help="fault-injection soak (degrade/repair/verify)")
+    _add_topo_args(p)
+    _add_obs_args(p)
+    p.add_argument("--engine", default="dfsssp", help="engine under test")
+    p.add_argument("--events", type=int, default=50, help="fault events to inject")
+    p.add_argument("--chaos-seed", type=int, default=0, help="fault-stream RNG seed")
+    p.add_argument("--p-switch-down", type=float, default=0.15, dest="p_switch_down")
+    p.add_argument("--p-link-up", type=float, default=0.2, dest="p_link_up")
+    p.add_argument(
+        "--no-verify", action="store_true",
+        help="skip per-event reachability / deadlock-freedom verification",
+    )
+    p.add_argument("--out", help="write the full report (summary + events) as JSON")
+    p.add_argument("--json", action="store_true", help="print the summary as JSON")
+    p.set_defaults(func=cmd_chaos)
 
     p = sub.add_parser("stats", help="render a --metrics JSON dump as a table")
     p.add_argument("file", help="metrics JSON file ('-' = stdin)")

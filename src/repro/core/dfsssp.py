@@ -49,6 +49,7 @@ class DFSSSPEngine(RoutingEngine):
     """
 
     name = "dfsssp"
+    supports_incremental_reroute = True
 
     def __init__(
         self,
@@ -70,9 +71,36 @@ class DFSSSPEngine(RoutingEngine):
             dest_order=dest_order, seed=seed, count_switch_sources=count_switch_sources
         )
 
+    def reroute(self, prior, degraded) -> RoutingResult:
+        """Incrementally repair ``prior`` on the degraded fabric.
+
+        Re-runs Dijkstra only for the destinations whose forwarding
+        entries traverse dead channels, splices the repaired columns into
+        the tables, then re-inserts the repaired paths into the layer
+        CDGs — escalating a path to another layer only when keeping its
+        old layer would re-introduce a cycle. Falls back to a full DFSSSP
+        run when repair is impossible (link-up, foreign degradation) or
+        when the repaired paths exhaust the virtual-layer budget.
+        """
+        from repro.exceptions import InsufficientLayersError, RepairError
+        from repro.resilience.repair import count_fallback, repair_routing
+
+        if prior is None or prior.layered is None:
+            return self.route(degraded.fabric)
+        try:
+            return repair_routing(
+                prior,
+                degraded,
+                engine_name=self.name,
+                count_switch_sources=self._sssp.count_switch_sources,
+            )
+        except (RepairError, InsufficientLayersError) as err:
+            count_fallback(self.name, reason=type(err).__name__)
+            return self.route(degraded.fabric)
+
     def _route(self, fabric: Fabric) -> RoutingResult:
         with span("dfsssp.sssp", engine=self.name) as sp_sssp:
-            tables, total_weight = self._sssp._run(fabric)
+            tables, total_weight, weights = self._sssp._run(fabric)
             tables.engine = self.name  # routes are SSSP's, the engine is ours
         t_sssp = sp_sssp.duration
 
@@ -116,6 +144,7 @@ class DFSSSPEngine(RoutingEngine):
             tables=tables,
             layered=layered,
             deadlock_free=True,
+            channel_weights=weights,
             stats={
                 "engine": self.name,
                 "mode": self.mode,

@@ -53,6 +53,7 @@ class SSSPEngine(RoutingEngine):
     """
 
     name = "sssp"
+    supports_incremental_reroute = True
 
     def __init__(self, dest_order: str = "index", seed=None, count_switch_sources: bool = False):
         if dest_order not in ("index", "random"):
@@ -63,15 +64,40 @@ class SSSPEngine(RoutingEngine):
 
     # ------------------------------------------------------------------
     def _route(self, fabric: Fabric) -> RoutingResult:
-        tables, total_weight = self._run(fabric)
+        tables, total_weight, weights = self._run(fabric)
         return RoutingResult(
             tables=tables,
             layered=None,
             deadlock_free=False,
             stats={"engine": self.name, "total_balancing_weight": total_weight},
+            channel_weights=weights,
         )
 
-    def _run(self, fabric: Fabric) -> tuple[RoutingTables, int]:
+    def reroute(self, prior, degraded) -> RoutingResult:
+        """Incrementally repair ``prior`` on the degraded fabric.
+
+        Only the destinations whose forwarding entries traverse dead
+        channels are re-routed (with the surviving balancing weights);
+        everything else is spliced over. Falls back to a full reroute when
+        the degradation does not derive from the routed fabric.
+        """
+        from repro.exceptions import RepairError
+        from repro.resilience.repair import count_fallback, repair_routing
+
+        if prior is None:
+            return self.route(degraded.fabric)
+        try:
+            return repair_routing(
+                prior,
+                degraded,
+                engine_name=self.name,
+                count_switch_sources=self.count_switch_sources,
+            )
+        except RepairError as err:
+            count_fallback(self.name, reason=type(err).__name__)
+            return self.route(degraded.fabric)
+
+    def _run(self, fabric: Fabric) -> tuple[RoutingTables, int, np.ndarray]:
         T = fabric.num_terminals
         w0 = T * T + 1
         weights = np.full(fabric.num_channels, w0, dtype=np.int64)
@@ -100,7 +126,7 @@ class SSSPEngine(RoutingEngine):
             for t_idx in order:
                 dest = int(fabric.terminals[t_idx])
                 with span("sssp.dijkstra", dest=dest) as sp:
-                    dist, parent = _dijkstra_to_dest(fabric, dest, weights)
+                    dist, parent = dijkstra_to_dest(fabric, dest, weights)
                     next_channel[:, t_idx] = parent
                     self._update_weights(
                         fabric, dest, dist, parent, weights, is_term, chan_src
@@ -120,31 +146,46 @@ class SSSPEngine(RoutingEngine):
                 )
 
         total = int(weights.sum() - w0 * fabric.num_channels)
-        return RoutingTables(fabric, next_channel, engine=self.name), total
+        return RoutingTables(fabric, next_channel, engine=self.name), total, weights
 
     # ------------------------------------------------------------------
     def _update_weights(self, fabric, dest, dist, parent, weights, is_term, chan_src) -> None:
-        """Add, to each channel, the number of (terminal) sources whose
-        path to ``dest`` crosses it (subtree counting)."""
-        if self.count_switch_sources:
-            cnt = np.ones(fabric.num_nodes, dtype=np.int64)
-        else:
-            cnt = is_term.astype(np.int64).copy()
-        cnt[dest] = 0
-        finite = np.flatnonzero(dist < np.iinfo(np.int64).max)
-        order = finite[np.argsort(dist[finite])[::-1]]  # farthest first
-        for v in order:
-            c = parent[v]
-            if c < 0:
-                continue
-            weights[c] += cnt[v]
-            # The parent channel c = (v -> u); all of v's sources continue
-            # through u's parent channel next.
-            u = fabric.channels.dst[c]
-            cnt[u] += cnt[v]
+        update_weights_for_dest(
+            fabric, dest, dist, parent, weights, is_term,
+            count_switch_sources=self.count_switch_sources,
+        )
 
 
-def _dijkstra_to_dest(fabric: Fabric, dest: int, weights: np.ndarray):
+def update_weights_for_dest(
+    fabric: Fabric,
+    dest: int,
+    dist: np.ndarray,
+    parent: np.ndarray,
+    weights: np.ndarray,
+    is_term: np.ndarray,
+    count_switch_sources: bool = False,
+) -> None:
+    """Add, to each channel, the number of (terminal) sources whose path
+    to ``dest`` crosses it (subtree counting)."""
+    if count_switch_sources:
+        cnt = np.ones(fabric.num_nodes, dtype=np.int64)
+    else:
+        cnt = is_term.astype(np.int64).copy()
+    cnt[dest] = 0
+    finite = np.flatnonzero(dist < np.iinfo(np.int64).max)
+    order = finite[np.argsort(dist[finite])[::-1]]  # farthest first
+    for v in order:
+        c = parent[v]
+        if c < 0:
+            continue
+        weights[c] += cnt[v]
+        # The parent channel c = (v -> u); all of v's sources continue
+        # through u's parent channel next.
+        u = fabric.channels.dst[c]
+        cnt[u] += cnt[v]
+
+
+def dijkstra_to_dest(fabric: Fabric, dest: int, weights: np.ndarray):
     """Weighted shortest paths from every node *to* ``dest``.
 
     Returns ``(dist, parent)`` where ``parent[v]`` is the first channel of
@@ -179,3 +220,6 @@ def _dijkstra_to_dest(fabric: Fabric, dest: int, weights: np.ndarray):
                 parent[v] = c
                 heapq.heappush(heap, (nd, v))
     return dist, parent
+
+
+_dijkstra_to_dest = dijkstra_to_dest  # backwards-compatible private alias

@@ -32,7 +32,7 @@ class VerificationReport:
 
 
 def build_layer_cdgs(
-    layered: LayeredRouting, paths: PathSet, traffic_only: bool = True
+    layered: LayeredRouting, paths: PathSet, traffic_only: bool = True, pids=None
 ) -> list[ChannelDependencyGraph]:
     """Rebuild every layer's CDG from the path set and the assignment.
 
@@ -40,10 +40,14 @@ def build_layer_cdgs(
     flows start at terminals, so paths originating at terminal-less
     switches never materialise as buffer dependencies (they are suffixes
     of the real flows' paths, whose own chains are already included).
+    An explicit ``pids`` iterable overrides the selection entirely; the
+    incremental-repair machinery uses this to rebuild the CDGs of the
+    *surviving* paths before re-inserting the repaired ones.
     """
     fabric = layered.fabric
     cdgs = [ChannelDependencyGraph(fabric) for _ in range(layered.num_layers)]
-    pids = paths.active_pids() if traffic_only else range(paths.num_paths)
+    if pids is None:
+        pids = paths.active_pids() if traffic_only else range(paths.num_paths)
     for pid in pids:
         pid = int(pid)
         layer = int(layered.path_layers[pid])

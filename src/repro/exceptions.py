@@ -52,6 +52,16 @@ class InsufficientLayersError(RoutingError):
         self.layers_needed_at_least = layers_needed_at_least
 
 
+class RepairError(RoutingError):
+    """Incremental repair cannot be applied to this (routing, degradation)
+    pair — e.g. the degradation does not derive from the routed fabric, or
+    the fabric gained channels (link-up requires a full reroute).
+
+    Engines catch this and fall back to a full recompute, so callers of
+    :meth:`repro.routing.base.RoutingEngine.reroute` normally never see it.
+    """
+
+
 class DeadlockError(ReproError):
     """The flit-level simulator detected an actual deadlock (a cycle in the
     packet wait-for graph with every participant blocked)."""

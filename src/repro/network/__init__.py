@@ -17,9 +17,12 @@ from repro.network.ibnetdiscover import load_ibnetdiscover, parse_ibnetdiscover
 from repro.network.opensm_export import export_lft, export_route, export_sl_assignment
 from repro.network.faults import (
     DegradedFabric,
+    cable_keys,
+    degrade,
     fail_links,
     fail_specific_cable,
     fail_switches,
+    identity_degradation,
 )
 
 __all__ = [
@@ -43,7 +46,10 @@ __all__ = [
     "save_edge_list",
     "save_fabric",
     "DegradedFabric",
+    "cable_keys",
+    "degrade",
     "fail_links",
     "fail_specific_cable",
     "fail_switches",
+    "identity_degradation",
 ]

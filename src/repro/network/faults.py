@@ -27,17 +27,22 @@ class DegradedFabric:
 
     ``node_map`` maps old node ids to new ids (-1 for removed nodes), so
     callers can translate endpoint lists and traffic patterns.
+    ``channel_map`` does the same for channel ids (-1 for removed
+    channels); :mod:`repro.resilience` uses it to splice surviving
+    forwarding-table entries onto the degraded fabric.
     """
 
     fabric: Fabric
     node_map: np.ndarray
     removed_cables: int
     removed_switches: int
+    channel_map: np.ndarray | None = None
 
 
 def _rebuild(fabric: Fabric, dead_nodes: set[int], dead_cables: set[tuple[int, int]]) -> DegradedFabric:
     builder = FabricBuilder()
     node_map = np.full(fabric.num_nodes, -1, dtype=np.int64)
+    channel_map = np.full(fabric.num_channels, -1, dtype=np.int64)
     for v in range(fabric.num_nodes):
         if v in dead_nodes:
             continue
@@ -60,9 +65,15 @@ def _rebuild(fabric: Fabric, dead_nodes: set[int], dead_cables: set[tuple[int, i
         if a in dead_nodes or b in dead_nodes or key in dead_cables:
             removed_cables += 1
             continue
-        builder.add_link(int(node_map[a]), int(node_map[b]), capacity=float(fabric.channels.capacity[cid]))
+        new_fwd = builder.add_link(
+            int(node_map[a]), int(node_map[b]), capacity=float(fabric.channels.capacity[cid])
+        )[0]
+        # The builder appends cables as adjacent (forward, backward) pairs.
+        channel_map[cid] = new_fwd
+        channel_map[rid] = new_fwd + 1
     builder.metadata = dict(fabric.metadata)
-    builder.metadata["degraded"] = True
+    if removed_cables or dead_nodes:
+        builder.metadata["degraded"] = True
     levels = fabric.metadata.get("switch_levels")
     if levels:
         builder.metadata["switch_levels"] = {
@@ -75,16 +86,64 @@ def _rebuild(fabric: Fabric, dead_nodes: set[int], dead_cables: set[tuple[int, i
         node_map=node_map,
         removed_cables=removed_cables,
         removed_switches=len(dead_nodes),
+        channel_map=channel_map,
     )
 
 
-def _cable_keys(fabric: Fabric) -> list[tuple[int, int]]:
+def cable_keys(fabric: Fabric) -> list[tuple[int, int]]:
+    """Canonical ``(cid, reverse_cid)`` key per physical cable."""
     keys = []
     for cid in range(fabric.num_channels):
         rid = int(fabric.channels.reverse[cid])
         if cid < rid:
             keys.append((cid, rid))
     return keys
+
+
+_cable_keys = cable_keys  # backwards-compatible private alias
+
+
+def identity_degradation(fabric: Fabric) -> DegradedFabric:
+    """A no-op :class:`DegradedFabric` (the fabric mapped onto itself).
+
+    The resilience event stream uses this as the starting state so every
+    subsequent fault composes through the same map algebra.
+    """
+    return DegradedFabric(
+        fabric=fabric,
+        node_map=np.arange(fabric.num_nodes, dtype=np.int64),
+        removed_cables=0,
+        removed_switches=0,
+        channel_map=np.arange(fabric.num_channels, dtype=np.int64),
+    )
+
+
+def degrade(
+    fabric: Fabric,
+    dead_switches=(),
+    dead_cables=(),
+) -> DegradedFabric:
+    """Remove an explicit set of switches and cables.
+
+    ``dead_switches`` are node ids; ``dead_cables`` are cable keys as
+    produced by :func:`cable_keys` (either channel id of the pair is
+    accepted). Terminals cannot be removed directly — real subnet
+    managers drop endpoints too, but our experiments keep the terminal
+    population fixed.
+    """
+    dead_nodes = {int(s) for s in dead_switches}
+    for v in dead_nodes:
+        if not (0 <= v < fabric.num_nodes) or not fabric.is_switch(v):
+            raise FabricError(f"node {v} is not a switch; only switches can fail")
+    keys = set()
+    for key in dead_cables:
+        cid, rid = (int(key[0]), int(key[1])) if isinstance(key, tuple) else (int(key), -1)
+        if rid < 0:
+            rid = int(fabric.channels.reverse[cid])
+        if not (0 <= cid < fabric.num_channels) or int(fabric.channels.reverse[cid]) != rid:
+            raise FabricError(f"({cid}, {rid}) is not a cable of this fabric")
+        keys.add((min(cid, rid), max(cid, rid)))
+    return _rebuild(fabric, dead_nodes, keys)
 
 
 def fail_links(fabric: Fabric, count: int, seed=None, switch_links_only: bool = True) -> DegradedFabric:

@@ -15,6 +15,7 @@ See ``docs/observability.md`` for the metric names and span taxonomy.
 from repro.obs.metrics import (
     COUNT_BUCKETS,
     DURATION_BUCKETS,
+    RATIO_BUCKETS,
     Counter,
     Gauge,
     Histogram,
@@ -38,6 +39,7 @@ from repro.obs.tracing import (
 __all__ = [
     "COUNT_BUCKETS",
     "DURATION_BUCKETS",
+    "RATIO_BUCKETS",
     "Counter",
     "Gauge",
     "Histogram",

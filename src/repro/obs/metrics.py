@@ -40,6 +40,12 @@ COUNT_BUCKETS: tuple[float, ...] = (
     10000, 50000, 100000, float("inf"),
 )
 
+#: Default histogram buckets for fractions in [0, 1] (e.g. the share of
+#: destinations an incremental repair had to recompute).
+RATIO_BUCKETS: tuple[float, ...] = (
+    0.0, 0.01, 0.025, 0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.75, 0.9, 1.0, float("inf"),
+)
+
 Labels = tuple[tuple[str, str], ...]
 
 

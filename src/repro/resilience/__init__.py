@@ -1,0 +1,48 @@
+"""Fail-in-place resilience: fault-event streams, incremental repair and
+the chaos soak harness.
+
+The paper motivates DFSSSP with fabrics that degrade in place — links
+die, switches fail, and the subnet manager must keep routing
+deadlock-free. This package turns the repo from "route once" into
+"route, degrade, repair, verify — forever":
+
+* :mod:`repro.resilience.events` — seeded :class:`FaultEvent` streams
+  (link-down, switch-down, link-up) over one healthy baseline, with the
+  map algebra that lets consecutive degraded fabrics compose;
+* :mod:`repro.resilience.repair` — incremental repair that re-routes
+  only the destinations whose forwarding entries traverse dead channels
+  and re-verifies per-layer CDG acyclicity, escalating paths to other
+  layers (or to a full DFSSSP run) only when a cycle would re-appear;
+* :mod:`repro.resilience.chaos` — the :class:`ChaosRunner` soak harness
+  replaying fault sequences against any registered engine, with
+  JSON-serialisable survival/repair reports.
+
+See ``docs/resilience.md`` for the fault model and escalation rules.
+"""
+
+from repro.resilience.chaos import ChaosEventRecord, ChaosReport, ChaosRunner
+from repro.resilience.events import (
+    LINK_DOWN,
+    LINK_UP,
+    SWITCH_DOWN,
+    FaultEvent,
+    FaultInjector,
+    random_fault_sequence,
+    relative_degradation,
+)
+from repro.resilience.repair import repair_routing, translate_tables
+
+__all__ = [
+    "ChaosEventRecord",
+    "ChaosReport",
+    "ChaosRunner",
+    "LINK_DOWN",
+    "LINK_UP",
+    "SWITCH_DOWN",
+    "FaultEvent",
+    "FaultInjector",
+    "random_fault_sequence",
+    "relative_degradation",
+    "repair_routing",
+    "translate_tables",
+]

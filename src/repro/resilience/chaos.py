@@ -1,0 +1,236 @@
+"""Chaos soak harness: replay fault sequences against a routing engine.
+
+``route once`` becomes ``route, degrade, repair, verify — forever``: the
+:class:`ChaosRunner` drives any registered engine through a seeded
+:class:`~repro.resilience.events.FaultInjector` stream, repairs after
+every event (incrementally where the engine supports it, via
+:meth:`~repro.routing.base.RoutingEngine.reroute`), and *independently*
+verifies after every event that
+
+* every surviving terminal pair still routes (path extraction is the
+  completeness check), and
+* every virtual layer's CDG is still acyclic (deadlock-freedom).
+
+The per-event records and the summary are JSON-serialisable so CI can
+publish a soak report as a build artifact.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import asdict, dataclass, field
+
+from repro.deadlock.verify import verify_deadlock_free
+from repro.exceptions import ReproError
+from repro.network.fabric import Fabric
+from repro.obs import get_registry, span
+from repro.resilience.events import LINK_UP, FaultInjector, relative_degradation
+from repro.routing.base import RoutingEngine, RoutingResult
+from repro.routing.paths import extract_paths
+
+
+@dataclass
+class ChaosEventRecord:
+    """Outcome of one fault event (JSON-friendly)."""
+
+    index: int
+    kind: str
+    detail: str
+    action: str  # "repair" | "full" | "dead"
+    seconds: float
+    switches: int
+    cables: int
+    deadlock_free: bool | None = None
+    layers_used: int | None = None
+    destinations_repaired: int | None = None
+    destinations_total: int | None = None
+    escalations: int | None = None
+    error: str | None = None
+
+
+@dataclass
+class ChaosReport:
+    """Everything a soak run learned, plus aggregate statistics."""
+
+    engine: str
+    fabric: str
+    seed: int | None
+    events_requested: int
+    records: list[ChaosEventRecord] = field(default_factory=list)
+    survived: bool = True
+    failure: str | None = None
+
+    def summary(self) -> dict:
+        by_kind: dict[str, int] = {}
+        repairs = fulls = escalations = 0
+        repaired = examined = 0
+        repair_s = full_s = 0.0
+        for r in self.records:
+            by_kind[r.kind] = by_kind.get(r.kind, 0) + 1
+            if r.action == "repair":
+                repairs += 1
+                repair_s += r.seconds
+                repaired += r.destinations_repaired or 0
+                examined += r.destinations_total or 0
+                escalations += r.escalations or 0
+            elif r.action == "full":
+                fulls += 1
+                full_s += r.seconds
+        return {
+            "engine": self.engine,
+            "fabric": self.fabric,
+            "seed": self.seed,
+            "events_requested": self.events_requested,
+            "events_applied": len(self.records),
+            "survived": self.survived,
+            "failure": self.failure,
+            "events_by_kind": by_kind,
+            "incremental_repairs": repairs,
+            "full_reroutes": fulls,
+            "escalations": escalations,
+            "destinations_repaired": repaired,
+            "destinations_examined": examined,
+            "repair_fraction_mean": (repaired / examined) if examined else None,
+            "mean_repair_seconds": (repair_s / repairs) if repairs else None,
+            "mean_full_reroute_seconds": (full_s / fulls) if fulls else None,
+        }
+
+    def to_dict(self) -> dict:
+        return {"summary": self.summary(), "events": [asdict(r) for r in self.records]}
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+
+class ChaosRunner:
+    """Replay seeded fault sequences against one routing engine.
+
+    Parameters
+    ----------
+    engine:
+        A :class:`~repro.routing.base.RoutingEngine` instance. Engines
+        without incremental repair (everything except SSSP/DFSSSP) do a
+        full reroute per event; engines that reject degraded fabrics
+        (DOR, fat-tree) die on their first structural failure, which the
+        report records instead of raising.
+    verify:
+        Independently re-verify reachability and per-layer acyclicity
+        after every event (default; the whole point of the harness).
+    """
+
+    def __init__(self, engine: RoutingEngine, verify: bool = True):
+        self.engine = engine
+        self.verify = verify
+
+    def run(
+        self,
+        fabric: Fabric,
+        num_events: int = 50,
+        seed: int | None = None,
+        p_switch_down: float = 0.15,
+        p_link_up: float = 0.2,
+        switch_links_only: bool = True,
+    ) -> ChaosReport:
+        reg = get_registry()
+        m_events = reg.counter("chaos_events_applied", "fault events applied during chaos soaks")
+        m_deaths = reg.counter(
+            "chaos_engine_deaths", "chaos soaks ended by an engine failure",
+            engine=self.engine.name,
+        )
+        report = ChaosReport(
+            engine=self.engine.name,
+            fabric=repr(fabric),
+            seed=seed,
+            events_requested=num_events,
+        )
+        injector = FaultInjector(
+            fabric,
+            seed=seed,
+            p_switch_down=p_switch_down,
+            p_link_up=p_link_up,
+            switch_links_only=switch_links_only,
+        )
+        with span("chaos.run", engine=self.engine.name, events=num_events):
+            try:
+                result = self.engine.route(fabric)
+            except ReproError as err:
+                report.survived = False
+                report.failure = f"initial route failed: {type(err).__name__}: {err}"
+                m_deaths.inc()
+                return report
+            self._verify(result, report, record=None)
+            if not report.survived:
+                m_deaths.inc()
+                return report
+
+            prev_state = injector.current
+            for index in range(num_events):
+                stepped = injector.step()
+                if stepped is None:
+                    break  # nothing left to fail or repair
+                event, cur_state = stepped
+                rel = relative_degradation(prev_state, cur_state)
+                record = ChaosEventRecord(
+                    index=index,
+                    kind=event.kind,
+                    detail=event.describe(fabric),
+                    action="full",
+                    seconds=0.0,
+                    switches=cur_state.fabric.num_switches,
+                    cables=cur_state.fabric.num_channels // 2,
+                )
+                t0 = time.perf_counter()
+                try:
+                    if event.kind == LINK_UP:
+                        # Link-up means new channels: rebuild from scratch.
+                        result = self.engine.route(cur_state.fabric)
+                    else:
+                        result = self.engine.reroute(result, rel)
+                except ReproError as err:
+                    record.seconds = time.perf_counter() - t0
+                    record.action = "dead"
+                    record.error = f"{type(err).__name__}: {err}"
+                    report.records.append(record)
+                    report.survived = False
+                    report.failure = f"event {index} ({record.detail}): {record.error}"
+                    m_deaths.inc()
+                    break
+                record.seconds = time.perf_counter() - t0
+                repair = result.stats.get("repair")
+                if repair is not None:
+                    record.action = "repair"
+                    record.destinations_repaired = repair["destinations_repaired"]
+                    record.destinations_total = repair["destinations_total"]
+                    record.escalations = repair["escalations"]
+                self._verify(result, report, record)
+                report.records.append(record)
+                m_events.inc()
+                if not report.survived:
+                    m_deaths.inc()
+                    break
+                prev_state = cur_state
+        return report
+
+    # ------------------------------------------------------------------
+    def _verify(self, result: RoutingResult, report: ChaosReport, record) -> None:
+        if not self.verify:
+            return
+        try:
+            paths = extract_paths(result.tables)
+        except ReproError as err:
+            report.survived = False
+            report.failure = f"unreachable pair: {err}"
+            if record is not None:
+                record.error = report.failure
+            return
+        if result.layered is not None:
+            vr = verify_deadlock_free(result.layered, paths)
+            if record is not None:
+                record.deadlock_free = vr.deadlock_free
+                record.layers_used = result.layered.layers_used
+            if not vr.deadlock_free:
+                report.survived = False
+                report.failure = f"cyclic layer CDG: layers {sorted(vr.cycles)}"
+                if record is not None:
+                    record.error = report.failure

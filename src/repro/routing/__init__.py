@@ -23,6 +23,7 @@ from repro.routing.registry import (
     DEADLOCK_FREE_ENGINES,
     ENGINES,
     PAPER_ENGINES,
+    REPAIRABLE_ENGINES,
     make_engine,
 )
 
@@ -50,5 +51,6 @@ __all__ = [
     "DEADLOCK_FREE_ENGINES",
     "ENGINES",
     "PAPER_ENGINES",
+    "REPAIRABLE_ENGINES",
     "make_engine",
 ]

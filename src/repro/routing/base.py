@@ -173,13 +173,17 @@ class RoutingResult:
     ``layered`` is present for deadlock-free engines (DFSSSP, LASH,
     Up*/Down* wraps its single layer); ``deadlock_free`` records the
     engine's own claim, which tests independently verify via
-    :mod:`repro.deadlock.verify`.
+    :mod:`repro.deadlock.verify`. ``channel_weights`` carries the final
+    per-channel balancing weights of weight-based engines (SSSP/DFSSSP)
+    so :mod:`repro.resilience` can continue balancing across incremental
+    repairs instead of restarting from uniform weights.
     """
 
     tables: RoutingTables
     layered: LayeredRouting | None = None
     deadlock_free: bool = False
     stats: dict = field(default_factory=dict)
+    channel_weights: np.ndarray | None = None
 
     @property
     def num_layers(self) -> int:
@@ -200,9 +204,25 @@ class RoutingEngine(ABC):
     #: short identifier used by the registry, CLI and benchmark tables
     name: str = "abstract"
 
+    #: whether :meth:`reroute` can splice a prior result instead of
+    #: recomputing from scratch (overridden by SSSP/DFSSSP)
+    supports_incremental_reroute: bool = False
+
     def route(self, fabric: Fabric) -> RoutingResult:
         check_routable(fabric)
         return self._route(fabric)
+
+    def reroute(self, prior: RoutingResult | None, degraded) -> RoutingResult:
+        """Recompute routing after failure injection.
+
+        ``degraded`` is a :class:`repro.network.faults.DegradedFabric`
+        derived from the fabric that produced ``prior``. The base
+        implementation performs a full from-scratch reroute; engines that
+        can repair incrementally (SSSP, DFSSSP) override this to splice
+        only the broken forwarding columns and fall back to the full
+        recompute when repair is impossible.
+        """
+        return self.route(degraded.fabric)
 
     @abstractmethod
     def _route(self, fabric: Fabric) -> RoutingResult:

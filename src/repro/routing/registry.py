@@ -81,6 +81,10 @@ PAPER_ENGINES = ("minhop", "updown", "dor", "ftree", "lash", "sssp", "dfsssp")
 #: engines that guarantee deadlock-freedom by construction
 DEADLOCK_FREE_ENGINES = ("updown", "dor_vc", "ftree", "lash", "dfsssp")
 
+#: engines whose ``reroute`` repairs incrementally instead of recomputing
+#: from scratch (see :mod:`repro.resilience.repair`)
+REPAIRABLE_ENGINES = ("sssp", "dfsssp")
+
 
 def make_engine(name: str, **kwargs) -> RoutingEngine:
     """Instantiate an engine by name, forwarding keyword options."""

@@ -1,0 +1,120 @@
+"""Property tests (hypothesis) for DegradedFabric invariants.
+
+Failure injection is the foundation the resilience stack splices tables
+on; these properties pin down the map algebra over random fabrics and
+fault picks:
+
+* ``node_map`` round-trips names and coordinates;
+* removed cable/switch counts match the degree/size deltas;
+* ``fail_switches`` never orphans a singly-homed terminal;
+* ``channel_map`` is endpoint-consistent and pairs forward/reverse.
+"""
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro import topologies
+from repro.network import fail_links, fail_switches
+
+_quick = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+random_fault_params = st.tuples(
+    st.integers(min_value=5, max_value=12),  # switches
+    st.integers(min_value=2, max_value=12),  # extra links beyond the tree
+    st.integers(min_value=1, max_value=3),  # terminals per switch
+    st.integers(min_value=0, max_value=1_000),  # topology seed
+    st.integers(min_value=0, max_value=1_000),  # fault seed
+)
+
+
+def _fabric(params):
+    s, extra, tps, seed, fseed = params
+    links = min(s - 1 + extra, s * (s - 1) // 2)
+    return topologies.random_topology(s, links, tps, seed=seed), fseed
+
+
+@_quick
+@given(random_fault_params)
+def test_node_map_roundtrips_names(params):
+    fabric, fseed = _fabric(params)
+    degraded = fail_links(fabric, 1, seed=fseed)
+    for old, new in enumerate(degraded.node_map):
+        if new >= 0:
+            assert degraded.fabric.names[int(new)] == fabric.names[old]
+
+
+@_quick
+@given(
+    st.integers(min_value=3, max_value=4),
+    st.integers(min_value=3, max_value=4),
+    st.integers(min_value=0, max_value=1_000),
+)
+def test_node_map_roundtrips_coordinates(a, b, fseed):
+    fabric = topologies.torus((a, b), terminals_per_switch=1)
+    degraded = fail_links(fabric, 2, seed=fseed)
+    for old, new in enumerate(degraded.node_map):
+        if new >= 0 and old in fabric.coordinates:
+            assert degraded.fabric.coordinates[int(new)] == fabric.coordinates[old]
+
+
+@_quick
+@given(random_fault_params, st.integers(min_value=1, max_value=3))
+def test_removed_cables_match_degree_delta(params, count):
+    fabric, fseed = _fabric(params)
+    degraded = fail_links(fabric, count, seed=fseed)
+    assert degraded.removed_cables == count
+    assert degraded.removed_switches == 0
+    old_total = sum(fabric.degree(v) for v in range(fabric.num_nodes))
+    new_total = sum(degraded.fabric.degree(v) for v in range(degraded.fabric.num_nodes))
+    # degree counts attached cables; each removed cable drops two endpoints
+    assert old_total - new_total == 2 * count
+    assert degraded.fabric.num_channels == fabric.num_channels - 2 * count
+
+
+@_quick
+@given(
+    st.integers(min_value=3, max_value=4),
+    st.integers(min_value=2, max_value=3),
+    st.integers(min_value=0, max_value=1_000),
+    st.integers(min_value=1, max_value=2),
+)
+def test_fail_switches_counts_and_no_orphans(k, n, fseed, count):
+    fabric = topologies.kary_ntree(k, n)
+    degraded = fail_switches(fabric, count, seed=fseed)
+    assert degraded.removed_switches == count
+    assert degraded.fabric.num_switches == fabric.num_switches - count
+    assert degraded.fabric.num_terminals == fabric.num_terminals
+    # Removed cable count matches the cable-set delta exactly.
+    assert (
+        degraded.fabric.num_channels == fabric.num_channels - 2 * degraded.removed_cables
+    )
+    # No terminal is left without an attached switch.
+    for t in degraded.fabric.terminals:
+        assert degraded.fabric.degree(int(t)) >= 1
+
+
+@_quick
+@given(random_fault_params)
+def test_channel_map_is_endpoint_consistent(params):
+    fabric, fseed = _fabric(params)
+    degraded = fail_links(fabric, 2, seed=fseed)
+    cmap = degraded.channel_map
+    assert cmap is not None
+    alive = np.flatnonzero(cmap >= 0)
+    assert len(alive) == degraded.fabric.num_channels
+    assert len(np.unique(cmap[alive])) == len(alive)  # injective on survivors
+    for cid in map(int, alive):
+        new_cid = int(cmap[cid])
+        assert int(degraded.fabric.channels.src[new_cid]) == int(
+            degraded.node_map[int(fabric.channels.src[cid])]
+        )
+        assert int(degraded.fabric.channels.dst[new_cid]) == int(
+            degraded.node_map[int(fabric.channels.dst[cid])]
+        )
+        # Forward/reverse pairing survives the renumbering.
+        old_rev = int(fabric.channels.reverse[cid])
+        assert int(degraded.fabric.channels.reverse[new_cid]) == int(cmap[old_rev])

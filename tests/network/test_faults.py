@@ -4,7 +4,7 @@ import pytest
 
 from repro import topologies
 from repro.exceptions import FabricError
-from repro.network import fail_links, fail_specific_cable, fail_switches
+from repro.network import cable_keys, degrade, fail_links, fail_specific_cable, fail_switches
 from repro.network.validate import check_connected
 
 
@@ -76,6 +76,30 @@ def test_fail_specific_cable_missing(ring5):
 def test_degraded_metadata_flag(ring5):
     degraded = fail_specific_cable(ring5, 0, 1)
     assert degraded.fabric.metadata["degraded"] is True
+
+
+def test_zero_faults_leave_metadata_unflagged(ring5):
+    # Regression: the rebuild used to stamp metadata["degraded"] even when
+    # nothing was removed, making pristine copies look degraded.
+    degraded = fail_links(ring5, 0, seed=0)
+    assert degraded.removed_cables == 0
+    assert "degraded" not in degraded.fabric.metadata
+
+
+def test_explicit_degrade_validates_arguments(ring5):
+    t = int(ring5.terminals[0])
+    with pytest.raises(FabricError, match="not a switch"):
+        degrade(ring5, dead_switches=[t])
+    with pytest.raises(FabricError, match="not a cable"):
+        degrade(ring5, dead_cables=[(0, 5)])
+
+
+def test_explicit_degrade_accepts_single_channel_id(ring5):
+    key = cable_keys(ring5)[0]
+    by_key = degrade(ring5, dead_cables=[key])
+    by_cid = degrade(ring5, dead_cables=[key[1]])  # either id of the pair
+    assert by_key.removed_cables == by_cid.removed_cables == 1
+    assert by_key.fabric.num_channels == by_cid.fabric.num_channels
 
 
 def test_degraded_tree_still_connected():

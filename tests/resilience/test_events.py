@@ -1,0 +1,157 @@
+"""Fault-event streams: determinism, routability preservation, map algebra."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ReproError
+from repro.network import FabricBuilder, cable_keys, identity_degradation
+from repro.network.validate import check_routable
+from repro.resilience import (
+    LINK_DOWN,
+    LINK_UP,
+    SWITCH_DOWN,
+    FaultEvent,
+    FaultInjector,
+    random_fault_sequence,
+    relative_degradation,
+)
+
+
+def test_fault_event_describe_and_dict(ring5):
+    key = cable_keys(ring5)[0]
+    ev = FaultEvent(LINK_DOWN, cable=key)
+    text = ev.describe(ring5)
+    assert text.startswith("link_down ")
+    assert "<->" in text
+    assert ev.to_dict() == {"kind": LINK_DOWN, "cable": list(key), "switch": None}
+
+    sw = int(ring5.switches[0])
+    ev = FaultEvent(SWITCH_DOWN, switch=sw)
+    assert ring5.names[sw] in ev.describe(ring5)
+    assert ev.to_dict()["switch"] == sw
+
+
+def test_injector_same_seed_same_stream(random16):
+    a = FaultInjector(random16, seed=3)
+    b = FaultInjector(random16, seed=3)
+    for _ in range(10):
+        sa, sb = a.step(), b.step()
+        assert (sa is None) == (sb is None)
+        if sa is None:
+            break
+        assert sa[0] == sb[0]
+    assert a.history == b.history
+
+
+def test_injector_different_seeds_diverge(random16):
+    a = random_fault_sequence(random16, 8, seed=1)
+    b = random_fault_sequence(random16, 8, seed=2)
+    assert [e for e, _ in a] != [e for e, _ in b]
+
+
+def test_every_state_stays_routable(random16):
+    injector = FaultInjector(random16, seed=5)
+    for _ in range(12):
+        stepped = injector.step()
+        if stepped is None:
+            break
+        _, state = stepped
+        check_routable(state.fabric)  # would raise on disconnect / orphan
+
+
+def test_switch_down_suppressed_when_terminals_singly_homed(ring5):
+    # Every ring switch hosts a singly-homed terminal: removing any switch
+    # orphans a terminal, so the injector must never emit switch_down even
+    # when the preference forces it every step.
+    injector = FaultInjector(ring5, seed=0, p_switch_down=1.0, p_link_up=0.0)
+    for _ in range(6):
+        stepped = injector.step()
+        if stepped is None:
+            break
+        assert stepped[0].kind != SWITCH_DOWN
+
+
+def test_switch_down_fires_on_tree_spines(ktree42):
+    # k-ary n-tree spine switches host no terminals -> removable.
+    events = [e for e, _ in random_fault_sequence(ktree42, 12, seed=2, p_switch_down=0.9)]
+    assert any(e.kind == SWITCH_DOWN for e in events)
+
+
+def test_link_up_resurrects_a_dead_cable(random16):
+    injector = FaultInjector(random16, seed=4, p_switch_down=0.0, p_link_up=0.0)
+    assert injector.step() is not None  # one cable dies
+    down = injector.current
+    assert down.fabric.num_channels == random16.num_channels - 2
+    # Force resurrection: only one dead cable, so link_up must pick it.
+    injector.p_link_up = 1.0
+    event, state = injector.step()
+    assert event.kind == LINK_UP
+    assert state.fabric.num_channels == random16.num_channels
+    assert not injector.dead_cables
+
+
+def test_relative_degradation_identity(random16):
+    ident = identity_degradation(random16)
+    rel = relative_degradation(ident, ident)
+    assert (rel.node_map == np.arange(random16.num_nodes)).all()
+    assert (rel.channel_map == np.arange(random16.num_channels)).all()
+    assert rel.removed_cables == 0
+    assert rel.removed_switches == 0
+
+
+def test_relative_degradation_maps_names(random16):
+    injector = FaultInjector(random16, seed=7, p_link_up=0.0)
+    prev = injector.current
+    for _ in range(3):
+        stepped = injector.step()
+        assert stepped is not None
+        _, cur = stepped
+        rel = relative_degradation(prev, cur)
+        assert rel.fabric is cur.fabric
+        for old in range(prev.fabric.num_nodes):
+            new = int(rel.node_map[old])
+            if new >= 0:
+                assert cur.fabric.names[new] == prev.fabric.names[old]
+        prev = cur
+
+
+def test_relative_degradation_channel_endpoints(random16):
+    injector = FaultInjector(random16, seed=9, p_link_up=0.0)
+    prev = injector.current
+    stepped = injector.step()
+    assert stepped is not None
+    _, cur = stepped
+    rel = relative_degradation(prev, cur)
+    for old_cid in range(prev.fabric.num_channels):
+        new_cid = int(rel.channel_map[old_cid])
+        if new_cid < 0:
+            continue
+        old_src = int(prev.fabric.channels.src[old_cid])
+        old_dst = int(prev.fabric.channels.dst[old_cid])
+        assert int(cur.fabric.channels.src[new_cid]) == int(rel.node_map[old_src])
+        assert int(cur.fabric.channels.dst[new_cid]) == int(rel.node_map[old_dst])
+
+
+def test_relative_degradation_rejects_foreign_baseline(ring5, random16):
+    with pytest.raises(ReproError, match="different baselines"):
+        relative_degradation(identity_degradation(ring5), identity_degradation(random16))
+
+
+def test_injector_stream_dries_up_gracefully():
+    # Two switches, one bridge cable, singly-homed terminals: every element
+    # is load-bearing and nothing is dead to resurrect -> the stream ends.
+    b = FabricBuilder()
+    s0, s1 = b.add_switch(), b.add_switch()
+    b.add_link(s0, s1)
+    b.add_link(b.add_terminal(), s0)
+    b.add_link(b.add_terminal(), s1)
+    injector = FaultInjector(b.build(), seed=1)
+    assert injector.step() is None
+    assert injector.history == []
+
+
+def test_random_fault_sequence_caps_at_count(random16):
+    seq = random_fault_sequence(random16, 5, seed=0)
+    assert len(seq) == 5
+    for _event, state in seq:
+        check_routable(state.fabric)

@@ -171,6 +171,47 @@ def test_orcs_command(capsys):
     assert "mean=" in text
 
 
+CHAOS_RANDOM = [
+    "chaos", "--family", "random", "--switches", "12", "--links", "26",
+    "--terminals-per-switch", "2", "--seed", "11",
+    "--events", "10", "--chaos-seed", "7",
+]
+
+
+def test_chaos_command_writes_report(tmp_path, capsys):
+    import json
+
+    out = tmp_path / "chaos.json"
+    rc = main(CHAOS_RANDOM + ["--out", str(out)])
+    assert rc == 0  # exit code mirrors survival
+    text = capsys.readouterr().out
+    assert "chaos soak: dfsssp" in text
+    assert "survived" in text
+    data = json.loads(out.read_text())
+    assert data["summary"]["events_applied"] == 10
+    assert data["summary"]["survived"] is True
+    assert len(data["events"]) == 10
+
+
+def test_chaos_command_json_summary(capsys):
+    import json
+
+    rc = main(CHAOS_RANDOM + ["--json"])
+    assert rc == 0
+    data = json.loads(capsys.readouterr().out)
+    assert data["engine"] == "dfsssp"
+    assert data["incremental_repairs"] > 0
+
+
+def test_chaos_command_metrics(capsys):
+    rc = main(CHAOS_RANDOM + ["--metrics", "-"])
+    assert rc == 0
+    text = capsys.readouterr().out
+    assert "# TYPE chaos_events_applied counter" in text
+    assert "chaos_events_applied 10" in text
+    assert "repair_destinations_recomputed" in text
+
+
 ROUTE_RING = [
     "route", "--family", "ring", "--switches", "5",
     "--terminals-per-switch", "2", "--engine", "dfsssp",

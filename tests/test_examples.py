@@ -45,8 +45,10 @@ def test_cluster_comparison(capsys):
 
 def test_fault_tolerance(capsys):
     out = _run("fault_tolerance.py", capsys=capsys)
-    assert "ok" in out
-    assert "failed" in out
+    assert "DOR after one dead cable: failed" in out
+    assert "survived: True" in out
+    assert "incremental repairs:" in out
+    assert "chaos soak: dfsssp" in out
 
 
 def test_custom_topology(capsys):

@@ -8,7 +8,9 @@ generated inputs:
 * the APP exact solver's minimum equals the chromatic number through the
   Theorem 1 transformation, for arbitrary small graphs;
 * the cycle search agrees with networkx on arbitrary digraphs;
-* fabric serialization round-trips.
+* fabric serialization round-trips;
+* incremental repair is equivalent to a full reroute (reachability and
+  hop-minimality) and keeps DFSSSP deadlock-free across fault streams.
 """
 
 
@@ -136,6 +138,72 @@ def test_fabric_dict_roundtrip(params):
     # Degree sequence is preserved (cables as a multiset).
     for v in range(fabric.num_nodes):
         assert loaded.degree(v) == fabric.degree(v)
+
+
+repair_params = st.tuples(
+    st.integers(min_value=6, max_value=12),  # switches
+    st.integers(min_value=3, max_value=12),  # extra links beyond the tree
+    st.integers(min_value=1, max_value=3),  # terminals per switch
+    st.integers(min_value=0, max_value=1_000),  # topology seed
+    st.integers(min_value=0, max_value=1_000),  # fault seed
+)
+
+
+@_slow
+@given(repair_params)
+def test_incremental_repair_equivalent_to_full_reroute(params):
+    from hypothesis import assume
+
+    from repro.exceptions import ReproError
+    from repro.network import fail_links
+    from repro.network.validate import check_routable
+    from repro.resilience import repair_routing
+
+    s, extra, tps, seed, fseed = params
+    links = min(s - 1 + extra, s * (s - 1) // 2)
+    fabric = topologies.random_topology(s, links, tps, seed=seed)
+    degraded = fail_links(fabric, 1, seed=fseed)
+    try:
+        check_routable(degraded.fabric)
+    except ReproError:
+        assume(False)  # this pick disconnected the fabric; not repairable by anyone
+    engine = SSSPEngine()
+    prior = engine.route(fabric)
+    repaired = repair_routing(prior, degraded, engine_name="sssp")
+    full = engine.route(degraded.fabric)
+    paths_r = extract_paths(repaired.tables)  # raises if any pair is unreached
+    paths_f = extract_paths(full.tables)
+    # Reachability and hop-minimality match a from-scratch reroute exactly.
+    assert (paths_r.lengths() == paths_f.lengths()).all()
+    assert path_minimality_violations(repaired.tables, paths_r) == 0
+
+
+@_slow
+@given(
+    st.integers(min_value=0, max_value=1_000),  # topology seed
+    st.integers(min_value=0, max_value=1_000),  # stream seed
+)
+def test_repair_stays_deadlock_free_across_fault_streams(seed, stream_seed):
+    from repro.resilience import FaultInjector, relative_degradation
+
+    fabric = topologies.random_topology(10, 24, 2, seed=seed)
+    engine = DFSSSPEngine()
+    result = engine.route(fabric)
+    injector = FaultInjector(fabric, seed=stream_seed)
+    prev = injector.current
+    for _ in range(4):
+        stepped = injector.step()
+        if stepped is None:
+            break
+        _, cur = stepped
+        # reroute() repairs incrementally and falls back to a full DFSSSP
+        # run when it must (link-up, layer budget) — either way the result
+        # must verify deadlock-free and hop-minimal after every event.
+        result = engine.reroute(result, relative_degradation(prev, cur))
+        paths = extract_paths(result.tables)
+        assert verify_deadlock_free(result.layered, paths).deadlock_free
+        assert path_minimality_violations(result.tables, paths) == 0
+        prev = cur
 
 
 @settings(max_examples=20, deadline=None)
