@@ -11,6 +11,9 @@ Subcommands mirror the OpenSM-era workflow on the fabric model:
 * ``bisection``  — theoretical bisection width of the fabric;
 * ``orcs``       — ORCS-style named pattern / metric evaluation;
 * ``chaos``      — fault-injection soak (degrade/repair/verify loop);
+* ``serve``      — supervised service-mode soak (deadlines, backoff,
+  last-known-good serving, checkpoint/restore; see ``docs/service.md``);
+* ``checkpoint`` — inspect and verify a service checkpoint directory;
 * ``stats``      — render a ``--metrics`` JSON dump as a table.
 
 Fabrics come from generators (``--family``), saved JSON (``--fabric``) or
@@ -32,6 +35,10 @@ Examples::
         --engine dfsssp --trace trace.jsonl --metrics metrics.json
     repro-route chaos --family random --switches 12 --links 26 --events 200 \
         --chaos-seed 42 --out chaos.json
+    repro-route serve --family random --switches 12 --links 26 --events 200 \
+        --chaos-seed 7 --checkpoint-dir ckpt --out service.json
+    repro-route serve --restore --checkpoint-dir ckpt --out service.json
+    repro-route checkpoint ckpt
     repro-route stats metrics.json
 """
 
@@ -51,6 +58,7 @@ from repro.routing import PAPER_ENGINES, extract_paths, make_engine
 from repro.routing.base import LayeredRouting
 from repro.deadlock import verify_deadlock_free
 from repro.simulator import CongestionSimulator, FlitSimulator, shift_pattern
+from repro.utils.atomicio import atomic_write_text
 from repro.utils.reporting import Table
 
 
@@ -127,11 +135,9 @@ def _dump_metrics(target: str) -> None:
     if target == "-":
         sys.stdout.write(reg.render_prometheus())
     elif target.endswith(".json"):
-        with open(target, "w", encoding="utf-8") as fp:
-            fp.write(reg.render_json() + "\n")
+        atomic_write_text(target, reg.render_json() + "\n")
     else:
-        with open(target, "w", encoding="utf-8") as fp:
-            fp.write(reg.render_prometheus())
+        atomic_write_text(target, reg.render_prometheus())
 
 
 def cmd_topo(args) -> int:
@@ -308,8 +314,7 @@ def cmd_chaos(args) -> int:
     )
     summary = report.summary()
     if args.out:
-        with open(args.out, "w", encoding="utf-8") as fp:
-            fp.write(report.to_json() + "\n")
+        report.save(args.out)
     if args.json:
         print(json.dumps(summary, indent=2))
     else:
@@ -340,6 +345,168 @@ def cmd_chaos(args) -> int:
         if args.out:
             print(f"report saved to {args.out}")
     return 0 if report.survived else 1
+
+
+def cmd_serve(args) -> int:
+    from repro.resilience import run_service_soak
+    from repro.service import BackoffPolicy, RoutingSupervisor, ServicePolicy
+
+    def _deadline(value: float) -> float | None:
+        return None if value <= 0 else value
+
+    inject = frozenset(
+        int(x) for x in (args.inject_timeout_at or "").split(",") if x.strip()
+    )
+    soak_kwargs = {
+        "seed": args.chaos_seed,
+        "p_switch_down": args.p_switch_down,
+        "p_link_up": args.p_link_up,
+        "burst_max": args.burst_max,
+    }
+    if args.restore:
+        if not args.checkpoint_dir:
+            raise ReproError("serve --restore requires --checkpoint-dir")
+        supervisor = RoutingSupervisor.restore(args.checkpoint_dir)
+        # A restored soak must replay the original stream: the persisted
+        # parameters win over whatever defaults the restart command used.
+        persisted = supervisor.extra.get("soak", {})
+        events = persisted.get("num_events", args.events)
+        for key in ("seed", "p_switch_down", "p_link_up", "burst_max"):
+            if key in persisted:
+                soak_kwargs[key] = persisted[key]
+    else:
+        fabric = _build_topo(args)
+        policy = ServicePolicy(
+            repair_deadline_s=_deadline(args.repair_deadline),
+            full_deadline_s=_deadline(args.full_deadline),
+            backoff=BackoffPolicy(max_attempts=args.max_attempts),
+            breaker_threshold=args.breaker_threshold,
+            breaker_cooldown_s=args.breaker_cooldown,
+            fallback_engine=args.fallback or None,
+            checkpoint_every=args.checkpoint_every,
+            keep_checkpoints=args.keep_checkpoints,
+        )
+        supervisor = RoutingSupervisor(
+            fabric,
+            engine=args.engine,
+            policy=policy,
+            checkpoint_dir=args.checkpoint_dir,
+            seed=args.seed,
+        )
+        events = args.events
+
+    kill_fn = None
+    if args.kill_after is not None:
+        if not args.checkpoint_dir:
+            raise ReproError("serve --kill-after requires --checkpoint-dir")
+
+        def kill_fn() -> None:
+            # Simulate SIGKILL: no cleanup, no atexit, no report. The
+            # checkpoint written by the preceding batch is all that
+            # survives — exactly what `serve --restore` must cope with.
+            sys.stderr.write(
+                f"serve: simulating hard kill after "
+                f"{supervisor.events_submitted} events\n"
+            )
+            sys.stderr.flush()
+            os._exit(137)
+
+    report = run_service_soak(
+        supervisor,
+        events,
+        inject_timeout_at=inject,
+        kill_after=args.kill_after,
+        kill_fn=kill_fn,
+        **soak_kwargs,
+    )
+    summary = report.summary()
+    if args.out:
+        report.save(args.out)
+    if args.json:
+        print(json.dumps(summary, indent=2))
+    else:
+        table = Table(
+            ["field", "value"],
+            title=f"service soak: {summary['engine']} on {summary['fabric']}, "
+            f"seed {summary['seed']}",
+        )
+        for key in (
+            "events_requested",
+            "events_submitted",
+            "skipped_events",
+            "batches",
+            "ladder_attempts",
+            "compute_timeouts",
+            "stale_serves",
+            "final_state",
+            "final_version",
+        ):
+            table.add_row([key, summary[key]])
+        for action, count in sorted(summary["batches_by_action"].items()):
+            table.add_row([f"batches[{action}]", count])
+        table.add_row(["survived", summary["survived"]])
+        if summary["failure"]:
+            table.add_row(["failure", summary["failure"]])
+        print(table.render())
+        if args.out:
+            print(f"report saved to {args.out}")
+    return 0 if report.survived else 1
+
+
+def cmd_checkpoint(args) -> int:
+    from repro.service import CheckpointStore
+
+    store = CheckpointStore(args.dir)
+    if args.version is None and store.latest_version() is None:
+        raise ReproError(f"{args.dir}: no checkpoint found")
+    ckpt = store.load(args.version)
+    state = ckpt.state
+
+    deadlock_free = None
+    routable = True
+    problem = None
+    try:
+        paths = extract_paths(ckpt.result.tables)
+    except ReproError as err:
+        routable = False
+        problem = str(err)
+    else:
+        if ckpt.result.layered is not None:
+            vr = verify_deadlock_free(ckpt.result.layered, paths)
+            deadlock_free = vr.deadlock_free
+            if not vr.deadlock_free:
+                problem = f"cyclic layer CDG: layers {sorted(vr.cycles)}"
+    ok = routable and deadlock_free is not False
+
+    info = {
+        "dir": str(store.root),
+        "version": ckpt.version,
+        "path": str(ckpt.path),
+        "engine": state.get("engine"),
+        "state": state.get("state"),
+        "stale": state.get("stale"),
+        "lkg_version": state.get("lkg_version"),
+        "baseline": repr(ckpt.baseline),
+        "serving": repr(ckpt.degraded.fabric),
+        "dead_switches": len(state.get("dead_switches", [])),
+        "dead_cables": len(state.get("dead_cables", [])),
+        "uncommitted_events": len(state.get("uncommitted", [])),
+        "events_submitted": state.get("events_submitted"),
+        "layers_used": ckpt.result.layers_used,
+        "routable": routable,
+        "deadlock_free": deadlock_free,
+        "ok": ok,
+    }
+    if problem:
+        info["problem"] = problem
+    if args.json:
+        print(json.dumps(info, indent=2))
+    else:
+        table = Table(["field", "value"], title=f"checkpoint {store._name(ckpt.version)}")
+        for key, value in info.items():
+            table.add_row([key, value])
+        print(table.render())
+    return 0 if ok else 1
 
 
 def cmd_deadlock(args) -> int:
@@ -441,6 +608,71 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--out", help="write the full report (summary + events) as JSON")
     p.add_argument("--json", action="store_true", help="print the summary as JSON")
     p.set_defaults(func=cmd_chaos)
+
+    p = sub.add_parser(
+        "serve",
+        help="supervised service-mode soak (deadlines, backoff, checkpoint/restore)",
+    )
+    _add_topo_args(p)
+    _add_obs_args(p)
+    p.add_argument("--engine", default="dfsssp", help="primary routing engine")
+    p.add_argument("--events", type=int, default=50, help="fault events to inject")
+    p.add_argument("--chaos-seed", type=int, default=0, help="fault-stream RNG seed")
+    p.add_argument("--p-switch-down", type=float, default=0.15, dest="p_switch_down")
+    p.add_argument("--p-link-up", type=float, default=0.2, dest="p_link_up")
+    p.add_argument(
+        "--burst-max", type=int, default=1,
+        help="submit up to N events per batch (exercises coalescing)",
+    )
+    p.add_argument(
+        "--repair-deadline", type=float, default=5.0,
+        help="incremental-repair budget in seconds (<= 0 disables the deadline)",
+    )
+    p.add_argument(
+        "--full-deadline", type=float, default=30.0,
+        help="full-reroute budget in seconds (<= 0 disables the deadline)",
+    )
+    p.add_argument(
+        "--max-attempts", type=int, default=3,
+        help="attempts per escalation rung before moving on",
+    )
+    p.add_argument("--breaker-threshold", type=int, default=3)
+    p.add_argument("--breaker-cooldown", type=float, default=30.0)
+    p.add_argument(
+        "--fallback", default="updown",
+        help="last-resort engine ('' disables the fallback rung)",
+    )
+    p.add_argument("--checkpoint-dir", help="persist checkpoints here (enables restore)")
+    p.add_argument(
+        "--checkpoint-every", type=int, default=1,
+        help="checkpoint after every N accepted batches",
+    )
+    p.add_argument("--keep-checkpoints", type=int, default=3)
+    p.add_argument(
+        "--inject-timeout-at", metavar="I,J,...",
+        help="event indices where the repair deadline is forced to zero",
+    )
+    p.add_argument(
+        "--kill-after", type=int, metavar="N",
+        help="simulate SIGKILL (exit 137) once N events are submitted",
+    )
+    p.add_argument(
+        "--restore", action="store_true",
+        help="resume from the newest checkpoint in --checkpoint-dir "
+        "(replays the persisted soak parameters)",
+    )
+    p.add_argument("--out", help="write the full report (summary + batches) as JSON")
+    p.add_argument("--json", action="store_true", help="print the summary as JSON")
+    p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser("checkpoint", help="inspect / verify a service checkpoint")
+    p.add_argument("dir", help="checkpoint directory (as passed to serve)")
+    p.add_argument(
+        "--version", type=int,
+        help="inspect this checkpoint version instead of CURRENT",
+    )
+    p.add_argument("--json", action="store_true", help="machine-readable JSON output")
+    p.set_defaults(func=cmd_checkpoint)
 
     p = sub.add_parser("stats", help="render a --metrics JSON dump as a table")
     p.add_argument("file", help="metrics JSON file ('-' = stdin)")

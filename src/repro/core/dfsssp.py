@@ -26,6 +26,7 @@ from repro.network.fabric import Fabric
 from repro.obs import COUNT_BUCKETS, get_registry, span
 from repro.routing.base import LayeredRouting, RoutingEngine, RoutingResult
 from repro.routing.paths import extract_paths
+from repro.service.budget import check_budget
 
 
 class DFSSSPEngine(RoutingEngine):
@@ -105,6 +106,7 @@ class DFSSSPEngine(RoutingEngine):
         t_sssp = sp_sssp.duration
 
         with span("dfsssp.layers", mode=self.mode, heuristic=self.heuristic) as sp_layers:
+            check_budget()  # phase boundary: SSSP done, layering not started
             paths = extract_paths(tables)
             # OpenSM's DFSSSP layers CA-to-CA paths: only paths whose source
             # switch hosts terminals ever carry traffic, and layering the

@@ -29,6 +29,7 @@ from repro.deadlock.cycles import CycleSearch
 from repro.exceptions import InsufficientLayersError
 from repro.obs import get_hooks, get_registry, span
 from repro.routing.paths import PathSet
+from repro.service.budget import check_budget
 
 #: InfiniBand hardware limit the paper works against (spec allows 16).
 DEFAULT_MAX_LAYERS = 8
@@ -99,6 +100,7 @@ def assign_layers_offline(
             with span("layers.layer", layer=layer) as sp:
                 search = CycleSearch(cdg)
                 while (cycle := search.find_cycle()) is not None:
+                    check_budget()  # cooperative deadline (repro.service)
                     if layer + 1 >= max_layers:
                         raise InsufficientLayersError(
                             f"cycles remain after filling all {max_layers} layers",
@@ -180,6 +182,7 @@ def assign_layers_online(
     cdgs = [ChannelDependencyGraph(fabric)]
     with span("layers.assign_online", max_layers=max_layers):
         for pid in pids:
+            check_budget()  # cooperative deadline (repro.service)
             chans = paths.path(pid)
             placed = False
             for layer, cdg in enumerate(cdgs):

@@ -32,6 +32,7 @@ import numpy as np
 from repro.network.fabric import Fabric
 from repro.obs import DURATION_BUCKETS, get_hooks, get_registry, span
 from repro.routing.base import RoutingEngine, RoutingResult, RoutingTables
+from repro.service.budget import check_budget
 from repro.utils.prng import make_rng
 
 
@@ -124,6 +125,7 @@ class SSSPEngine(RoutingEngine):
         is_term = fabric.kinds == 1  # NodeKind.TERMINAL
         with span("sssp.run", engine=self.name, destinations=int(T)):
             for t_idx in order:
+                check_budget()  # cooperative deadline (repro.service)
                 dest = int(fabric.terminals[t_idx])
                 with span("sssp.dijkstra", dest=dest) as sp:
                     dist, parent = dijkstra_to_dest(fabric, dest, weights)
@@ -200,7 +202,11 @@ def dijkstra_to_dest(fabric: Fabric, dest: int, weights: np.ndarray):
     chan_dst = fabric.channels.dst
     reverse = fabric.channels.reverse
     settled = np.zeros(fabric.num_nodes, dtype=bool)
+    polls = 0
     while heap:
+        polls += 1
+        if not polls & 0x3FF:  # poll the compute budget every 1024 pops
+            check_budget()
         d, u = heapq.heappop(heap)
         if settled[u]:
             continue

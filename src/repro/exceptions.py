@@ -30,6 +30,36 @@ class RoutingError(ReproError):
     """A routing engine failed to produce complete forwarding tables."""
 
 
+class ComputeTimeoutError(ReproError):
+    """A cooperative compute budget expired mid-computation.
+
+    Raised by :func:`repro.service.budget.check_budget` call sites inside
+    the SSSP/DFSSSP inner loops when the active
+    :class:`~repro.service.budget.Budget` runs out. The work in flight is
+    abandoned; callers (the :class:`~repro.service.supervisor.RoutingSupervisor`)
+    keep serving the last-known-good tables and escalate per policy.
+    """
+
+    def __init__(self, message: str, label: str = "compute", limit_s: float | None = None,
+                 elapsed_s: float | None = None):
+        super().__init__(message)
+        self.label = label
+        self.limit_s = limit_s
+        self.elapsed_s = elapsed_s
+
+
+class CheckpointError(ReproError):
+    """A service checkpoint could not be written, read or applied —
+    missing/corrupt files, format mismatch, or routing state that does not
+    match the checkpointed fabric."""
+
+
+class ServiceError(ReproError):
+    """The supervised routing service cannot satisfy a request (e.g. a
+    fault batch would disconnect the fabric, or the circuit breaker is
+    open and no last-known-good routing exists)."""
+
+
 class UnsupportedTopologyError(RoutingError):
     """The selected routing engine does not support this topology.
 

@@ -18,6 +18,7 @@ from pathlib import Path
 from repro.exceptions import FabricError
 from repro.network.builder import FabricBuilder
 from repro.network.fabric import Fabric
+from repro.utils.atomicio import atomic_write_text
 
 FORMAT_VERSION = 1
 
@@ -60,34 +61,66 @@ def fabric_to_dict(fabric: Fabric) -> dict:
 
 
 def fabric_from_dict(data: dict) -> Fabric:
-    """Inverse of :func:`fabric_to_dict`."""
+    """Inverse of :func:`fabric_to_dict`.
+
+    Raises :class:`~repro.exceptions.FabricError` on any structural
+    problem — wrong version, missing keys, non-dense node ids — so
+    callers never see a raw ``KeyError``/``TypeError`` from a truncated
+    or hand-edited file.
+    """
+    if not isinstance(data, dict):
+        raise FabricError(f"fabric file must hold a JSON object, got {type(data).__name__}")
     if data.get("version") != FORMAT_VERSION:
         raise FabricError(f"unsupported fabric file version: {data.get('version')!r}")
+    for key in ("nodes", "cables"):
+        if not isinstance(data.get(key), list):
+            raise FabricError(f"fabric file is missing the {key!r} list")
     builder = FabricBuilder()
-    nodes = sorted(data["nodes"], key=lambda n: n["id"])
+    try:
+        nodes = sorted(data["nodes"], key=lambda n: n["id"])
+    except (KeyError, TypeError) as err:
+        raise FabricError("fabric node entry without an 'id'") from err
     for expect, node in enumerate(nodes):
         if node["id"] != expect:
             raise FabricError(f"node ids must be dense 0..n-1; got {node['id']} at {expect}")
-        if node["kind"] == "switch":
+        kind = node.get("kind")
+        if kind == "switch":
             nid = builder.add_switch(name=node.get("name"))
-        elif node["kind"] == "terminal":
+        elif kind == "terminal":
             nid = builder.add_terminal(name=node.get("name"))
         else:
-            raise FabricError(f"unknown node kind {node['kind']!r}")
+            raise FabricError(f"unknown node kind {kind!r} (node {expect})")
         if "coordinates" in node:
             builder.set_coordinates(nid, tuple(node["coordinates"]))
-    for cable in data["cables"]:
-        builder.add_link(cable["a"], cable["b"], capacity=cable.get("capacity", 1.0))
+    for idx, cable in enumerate(data["cables"]):
+        try:
+            a, b = cable["a"], cable["b"]
+        except (KeyError, TypeError) as err:
+            raise FabricError(f"cable {idx} lacks endpoint keys 'a'/'b'") from err
+        builder.add_link(a, b, capacity=cable.get("capacity", 1.0))
     builder.metadata = dict(data.get("metadata", {}))
     return builder.build()
 
 
 def save_fabric(fabric: Fabric, path: str | Path) -> None:
-    Path(path).write_text(json.dumps(fabric_to_dict(fabric), indent=1))
+    """Atomically write the JSON representation (tmp file + rename)."""
+    atomic_write_text(path, json.dumps(fabric_to_dict(fabric), indent=1))
 
 
 def load_fabric(path: str | Path) -> Fabric:
-    return fabric_from_dict(json.loads(Path(path).read_text()))
+    """Load a fabric JSON file, naming ``path`` in every failure mode."""
+    try:
+        text = Path(path).read_text()
+    except OSError as err:
+        raise FabricError(f"{path}: cannot read fabric file: {err}") from err
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError as err:
+        raise FabricError(f"{path}: malformed fabric JSON: {err}") from err
+    try:
+        return fabric_from_dict(data)
+    except FabricError as err:
+        raise FabricError(f"{path}: {err}") from err
 
 
 # ----------------------------------------------------------------------
@@ -111,7 +144,7 @@ def save_edge_list(fabric: Fabric, path: str | Path) -> None:
         a = fabric.names[int(fabric.channels.src[cid])]
         b = fabric.names[int(fabric.channels.dst[cid])]
         lines.append(f"{a} -- {b}")
-    Path(path).write_text("\n".join(lines) + "\n")
+    atomic_write_text(path, "\n".join(lines) + "\n")
 
 
 def load_edge_list(path: str | Path) -> Fabric:
@@ -131,7 +164,11 @@ def load_edge_list(path: str | Path) -> Fabric:
                 ids[name] = builder.add_switch(name=name)
         return ids[name]
 
-    for lineno, raw in enumerate(Path(path).read_text().splitlines(), 1):
+    try:
+        text = Path(path).read_text()
+    except OSError as err:
+        raise FabricError(f"{path}: cannot read edge list: {err}") from err
+    for lineno, raw in enumerate(text.splitlines(), 1):
         line = raw.split("#", 1)[0].strip()
         if not line:
             continue

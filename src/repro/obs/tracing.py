@@ -12,8 +12,13 @@ events to the active sink:
 * :class:`JsonlSink` — one JSON object per line per event, the format
   behind the CLI's ``--trace FILE`` flag.
 
-Spans always measure wall time regardless of sink (callers such as
-DFSSSP read ``sp.duration`` for their stats dict). Nesting is tracked
+Spans always measure elapsed time regardless of sink (callers such as
+DFSSSP read ``sp.duration`` for their stats dict). Durations come from
+``time.perf_counter`` — monotonic, so NTP steps or daylight-saving
+jumps mid-phase cannot produce negative or wildly wrong timings.
+``Span.start_wall`` (``time.time``) is carried as an *annotation only*:
+it anchors the span on the human calendar in trace output (the ``ts``
+field) and never participates in arithmetic. Nesting is tracked
 per-context via :mod:`contextvars`, so spans stay correctly parented
 under threads or async tasks.
 """
@@ -30,19 +35,28 @@ _ids = itertools.count(1)
 
 
 class Span:
-    """One timed phase. ``duration`` is None until the span closes."""
+    """One timed phase. ``duration`` is None until the span closes.
 
-    __slots__ = ("name", "attrs", "span_id", "parent", "start_wall", "duration", "status", "_t0")
+    ``start_perf`` is the monotonic (``perf_counter``) anchor the
+    duration is measured from; ``start_wall`` is a wall-clock
+    (``time.time``) annotation for trace display only — never used in
+    timing arithmetic, so stepped system clocks cannot skew durations.
+    """
+
+    __slots__ = (
+        "name", "attrs", "span_id", "parent", "start_wall", "start_perf",
+        "duration", "status",
+    )
 
     def __init__(self, name: str, attrs: dict, parent: "Span | None"):
         self.name = name
         self.attrs = attrs
         self.span_id = next(_ids)
         self.parent = parent
-        self.start_wall = time.time()
+        self.start_wall = time.time()  # annotation only — see class docstring
+        self.start_perf = time.perf_counter()
         self.duration: float | None = None
         self.status = "ok"
-        self._t0 = 0.0
 
     @property
     def parent_id(self) -> int | None:
@@ -115,6 +129,10 @@ class JsonlSink:
 
     ``target`` is a path (opened/closed by the sink) or an open
     file-like object (left open on :meth:`close` — e.g. stdout).
+
+    The ``ts`` field is the span's wall-clock start (an annotation for
+    correlating traces with external logs); ``duration_s`` is measured
+    on the monotonic clock and is the only trustworthy elapsed time.
     """
 
     enabled = True
@@ -218,13 +236,15 @@ class span:
         sink = _sink
         if sink.enabled:
             sink.start(s)
-        s._t0 = time.perf_counter()
+        # Re-anchor after the sink call so its I/O never counts as phase
+        # time; durations are perf_counter-only (start_wall is display).
+        s.start_perf = time.perf_counter()
         return s
 
     def __exit__(self, exc_type, exc, tb) -> None:
         s = self._span
         assert s is not None, "span.__exit__ without __enter__"
-        s.duration = time.perf_counter() - s._t0
+        s.duration = time.perf_counter() - s.start_perf
         _current.reset(self._token)
         if exc_type is not None:
             s.status = "error"

@@ -15,12 +15,21 @@ deadlock-free. This package turns the repo from "route once" into
   layers (or to a full DFSSSP run) only when a cycle would re-appear;
 * :mod:`repro.resilience.chaos` — the :class:`ChaosRunner` soak harness
   replaying fault sequences against any registered engine, with
-  JSON-serialisable survival/repair reports.
+  JSON-serialisable survival/repair reports, plus
+  :func:`run_service_soak`, the same stream driving a supervised
+  :class:`~repro.service.supervisor.RoutingSupervisor` (serve mode).
 
-See ``docs/resilience.md`` for the fault model and escalation rules.
+See ``docs/resilience.md`` for the fault model and escalation rules, and
+``docs/service.md`` for the supervised (serve-mode) runtime.
 """
 
-from repro.resilience.chaos import ChaosEventRecord, ChaosReport, ChaosRunner
+from repro.resilience.chaos import (
+    ChaosEventRecord,
+    ChaosReport,
+    ChaosRunner,
+    ServiceSoakReport,
+    run_service_soak,
+)
 from repro.resilience.events import (
     LINK_DOWN,
     LINK_UP,
@@ -36,6 +45,8 @@ __all__ = [
     "ChaosEventRecord",
     "ChaosReport",
     "ChaosRunner",
+    "ServiceSoakReport",
+    "run_service_soak",
     "LINK_DOWN",
     "LINK_UP",
     "SWITCH_DOWN",

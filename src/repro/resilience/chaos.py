@@ -28,6 +28,7 @@ from repro.obs import get_registry, span
 from repro.resilience.events import LINK_UP, FaultInjector, relative_degradation
 from repro.routing.base import RoutingEngine, RoutingResult
 from repro.routing.paths import extract_paths
+from repro.utils.atomicio import atomic_write_text
 
 
 @dataclass
@@ -101,6 +102,10 @@ class ChaosReport:
 
     def to_json(self, indent: int | None = 2) -> str:
         return json.dumps(self.to_dict(), indent=indent)
+
+    def save(self, path) -> None:
+        """Atomically write the full report (summary + events) as JSON."""
+        atomic_write_text(path, self.to_json() + "\n")
 
 
 class ChaosRunner:
@@ -234,3 +239,213 @@ class ChaosRunner:
                 report.failure = f"cyclic layer CDG: layers {sorted(vr.cycles)}"
                 if record is not None:
                     record.error = report.failure
+
+
+# ----------------------------------------------------------------------
+# Service-mode soak: the chaos stream driving a RoutingSupervisor
+# ----------------------------------------------------------------------
+@dataclass
+class ServiceSoakReport:
+    """Outcome of a supervised (service-mode) soak run.
+
+    ``records`` holds one dict per processed batch: the supervisor's
+    :class:`~repro.service.supervisor.BatchOutcome` plus the independent
+    verification of what :meth:`~repro.service.supervisor.RoutingSupervisor.serving`
+    returned *after* the batch. ``survived`` means a valid (fresh or
+    explicitly stale) routing was served after every event — the
+    acceptance bar for service mode.
+    """
+
+    engine: str
+    fabric: str
+    seed: int | None
+    events_requested: int
+    events_submitted: int = 0
+    skipped_events: int = 0
+    records: list[dict] = field(default_factory=list)
+    survived: bool = True
+    failure: str | None = None
+    final_state: str | None = None
+    final_version: int | None = None
+
+    def summary(self) -> dict:
+        by_action: dict[str, int] = {}
+        timeouts = attempts = stale_served = 0
+        for r in self.records:
+            by_action[r["action"]] = by_action.get(r["action"], 0) + 1
+            timeouts += r.get("timeouts", 0)
+            attempts += r.get("attempts", 0)
+            if r.get("served_stale"):
+                stale_served += 1
+        return {
+            "mode": "service",
+            "engine": self.engine,
+            "fabric": self.fabric,
+            "seed": self.seed,
+            "events_requested": self.events_requested,
+            "events_submitted": self.events_submitted,
+            "skipped_events": self.skipped_events,
+            "batches": len(self.records),
+            "batches_by_action": by_action,
+            "ladder_attempts": attempts,
+            "compute_timeouts": timeouts,
+            "stale_serves": stale_served,
+            "survived": self.survived,
+            "failure": self.failure,
+            "final_state": self.final_state,
+            "final_version": self.final_version,
+        }
+
+    def to_dict(self) -> dict:
+        return {"summary": self.summary(), "batches": self.records}
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    def save(self, path) -> None:
+        """Atomically write the full report as JSON."""
+        atomic_write_text(path, self.to_json() + "\n")
+
+
+def run_service_soak(
+    supervisor,
+    num_events: int,
+    *,
+    seed: int | None = None,
+    p_switch_down: float = 0.15,
+    p_link_up: float = 0.2,
+    switch_links_only: bool = True,
+    burst_max: int = 1,
+    inject_timeout_at: set[int] | frozenset[int] = frozenset(),
+    kill_after: int | None = None,
+    kill_fn=None,
+) -> ServiceSoakReport:
+    """Drive a :class:`~repro.service.supervisor.RoutingSupervisor` through
+    a seeded fault stream, verifying what it *serves* after every batch.
+
+    The injector replays deterministically from ``seed`` over the
+    supervisor's healthy baseline, so a restored supervisor resumes the
+    same stream: events already consumed before the crash (the
+    supervisor's ``events_submitted``) are fast-forwarded past, not
+    re-applied.
+
+    Parameters
+    ----------
+    burst_max:
+        Submit up to this many events before each :meth:`process` call
+        (exercises coalescing; bursts sized by the stream's own RNG).
+    inject_timeout_at:
+        Event indices at which the incremental-repair deadline is forced
+        to zero — the repair rung times out and the ladder escalates.
+    kill_after / kill_fn:
+        Once at least ``kill_after`` events have been submitted (and
+        checkpointed), call ``kill_fn`` — the serve CLI passes a hard
+        ``os._exit`` to simulate SIGKILL mid-soak.
+    """
+    from repro.deadlock.verify import verify_deadlock_free as _verify_df
+
+    baseline = supervisor.baseline
+    injector = FaultInjector(
+        baseline,
+        seed=seed,
+        p_switch_down=p_switch_down,
+        p_link_up=p_link_up,
+        switch_links_only=switch_links_only,
+    )
+    skip = supervisor.events_submitted
+    for _ in range(skip):
+        if injector.step() is None:  # pragma: no cover - stream exhausted early
+            break
+    report = ServiceSoakReport(
+        engine=supervisor.engine.name,
+        fabric=repr(baseline),
+        seed=seed,
+        events_requested=num_events,
+        events_submitted=skip,
+        skipped_events=skip,
+    )
+    supervisor.extra["soak"] = {
+        "seed": seed,
+        "num_events": num_events,
+        "p_switch_down": p_switch_down,
+        "p_link_up": p_link_up,
+        "switch_links_only": switch_links_only,
+        "burst_max": burst_max,
+    }
+
+    def verify_serving(record: dict | None) -> bool:
+        served = supervisor.serving()
+        try:
+            paths = extract_paths(served.result.tables)
+        except ReproError as err:
+            report.survived = False
+            report.failure = f"served unroutable tables: {err}"
+            return False
+        deadlock_free = None
+        if served.result.layered is not None:
+            vr = _verify_df(served.result.layered, paths)
+            deadlock_free = vr.deadlock_free
+            if not vr.deadlock_free:
+                report.survived = False
+                report.failure = f"served cyclic layer CDG: layers {sorted(vr.cycles)}"
+                return False
+        if record is not None:
+            record["served_stale"] = served.stale
+            record["served_version"] = served.version
+            record["served_state"] = served.state
+            record["served_deadlock_free"] = deadlock_free
+        return True
+
+    with span("chaos.service_soak", engine=supervisor.engine.name, events=num_events):
+        if not verify_serving(None):  # pragma: no cover - ctor verifies already
+            return _finalise(report, supervisor)
+        while report.events_submitted < num_events:
+            room = num_events - report.events_submitted
+            # Burst size derives from the event index, not an RNG draw, so
+            # a restored run replays the exact submit/process cadence.
+            burst = 1 if burst_max <= 1 else 1 + report.events_submitted % burst_max
+            events = []
+            for _ in range(min(burst, room)):
+                stepped = injector.step()
+                if stepped is None:
+                    break
+                events.append(stepped[0])
+            if not events:
+                break  # fully degraded; nothing left to fail or repair
+            first_index = report.events_submitted
+            for event in events:
+                supervisor.submit(event)
+            report.events_submitted += len(events)
+
+            injected = any(
+                first_index + i in inject_timeout_at for i in range(len(events))
+            )
+            saved_policy = supervisor.policy
+            if injected:
+                supervisor.policy = saved_policy.with_(repair_deadline_s=0.0)
+            try:
+                outcome = supervisor.process()
+            finally:
+                supervisor.policy = saved_policy
+            record = outcome.to_dict() if outcome is not None else {"action": "none"}
+            record["events_range"] = [first_index, report.events_submitted - 1]
+            record["injected_timeout"] = injected
+            ok = verify_serving(record)
+            report.records.append(record)
+            if not ok:
+                break
+            if (
+                kill_after is not None
+                and kill_fn is not None
+                and report.events_submitted >= kill_after
+            ):
+                kill_fn()  # usually never returns (os._exit)
+                break  # pragma: no cover - test doubles return
+    return _finalise(report, supervisor)
+
+
+def _finalise(report: ServiceSoakReport, supervisor) -> ServiceSoakReport:
+    served = supervisor.serving()
+    report.final_state = served.state
+    report.final_version = served.version
+    return report

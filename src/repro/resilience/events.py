@@ -66,6 +66,18 @@ class FaultEvent:
             "switch": self.switch,
         }
 
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultEvent":
+        """Inverse of :meth:`to_dict` (checkpoints persist queued events)."""
+        if data.get("kind") not in (LINK_DOWN, SWITCH_DOWN, LINK_UP):
+            raise ReproError(f"unknown fault-event kind {data.get('kind')!r}")
+        cable = data.get("cable")
+        return cls(
+            kind=data["kind"],
+            cable=tuple(int(c) for c in cable) if cable is not None else None,
+            switch=int(data["switch"]) if data.get("switch") is not None else None,
+        )
+
 
 def relative_degradation(prev: DegradedFabric, cur: DegradedFabric) -> DegradedFabric:
     """Compose two degradations of the same baseline into a prev→cur map.

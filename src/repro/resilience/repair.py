@@ -35,6 +35,7 @@ from repro.network.validate import check_routable
 from repro.obs import DURATION_BUCKETS, RATIO_BUCKETS, get_registry, span
 from repro.routing.base import LayeredRouting, RoutingResult, RoutingTables
 from repro.routing.paths import extract_paths
+from repro.service.budget import check_budget
 
 
 def count_fallback(engine: str, reason: str = "") -> None:
@@ -170,6 +171,7 @@ def repair_routing(
         is_term = new.kinds == 1  # NodeKind.TERMINAL
         with span("repair.dijkstra", destinations=len(affected)):
             for t_idx in affected:
+                check_budget()  # cooperative deadline (repro.service)
                 dest = int(new.terminals[t_idx])
                 dist, parent = dijkstra_to_dest(new, dest, weights)
                 next_channel[:, t_idx] = parent
@@ -248,6 +250,7 @@ def _repair_layers(
 
     escalations = 0
     for pid in map(int, repaired):
+        check_budget()  # cooperative deadline (repro.service)
         guess = int(path_layers[pid])
         chans = paths.path(pid)
         placed = -1

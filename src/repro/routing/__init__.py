@@ -18,7 +18,13 @@ from repro.routing.dor import DOREngine
 from repro.routing.dor_vc import DORVCEngine
 from repro.routing.ftree import FatTreeEngine, tree_ranks
 from repro.routing.lash import LASHEngine
-from repro.routing.io import fabric_fingerprint, load_routing, save_routing
+from repro.routing.io import (
+    RoutingState,
+    fabric_fingerprint,
+    load_routing,
+    load_routing_state,
+    save_routing,
+)
 from repro.routing.registry import (
     DEADLOCK_FREE_ENGINES,
     ENGINES,
@@ -28,8 +34,10 @@ from repro.routing.registry import (
 )
 
 __all__ = [
+    "RoutingState",
     "fabric_fingerprint",
     "load_routing",
+    "load_routing_state",
     "save_routing",
     "LayeredRouting",
     "RoutingEngine",

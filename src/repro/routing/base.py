@@ -22,6 +22,7 @@ import numpy as np
 from repro.exceptions import RoutingError
 from repro.network.fabric import Fabric
 from repro.network.validate import check_routable
+from repro.service.budget import check_budget
 
 
 class RoutingTables:
@@ -209,6 +210,10 @@ class RoutingEngine(ABC):
     supports_incremental_reroute: bool = False
 
     def route(self, fabric: Fabric) -> RoutingResult:
+        # Engines honour the active compute budget (repro.service): SSSP/
+        # DFSSSP poll it in their inner loops; this entry check makes even
+        # single-pass engines fail fast once the deadline has passed.
+        check_budget()
         check_routable(fabric)
         return self._route(fabric)
 

@@ -11,6 +11,7 @@ a different or re-cabled fabric.
 from __future__ import annotations
 
 import hashlib
+from dataclasses import dataclass
 from pathlib import Path
 
 import numpy as np
@@ -18,6 +19,7 @@ import numpy as np
 from repro.exceptions import RoutingError
 from repro.network.fabric import Fabric
 from repro.routing.base import LayeredRouting, RoutingTables
+from repro.utils.atomicio import atomic_path
 
 _FORMAT = 1
 
@@ -36,12 +38,32 @@ def fabric_fingerprint(fabric: Fabric) -> str:
     return h.hexdigest()
 
 
+@dataclass
+class RoutingState:
+    """Everything :func:`save_routing` can persist about one routing."""
+
+    tables: RoutingTables
+    layered: LayeredRouting | None = None
+    channel_weights: np.ndarray | None = None
+
+    @property
+    def engine(self) -> str:
+        return self.tables.engine
+
+
 def save_routing(
     path: str | Path,
     tables: RoutingTables,
     layered: LayeredRouting | None = None,
+    channel_weights: np.ndarray | None = None,
 ) -> None:
-    """Write tables (and optionally the lane assignment) to ``path``."""
+    """Write tables (and optionally lanes + balancing weights) to ``path``.
+
+    ``channel_weights`` carries the SSSP/DFSSSP balancing weights so a
+    restored service keeps balancing across incremental repairs. The file
+    appears atomically: a crash mid-write leaves any previous version
+    intact.
+    """
     payload = {
         "format": np.array([_FORMAT]),
         "engine": np.array([tables.engine]),
@@ -55,20 +77,33 @@ def save_routing(
             raise RoutingError("layered assignment belongs to different tables")
         payload["path_layers"] = layered.path_layers
         payload["num_layers"] = np.array([layered.num_layers])
-    np.savez_compressed(path, **payload)
+    if channel_weights is not None:
+        weights = np.asarray(channel_weights)
+        if weights.shape != (tables.fabric.num_channels,):
+            raise RoutingError(
+                f"channel_weights shape {weights.shape} != ({tables.fabric.num_channels},)"
+            )
+        payload["channel_weights"] = weights
+    # np.savez appends ".npz" to extensionless *paths*; an open handle
+    # keeps the temp/final names under our control.
+    with atomic_path(_npz_path(path), "wb") as fp:
+        np.savez_compressed(fp, **payload)
 
 
-def load_routing(
-    path: str | Path, fabric: Fabric
-) -> tuple[RoutingTables, LayeredRouting | None]:
+def _npz_path(path: str | Path) -> Path:
+    path = Path(path)
+    return path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
+
+
+def load_routing_state(path: str | Path, fabric: Fabric) -> RoutingState:
     """Reload routing state, validating it against ``fabric``.
 
     Raises :class:`RoutingError` on version or fingerprint mismatch — the
     fabric was re-cabled since the tables were computed.
     """
     path = Path(path)
-    if not path.exists() and path.with_suffix(path.suffix + ".npz").exists():
-        path = path.with_suffix(path.suffix + ".npz")
+    if not path.exists() and _npz_path(path).exists():
+        path = _npz_path(path)
     with np.load(path, allow_pickle=False) as data:
         if int(data["format"][0]) != _FORMAT:
             raise RoutingError(f"unsupported routing-state format {data['format'][0]}")
@@ -87,4 +122,15 @@ def load_routing(
             layered = LayeredRouting(
                 tables, data["path_layers"], int(data["num_layers"][0])
             )
-    return tables, layered
+        weights = None
+        if "channel_weights" in data:
+            weights = np.array(data["channel_weights"])
+    return RoutingState(tables=tables, layered=layered, channel_weights=weights)
+
+
+def load_routing(
+    path: str | Path, fabric: Fabric
+) -> tuple[RoutingTables, LayeredRouting | None]:
+    """Back-compat wrapper around :func:`load_routing_state`."""
+    state = load_routing_state(path, fabric)
+    return state.tables, state.layered

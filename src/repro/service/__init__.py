@@ -1,0 +1,59 @@
+"""Supervised routing service: deadlines, backoff, checkpoint/restore.
+
+The policy layer over :mod:`repro.resilience`'s mechanisms — see
+``docs/service.md``. Light submodules (:mod:`~repro.service.budget`,
+:mod:`~repro.service.policy`) are imported eagerly; the engine-facing
+ones load lazily so ``repro.core`` can import :func:`check_budget`
+without dragging the whole routing stack (and a circular import) along.
+"""
+
+from repro.service.budget import (
+    Budget,
+    active_budget,
+    check_budget,
+    compute_budget,
+)
+from repro.service.policy import (
+    CLOSED,
+    HALF_OPEN,
+    OPEN,
+    BackoffPolicy,
+    CircuitBreaker,
+    ServicePolicy,
+)
+
+_LAZY = {
+    "Checkpoint": "repro.service.checkpoint",
+    "CheckpointStore": "repro.service.checkpoint",
+    "BatchOutcome": "repro.service.supervisor",
+    "RoutingSupervisor": "repro.service.supervisor",
+    "ServedRouting": "repro.service.supervisor",
+    "HEALTHY": "repro.service.supervisor",
+    "REPAIRING": "repro.service.supervisor",
+    "DEGRADED": "repro.service.supervisor",
+    "FAILED": "repro.service.supervisor",
+    "STATES": "repro.service.supervisor",
+}
+
+__all__ = [
+    "Budget",
+    "active_budget",
+    "check_budget",
+    "compute_budget",
+    "BackoffPolicy",
+    "CircuitBreaker",
+    "ServicePolicy",
+    "CLOSED",
+    "OPEN",
+    "HALF_OPEN",
+    *sorted(_LAZY),
+]
+
+
+def __getattr__(name: str):
+    target = _LAZY.get(name)
+    if target is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(target), name)

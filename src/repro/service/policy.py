@@ -1,0 +1,181 @@
+"""Retry, backoff and circuit-breaker policy for the routing service.
+
+The supervisor's escalation ladder (incremental repair → full reroute →
+fallback engine) is mechanism; this module is the policy that drives it:
+how long each rung may run (:class:`ServicePolicy` deadlines), how often
+a failed rung is retried and how the retries space out
+(:class:`BackoffPolicy`, exponential with decorrelating jitter), and when
+the service stops burning CPU on a fabric it cannot route
+(:class:`CircuitBreaker` — trips open after N consecutive batch
+failures, probes again after a cooldown).
+
+Everything is JSON round-trippable (``to_dict``/``from_dict``) so the
+supervisor can persist its policy and breaker state into checkpoints and
+resume identically after a crash.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import asdict, dataclass, field, replace
+
+#: circuit-breaker states
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half_open"
+
+
+@dataclass(frozen=True)
+class BackoffPolicy:
+    """Exponential backoff with multiplicative jitter.
+
+    ``delay(attempt, rng)`` for attempt 0, 1, 2, … is
+    ``min(cap_s, base_s * factor**attempt)`` scaled by a uniform factor
+    in ``[1 - jitter, 1]`` — jitter only ever *shortens* the wait, so the
+    cap remains a hard upper bound and tests can bound total retry time.
+    """
+
+    base_s: float = 0.05
+    factor: float = 2.0
+    cap_s: float = 2.0
+    jitter: float = 0.5
+    max_attempts: int = 3
+
+    def __post_init__(self):
+        if self.base_s < 0 or self.cap_s < 0:
+            raise ValueError("backoff delays must be >= 0")
+        if not (0.0 <= self.jitter <= 1.0):
+            raise ValueError(f"jitter must be in [0, 1], got {self.jitter}")
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+
+    def delay(self, attempt: int, rng=None) -> float:
+        d = min(self.cap_s, self.base_s * self.factor ** max(0, attempt))
+        if rng is not None and self.jitter:
+            d *= 1.0 - self.jitter * float(rng.random())
+        return d
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "BackoffPolicy":
+        return cls(**data)
+
+
+class CircuitBreaker:
+    """Trip after ``threshold`` consecutive failures; probe after cooldown.
+
+    States: *closed* (normal operation), *open* (all attempts rejected
+    until ``cooldown_s`` elapsed on the supplied monotonic clock),
+    *half-open* (one probe allowed; success closes, failure re-opens).
+    """
+
+    def __init__(self, threshold: int = 3, cooldown_s: float = 30.0, *,
+                 clock=time.monotonic):
+        if threshold < 1:
+            raise ValueError("breaker threshold must be >= 1")
+        self.threshold = threshold
+        self.cooldown_s = cooldown_s
+        self.clock = clock
+        self.state = CLOSED
+        self.failures = 0
+        self.opened_at: float | None = None
+
+    @property
+    def open(self) -> bool:
+        return self.state == OPEN
+
+    def allow(self) -> bool:
+        """May the caller attempt work right now?
+
+        Transitions *open* → *half-open* once the cooldown has elapsed
+        (the caller owning that ``True`` is the single probe).
+        """
+        if self.state == OPEN:
+            if self.opened_at is not None and self.clock() - self.opened_at >= self.cooldown_s:
+                self.state = HALF_OPEN
+                return True
+            return False
+        return True
+
+    def record_success(self) -> None:
+        self.state = CLOSED
+        self.failures = 0
+        self.opened_at = None
+
+    def record_failure(self) -> None:
+        self.failures += 1
+        if self.state == HALF_OPEN or self.failures >= self.threshold:
+            self.state = OPEN
+            self.opened_at = self.clock()
+
+    def to_dict(self) -> dict:
+        """Persistable state (relative cooldown remaining, not clock values —
+        monotonic clocks do not survive a process restart)."""
+        remaining = None
+        if self.state == OPEN and self.opened_at is not None:
+            remaining = max(0.0, self.cooldown_s - (self.clock() - self.opened_at))
+        return {
+            "threshold": self.threshold,
+            "cooldown_s": self.cooldown_s,
+            "state": self.state,
+            "failures": self.failures,
+            "cooldown_remaining_s": remaining,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict, *, clock=time.monotonic) -> "CircuitBreaker":
+        breaker = cls(int(data["threshold"]), float(data["cooldown_s"]), clock=clock)
+        breaker.state = data.get("state", CLOSED)
+        breaker.failures = int(data.get("failures", 0))
+        if breaker.state == OPEN:
+            remaining = float(data.get("cooldown_remaining_s") or 0.0)
+            # Re-anchor so the restored breaker re-probes after the same
+            # residual cooldown it had when checkpointed.
+            breaker.opened_at = clock() - (breaker.cooldown_s - remaining)
+        return breaker
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"CircuitBreaker({self.state}, failures={self.failures}/{self.threshold})"
+
+
+@dataclass(frozen=True)
+class ServicePolicy:
+    """All supervisor knobs in one JSON-serialisable bundle.
+
+    Deadlines are seconds on the service's monotonic clock; ``None``
+    disables the corresponding budget (unlimited).
+    """
+
+    repair_deadline_s: float | None = 5.0
+    full_deadline_s: float | None = 30.0
+    backoff: BackoffPolicy = field(default_factory=BackoffPolicy)
+    breaker_threshold: int = 3
+    breaker_cooldown_s: float = 30.0
+    fallback_engine: str | None = "updown"
+    checkpoint_every: int = 1
+    keep_checkpoints: int = 3
+
+    def __post_init__(self):
+        if self.checkpoint_every < 1:
+            raise ValueError("checkpoint_every must be >= 1")
+        if self.keep_checkpoints < 1:
+            raise ValueError("keep_checkpoints must be >= 1")
+
+    def with_(self, **changes) -> "ServicePolicy":
+        """A copy with the given fields replaced (soaks use this to inject
+        timeouts for specific events)."""
+        return replace(self, **changes)
+
+    def to_dict(self) -> dict:
+        data = asdict(self)
+        data["backoff"] = self.backoff.to_dict()
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ServicePolicy":
+        data = dict(data)
+        if "backoff" in data and isinstance(data["backoff"], dict):
+            data["backoff"] = BackoffPolicy.from_dict(data["backoff"])
+        return cls(**data)

@@ -1,0 +1,553 @@
+"""Supervised routing service: the policy layer over fault streams.
+
+The paper's DFSSSP ran inside OpenSM — a long-running subnet manager
+that must keep handing out *valid* forwarding tables while the fabric
+changes underneath it. :class:`RoutingSupervisor` reproduces that
+operational contract on top of the PR-2 mechanisms (fault events,
+incremental repair, chaos streams):
+
+* **Queue + coalescing.** Fault events are :meth:`submit`-ted into a
+  queue; :meth:`process` drains the whole backlog into *one* repair
+  batch, so a burst of failures costs one recompute, not one per event.
+* **Deadlines.** Every recompute runs under a cooperative
+  :class:`~repro.service.budget.Budget`; the SSSP/DFSSSP/repair inner
+  loops poll it and abandon work with
+  :class:`~repro.exceptions.ComputeTimeoutError` when it expires.
+* **Escalation ladder.** incremental repair → full reroute → safe
+  fallback engine (Up*/Down* by default), each rung retried with
+  exponential backoff + jitter. A rung's result is *independently
+  verified* (reachability + per-layer acyclicity) before it is accepted —
+  the supervisor never serves an unroutable or cyclic table.
+* **Last-known-good serving.** While repairing — and after a failed
+  batch — :meth:`serving` keeps returning the previous good routing,
+  explicitly marked ``stale``. A :class:`~repro.service.policy.CircuitBreaker`
+  trips to ``FAILED`` after N consecutive batch failures and re-probes
+  after a cooldown.
+* **Checkpoint/restore.** Atomic checkpoints (baseline fabric + tables +
+  balancing weights + supervisor state) are written through a
+  :class:`~repro.service.checkpoint.CheckpointStore`; a killed process
+  :meth:`restore`-s and resumes mid-soak with identical state.
+
+State machine::
+
+              submit+process            all rungs fail
+    HEALTHY ----------------> REPAIRING ----------------> DEGRADED (stale LKG)
+       ^                        |    |                       |
+       |   verified repair/full |    | fallback engine ok    | breaker trips
+       +------------------------+    +--> DEGRADED (fresh) --+--> FAILED
+                                                             cooldown -> re-probe
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from dataclasses import asdict, dataclass, field
+
+from repro.deadlock.verify import verify_deadlock_free
+from repro.exceptions import ComputeTimeoutError, ReproError, RoutingError, ServiceError
+from repro.network.fabric import Fabric
+from repro.network.faults import DegradedFabric, degrade, identity_degradation
+from repro.network.validate import check_routable
+from repro.obs import DURATION_BUCKETS, get_registry, span
+from repro.resilience.events import LINK_UP, FaultEvent, relative_degradation
+from repro.routing.base import RoutingEngine, RoutingResult
+from repro.routing.paths import extract_paths
+from repro.routing.registry import make_engine
+from repro.service.budget import compute_budget
+from repro.service.checkpoint import Checkpoint, CheckpointStore
+from repro.service.policy import CircuitBreaker, ServicePolicy
+from repro.utils.prng import make_rng
+
+#: supervisor states
+HEALTHY = "healthy"
+REPAIRING = "repairing"
+DEGRADED = "degraded"
+FAILED = "failed"
+
+STATES = (HEALTHY, REPAIRING, DEGRADED, FAILED)
+
+_STATE_CODES = {state: i for i, state in enumerate(STATES)}
+
+
+@dataclass(frozen=True)
+class ServedRouting:
+    """What a routing query gets: always *some* valid tables.
+
+    ``stale`` is True when the tables were computed for an older fabric
+    than the physically current one (failed or still-pending repairs);
+    consumers decide whether stale-but-deadlock-free beats nothing.
+    """
+
+    result: RoutingResult
+    stale: bool
+    version: int
+    state: str
+    pending_events: int
+
+    @property
+    def fabric(self) -> Fabric:
+        return self.result.tables.fabric
+
+
+@dataclass
+class BatchOutcome:
+    """JSON-friendly record of one coalesced repair batch."""
+
+    batch: int
+    events: list[dict] = field(default_factory=list)
+    coalesced: int = 0
+    action: str = "none"  # "repair" | "full" | "fallback" | "rejected" | "failed"
+    ok: bool = False
+    attempts: int = 0
+    timeouts: int = 0
+    seconds: float = 0.0
+    state: str = HEALTHY
+    version: int = 0
+    stale: bool = False
+    switches: int | None = None
+    cables: int | None = None
+    errors: list[str] = field(default_factory=list)
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+
+class RoutingSupervisor:
+    """Long-running routing service over one fabric's fault stream.
+
+    Parameters
+    ----------
+    fabric:
+        The healthy baseline. The initial route runs (and is verified)
+        during construction, so a constructed supervisor always serves.
+    engine:
+        Primary engine — a name or a :class:`RoutingEngine` instance.
+    policy:
+        :class:`ServicePolicy` knobs (deadlines, backoff, breaker,
+        fallback, checkpoint cadence).
+    checkpoint_dir:
+        Enables checkpointing; ``restore`` resumes from it.
+    clock / sleep:
+        Monotonic clock for breaker cooldowns and a sleep for backoff —
+        injectable so tests run instantly and deterministically. Compute
+        deadlines always use :func:`time.perf_counter` internally.
+    seed:
+        Jitter RNG seed (backoff determinism in tests).
+    """
+
+    def __init__(
+        self,
+        fabric: Fabric | None = None,
+        engine: str | RoutingEngine = "dfsssp",
+        policy: ServicePolicy | None = None,
+        checkpoint_dir=None,
+        *,
+        clock=time.monotonic,
+        sleep=time.sleep,
+        seed=0,
+        _restored: Checkpoint | None = None,
+    ):
+        self.policy = policy or ServicePolicy()
+        self.engine = engine if isinstance(engine, RoutingEngine) else make_engine(engine)
+        self.clock = clock
+        self.sleep = sleep
+        self.rng = make_rng(seed)
+        self.breaker = CircuitBreaker(
+            self.policy.breaker_threshold, self.policy.breaker_cooldown_s, clock=clock
+        )
+        self._store = (
+            CheckpointStore(checkpoint_dir, keep=self.policy.keep_checkpoints)
+            if checkpoint_dir is not None
+            else None
+        )
+        self._queue: deque[FaultEvent] = deque()
+        self._uncommitted: list[FaultEvent] = []
+        self.extra: dict = {}
+        self.events_submitted = 0
+        self.batches = 0
+        self.consecutive_failures = 0
+
+        if _restored is not None:
+            self._adopt(_restored)
+            self._count_restore()
+            return
+
+        if fabric is None:
+            raise ServiceError("a fabric is required unless restoring from a checkpoint")
+        self.baseline = fabric
+        self._committed = identity_degradation(fabric)
+        self._committed_cables: set[tuple[int, int]] = set()
+        self._committed_switches: set[int] = set()
+        self._stale = False
+        self.version = 0
+        self._ckpt_seq = 1
+        self._successes_since_checkpoint = 0
+        with span("service.initial_route", engine=self.engine.name):
+            with compute_budget(self.policy.full_deadline_s, label="initial_route"):
+                result = self.engine.route(fabric)
+            self._verify(result)
+        self._lkg = result
+        self.version = 1
+        self._set_state(HEALTHY)
+        if self._store is not None:
+            self.checkpoint()
+
+    # ------------------------------------------------------------------
+    # restore
+    # ------------------------------------------------------------------
+    @classmethod
+    def restore(
+        cls,
+        checkpoint_dir,
+        *,
+        policy: ServicePolicy | None = None,
+        clock=time.monotonic,
+        sleep=time.sleep,
+        seed=0,
+    ) -> "RoutingSupervisor":
+        """Resume from the newest checkpoint under ``checkpoint_dir``.
+
+        The persisted policy is used unless an explicit ``policy``
+        overrides it; breaker state, dead sets, queued events, counters
+        and the ``extra`` dict all come back exactly as checkpointed.
+        """
+        store = CheckpointStore(checkpoint_dir)
+        with span("service.restore", path=str(checkpoint_dir)):
+            ckpt = store.load()
+            restored_policy = policy or ServicePolicy.from_dict(ckpt.state["policy"])
+            sup = cls(
+                engine=str(ckpt.state["engine"]),
+                policy=restored_policy,
+                checkpoint_dir=checkpoint_dir,
+                clock=clock,
+                sleep=sleep,
+                seed=seed,
+                _restored=ckpt,
+            )
+        return sup
+
+    def _adopt(self, ckpt: Checkpoint) -> None:
+        state = ckpt.state
+        self.baseline = ckpt.baseline
+        self._committed = ckpt.degraded
+        self._committed_cables = {tuple(int(c) for c in k) for k in state["dead_cables"]}
+        self._committed_switches = {int(s) for s in state["dead_switches"]}
+        self._lkg = ckpt.result
+        self._uncommitted = [FaultEvent.from_dict(e) for e in state.get("uncommitted", [])]
+        self._stale = bool(state.get("stale", False))
+        self.version = int(state.get("lkg_version", 1))
+        self._ckpt_seq = ckpt.version + 1
+        self._successes_since_checkpoint = 0
+        self.events_submitted = int(state.get("events_submitted", 0))
+        self.batches = int(state.get("batches", 0))
+        self.consecutive_failures = int(state.get("consecutive_failures", 0))
+        self.breaker = CircuitBreaker.from_dict(state["breaker"], clock=self.clock)
+        self.extra = dict(state.get("extra", {}))
+        self._set_state(state.get("state", HEALTHY))
+
+    def _count_restore(self) -> None:
+        get_registry().counter(
+            "service_restores", "supervisor restores from checkpoint",
+            engine=self.engine.name,
+        ).inc()
+
+    # ------------------------------------------------------------------
+    # serving / queue
+    # ------------------------------------------------------------------
+    @property
+    def state(self) -> str:
+        return self._state
+
+    def _set_state(self, state: str) -> None:
+        if state not in STATES:
+            raise ServiceError(f"unknown supervisor state {state!r}")
+        self._state = state
+        get_registry().gauge(
+            "service_state",
+            "supervisor state (0=healthy 1=repairing 2=degraded 3=failed)",
+            engine=self.engine.name,
+        ).set(_STATE_CODES[state])
+
+    def serving(self) -> ServedRouting:
+        """The routing a query gets *right now* — never unroutable/cyclic."""
+        return ServedRouting(
+            result=self._lkg,
+            stale=self._stale,
+            version=self.version,
+            state=self._state,
+            pending_events=len(self._queue) + len(self._uncommitted),
+        )
+
+    @property
+    def has_pending(self) -> bool:
+        return bool(self._queue or self._uncommitted)
+
+    def submit(self, event: FaultEvent) -> None:
+        """Queue one fault event (serving is marked stale until repaired)."""
+        self._queue.append(event)
+        self.events_submitted += 1
+        self._stale = True
+        get_registry().counter(
+            "service_events_submitted", "fault events queued at the supervisor",
+            engine=self.engine.name,
+        ).inc()
+
+    # ------------------------------------------------------------------
+    # repair batches
+    # ------------------------------------------------------------------
+    def process(self) -> BatchOutcome | None:
+        """Coalesce the backlog into one repair batch and run the ladder.
+
+        Returns ``None`` when there is nothing to do. Never raises for
+        repair failures — the outcome records them and serving degrades to
+        the stale last-known-good tables.
+        """
+        batch = self._uncommitted + list(self._queue)
+        if not batch:
+            return None
+        self._queue.clear()
+        self._uncommitted = []
+        self.batches += 1
+        outcome = BatchOutcome(
+            batch=self.batches,
+            events=[e.to_dict() for e in batch],
+            coalesced=len(batch),
+            version=self.version,
+        )
+        reg = get_registry()
+        m_batches = reg.counter(
+            "service_batches", "repair batches processed", engine=self.engine.name
+        )
+        h_seconds = reg.histogram(
+            "service_batch_seconds", "wall time per repair batch", buckets=DURATION_BUCKETS
+        )
+
+        if not self.breaker.allow():
+            self._uncommitted = batch
+            outcome.action = "rejected"
+            outcome.state = self._state
+            outcome.stale = self._stale
+            outcome.errors.append(
+                f"circuit breaker open ({self.breaker.failures} consecutive failures); "
+                f"serving stale last-known-good"
+            )
+            m_batches.inc()
+            return outcome
+
+        t0 = time.perf_counter()
+        with span(
+            "service.batch", engine=self.engine.name, coalesced=len(batch)
+        ) as sp:
+            prev_state = self._state
+            self._set_state(REPAIRING)
+            try:
+                target, cables, switches, has_link_up = self._apply_events(batch)
+            except ReproError as err:
+                self._record_failure(batch, outcome, prev_state,
+                                     [f"batch not routable: {err}"])
+                outcome.seconds = time.perf_counter() - t0
+                sp.set_attr("action", outcome.action)
+                m_batches.inc()
+                h_seconds.observe(outcome.seconds)
+                return outcome
+            outcome.switches = target.fabric.num_switches
+            outcome.cables = target.fabric.num_channels // 2
+            rel = relative_degradation(self._committed, target)
+
+            action, result, errors = self._run_ladder(target, rel, has_link_up, outcome)
+            if result is not None:
+                self._accept(result, target, cables, switches, action)
+                outcome.ok = True
+                outcome.action = action
+                outcome.state = self._state
+                outcome.version = self.version
+                outcome.stale = self._stale
+            else:
+                self._record_failure(batch, outcome, prev_state, errors)
+            outcome.seconds = time.perf_counter() - t0
+            sp.set_attr("action", outcome.action)
+            sp.set_attr("attempts", outcome.attempts)
+        m_batches.inc()
+        h_seconds.observe(outcome.seconds)
+        return outcome
+
+    def _apply_events(self, batch):
+        """Fold a batch into tentative dead sets and rebuild the target fabric."""
+        cables = set(self._committed_cables)
+        switches = set(self._committed_switches)
+        has_link_up = False
+        for event in batch:
+            if event.kind == LINK_UP:
+                cables.discard(event.cable)
+                has_link_up = True
+            elif event.cable is not None:
+                cables.add(event.cable)
+            else:
+                switches.add(int(event.switch))
+        target = degrade(self.baseline, switches, cables)
+        check_routable(target.fabric)
+        return target, cables, switches, has_link_up
+
+    def _run_ladder(self, target: DegradedFabric, rel: DegradedFabric,
+                    has_link_up: bool, outcome: BatchOutcome):
+        """incremental → full → fallback, each rung retried with backoff."""
+        policy = self.policy
+        rungs = []
+        if (
+            self.engine.supports_incremental_reroute
+            and not has_link_up
+            and self._lkg.tables.engine == self.engine.name
+        ):
+            rungs.append(
+                ("repair", policy.repair_deadline_s, policy.backoff.max_attempts,
+                 lambda: self.engine.reroute(self._lkg, rel))
+            )
+        rungs.append(
+            ("full", policy.full_deadline_s, policy.backoff.max_attempts,
+             lambda: self.engine.route(target.fabric))
+        )
+        if policy.fallback_engine and policy.fallback_engine != self.engine.name:
+            fallback = make_engine(policy.fallback_engine)
+            rungs.append(
+                ("fallback", policy.full_deadline_s, 1,
+                 lambda: fallback.route(target.fabric))
+            )
+
+        reg = get_registry()
+        errors: list[str] = []
+        for rung, deadline, max_attempts, attempt_fn in rungs:
+            for attempt in range(max_attempts):
+                if attempt:
+                    delay = policy.backoff.delay(attempt - 1, self.rng)
+                    reg.counter(
+                        "service_backoff_sleeps", "backoff waits between retry attempts",
+                        engine=self.engine.name,
+                    ).inc()
+                    self.sleep(delay)
+                outcome.attempts += 1
+                reg.counter(
+                    "service_attempts", "repair-ladder attempts", rung=rung,
+                    engine=self.engine.name,
+                ).inc()
+                try:
+                    with span("service.attempt", rung=rung, attempt=attempt):
+                        with compute_budget(deadline, label=rung):
+                            result = attempt_fn()
+                        self._verify(result)
+                    return rung, result, errors
+                except ComputeTimeoutError as err:
+                    outcome.timeouts += 1
+                    reg.counter(
+                        "service_timeouts", "compute budgets exhausted", rung=rung,
+                        engine=self.engine.name,
+                    ).inc()
+                    errors.append(f"{rung}[{attempt}]: {err}")
+                except ReproError as err:
+                    errors.append(f"{rung}[{attempt}]: {type(err).__name__}: {err}")
+        return None, None, errors
+
+    def _verify(self, result: RoutingResult) -> None:
+        """Refuse to serve unroutable or cyclic tables (independent check)."""
+        paths = extract_paths(result.tables)
+        if result.layered is not None:
+            report = verify_deadlock_free(result.layered, paths)
+            if not report.deadlock_free:
+                raise RoutingError(
+                    f"candidate routing has cyclic layer CDGs: {sorted(report.cycles)}"
+                )
+
+    def _accept(self, result: RoutingResult, target: DegradedFabric,
+                cables: set, switches: set, action: str) -> None:
+        self._lkg = result
+        self._committed = target
+        self._committed_cables = cables
+        self._committed_switches = switches
+        self._stale = False
+        self.version += 1
+        self.consecutive_failures = 0
+        self.breaker.record_success()
+        # A fallback-engine routing is fresh but not the primary engine's
+        # quality: the service is functioning, degraded.
+        self._set_state(HEALTHY if action in ("repair", "full") else DEGRADED)
+        get_registry().gauge(
+            "service_lkg_version", "version of the routing currently served",
+            engine=self.engine.name,
+        ).set(self.version)
+        self._successes_since_checkpoint += 1
+        if (
+            self._store is not None
+            and self._successes_since_checkpoint >= self.policy.checkpoint_every
+        ):
+            self.checkpoint()
+
+    def _record_failure(self, batch, outcome: BatchOutcome, prev_state: str,
+                        errors: list[str]) -> None:
+        self._uncommitted = batch
+        self._stale = True
+        self.consecutive_failures += 1
+        self.breaker.record_failure()
+        self._set_state(FAILED if self.breaker.open else DEGRADED)
+        outcome.action = "failed"
+        outcome.errors.extend(errors)
+        outcome.state = self._state
+        outcome.stale = True
+        reg = get_registry()
+        reg.counter(
+            "service_batch_failures", "repair batches that exhausted the ladder",
+            engine=self.engine.name,
+        ).inc()
+        reg.gauge(
+            "service_consecutive_failures", "current consecutive batch failures",
+            engine=self.engine.name,
+        ).set(self.consecutive_failures)
+        if self._store is not None:
+            # Persist the failure too: a crash while degraded must restore
+            # with the pending events and breaker state intact.
+            self.checkpoint()
+
+    # ------------------------------------------------------------------
+    # checkpointing
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """JSON-serialisable supervisor state (excluding bulk arrays)."""
+        return {
+            "engine": self.engine.name,
+            "state": self._state,
+            "stale": self._stale,
+            "lkg_version": self.version,
+            "dead_cables": [list(k) for k in sorted(self._committed_cables)],
+            "dead_switches": sorted(self._committed_switches),
+            "uncommitted": [e.to_dict() for e in self._uncommitted + list(self._queue)],
+            "consecutive_failures": self.consecutive_failures,
+            "events_submitted": self.events_submitted,
+            "batches": self.batches,
+            "breaker": self.breaker.to_dict(),
+            "policy": self.policy.to_dict(),
+            "extra": self.extra,
+        }
+
+    def checkpoint(self) -> "str | None":
+        """Write an atomic checkpoint now; returns its path."""
+        if self._store is None:
+            raise ServiceError("supervisor has no checkpoint directory configured")
+        with span("service.checkpoint", version=self._ckpt_seq):
+            path = self._store.save(
+                version=self._ckpt_seq,
+                baseline=self.baseline,
+                result=self._lkg,
+                state=self.state_dict(),
+            )
+        self._ckpt_seq += 1
+        self._successes_since_checkpoint = 0
+        get_registry().counter(
+            "service_checkpoints_written", "checkpoints persisted",
+            engine=self.engine.name,
+        ).inc()
+        return str(path)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"RoutingSupervisor(engine={self.engine.name!r}, state={self._state!r}, "
+            f"version={self.version}, pending={len(self._queue) + len(self._uncommitted)})"
+        )

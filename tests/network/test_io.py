@@ -133,3 +133,60 @@ def test_json_file_is_valid_json(tmp_path, ring5):
     data = json.loads(p.read_text())
     assert data["version"] == 1
     assert len(data["nodes"]) == ring5.num_nodes
+
+
+# ----------------------------------------------------------------------
+# hardened error paths: every failure is a FabricError naming the file
+# ----------------------------------------------------------------------
+def test_load_fabric_missing_file():
+    with pytest.raises(FabricError, match="no-such-fabric.json"):
+        load_fabric("/nonexistent/no-such-fabric.json")
+
+
+def test_load_fabric_malformed_json(tmp_path):
+    p = tmp_path / "broken.json"
+    p.write_text('{"version": 1, "nodes": [')
+    with pytest.raises(FabricError, match="broken.json.*malformed"):
+        load_fabric(p)
+
+
+def test_load_fabric_not_an_object(tmp_path):
+    p = tmp_path / "list.json"
+    p.write_text("[1, 2, 3]")
+    with pytest.raises(FabricError, match="list.json"):
+        load_fabric(p)
+
+
+def test_load_fabric_missing_lists(tmp_path):
+    p = tmp_path / "nolists.json"
+    p.write_text(json.dumps({"version": 1, "nodes": []}))
+    with pytest.raises(FabricError, match="cables"):
+        load_fabric(p)
+
+
+def test_load_fabric_node_without_id(tmp_path):
+    p = tmp_path / "noid.json"
+    p.write_text(json.dumps({"version": 1, "nodes": [{"kind": "switch"}], "cables": []}))
+    with pytest.raises(FabricError, match="'id'"):
+        load_fabric(p)
+
+
+def test_load_fabric_cable_without_endpoints(tmp_path, ring5):
+    data = fabric_to_dict(ring5)
+    data["cables"][0] = {"capacity": 1.0}
+    p = tmp_path / "nocable.json"
+    p.write_text(json.dumps(data))
+    with pytest.raises(FabricError, match="cable 0"):
+        load_fabric(p)
+
+
+def test_load_edge_list_missing_file():
+    with pytest.raises(FabricError, match="no-such.edges"):
+        load_edge_list("/nonexistent/no-such.edges")
+
+
+def test_save_fabric_is_atomic(tmp_path, ring5):
+    p = tmp_path / "atomic.json"
+    save_fabric(ring5, p)
+    leftovers = [q.name for q in tmp_path.iterdir() if q.name != "atomic.json"]
+    assert leftovers == []  # no temp files survive a successful write

@@ -1,0 +1,125 @@
+"""Cooperative compute budgets: deadlines, nesting, engine integration."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import DFSSSPEngine
+from repro.exceptions import ComputeTimeoutError
+from repro.service import Budget, active_budget, check_budget, compute_budget
+
+
+class FakeClock:
+    """Deterministic monotonic clock for budget tests."""
+
+    def __init__(self, t: float = 0.0):
+        self.t = t
+
+    def __call__(self) -> float:
+        return self.t
+
+    def advance(self, dt: float) -> None:
+        self.t += dt
+
+
+def test_budget_expires_on_fake_clock():
+    clock = FakeClock()
+    b = Budget(2.0, label="repair", clock=clock)
+    b.check()
+    clock.advance(1.9)
+    b.check()
+    assert b.remaining() == pytest.approx(0.1)
+    assert not b.expired
+    clock.advance(0.2)
+    assert b.expired
+    with pytest.raises(ComputeTimeoutError) as exc:
+        b.check()
+    assert "repair" in str(exc.value)
+    assert exc.value.limit_s == 2.0
+    assert b.checks == 3
+
+
+def test_unlimited_budget_never_raises():
+    clock = FakeClock()
+    b = Budget(None, clock=clock)
+    clock.advance(1e9)
+    b.check()
+    assert b.remaining() is None
+    assert not b.expired
+
+
+def test_zero_budget_raises_immediately():
+    b = Budget(0.0, clock=FakeClock())
+    with pytest.raises(ComputeTimeoutError):
+        b.check()
+
+
+def test_negative_budget_rejected():
+    with pytest.raises(ValueError):
+        Budget(-1.0)
+
+
+def test_check_budget_is_noop_without_active():
+    assert active_budget() is None
+    check_budget()  # must not raise
+
+
+def test_compute_budget_activates_and_deactivates():
+    clock = FakeClock()
+    with compute_budget(5.0, label="outer", clock=clock) as b:
+        assert active_budget() is b
+        check_budget()
+        assert b.checks == 1
+    assert active_budget() is None
+
+
+def test_active_check_raises_through_check_budget():
+    clock = FakeClock()
+    with compute_budget(1.0, clock=clock):
+        clock.advance(2.0)
+        with pytest.raises(ComputeTimeoutError):
+            check_budget()
+
+
+def test_nested_budget_inherits_tighter_outer_deadline():
+    clock = FakeClock()
+    with compute_budget(1.0, clock=clock) as outer:
+        with compute_budget(10.0, clock=clock) as inner:
+            # Inner may not extend the outer deadline.
+            assert inner.deadline == outer.deadline
+            clock.advance(1.5)
+            with pytest.raises(ComputeTimeoutError):
+                check_budget()
+
+
+def test_nested_budget_keeps_tighter_inner_deadline():
+    clock = FakeClock()
+    with compute_budget(10.0, clock=clock):
+        with compute_budget(1.0, clock=clock) as inner:
+            assert inner.seconds == 1.0
+            clock.advance(1.5)
+            with pytest.raises(ComputeTimeoutError):
+                check_budget()
+        # The outer budget is unaffected by the inner expiry.
+        check_budget()
+
+
+def test_nested_budget_ignores_outer_on_different_clock():
+    outer_clock = FakeClock()
+    with compute_budget(1.0, clock=outer_clock):
+        # Different time source: deadlines are not comparable, so the
+        # inner budget keeps its own.
+        with compute_budget(50.0) as inner:
+            assert inner.seconds == 50.0
+
+
+def test_dfsssp_honours_expired_budget(random16):
+    with compute_budget(0.0, label="unit"):
+        with pytest.raises(ComputeTimeoutError):
+            DFSSSPEngine().route(random16)
+
+
+def test_dfsssp_unlimited_budget_routes(ring5):
+    with compute_budget(None):
+        result = DFSSSPEngine().route(ring5)
+    assert result.deadlock_free

@@ -1,0 +1,124 @@
+"""Checkpoint/restore: atomic persistence, round-trips, corruption handling."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import topologies
+from repro.exceptions import CheckpointError
+from repro.resilience import FaultInjector
+from repro.service import (
+    BackoffPolicy,
+    CheckpointStore,
+    RoutingSupervisor,
+    ServicePolicy,
+)
+
+FAST = ServicePolicy(backoff=BackoffPolicy(base_s=0.0, jitter=0.0, max_attempts=2))
+
+
+@pytest.fixture()
+def fabric():
+    return topologies.random_topology(8, 18, terminals_per_switch=2, seed=3)
+
+
+def _run_events(sup, fabric, n, seed=5, skip=0):
+    injector = FaultInjector(fabric, seed=seed)
+    for _ in range(skip):
+        injector.step()
+    for _ in range(n):
+        stepped = injector.step()
+        if stepped is None:
+            break
+        sup.submit(stepped[0])
+        sup.process()
+
+
+def test_checkpoint_restore_round_trip(tmp_path, fabric):
+    """save -> kill -> restore yields identical tables, layers and weights."""
+    sup = RoutingSupervisor(fabric, policy=FAST, checkpoint_dir=tmp_path / "ckpt")
+    _run_events(sup, fabric, 4)
+    expected = sup.serving()
+
+    # "Kill" the process: drop the object, restore purely from disk.
+    restored = RoutingSupervisor.restore(tmp_path / "ckpt")
+    served = restored.serving()
+
+    assert served.version == expected.version
+    assert served.state == expected.state
+    assert served.stale == expected.stale
+    assert np.array_equal(
+        served.result.tables.next_channel, expected.result.tables.next_channel
+    )
+    assert np.array_equal(
+        served.result.layered.path_layers, expected.result.layered.path_layers
+    )
+    assert served.result.layered.num_layers == expected.result.layered.num_layers
+    assert np.array_equal(
+        served.result.channel_weights, expected.result.channel_weights
+    )
+    assert restored.events_submitted == sup.events_submitted
+    assert restored.policy == sup.policy
+
+    # The restored supervisor keeps working: feed it the next events.
+    _run_events(restored, fabric, 2, skip=4)
+    assert restored.serving().version == expected.version + 2
+
+
+def test_checkpoint_pruning_keeps_latest(tmp_path, fabric):
+    policy = FAST.with_(keep_checkpoints=2)
+    sup = RoutingSupervisor(fabric, policy=policy, checkpoint_dir=tmp_path / "ckpt")
+    _run_events(sup, fabric, 5)
+    dirs = sorted(p.name for p in (tmp_path / "ckpt").iterdir() if p.is_dir())
+    assert len(dirs) == 2
+    store = CheckpointStore(tmp_path / "ckpt")
+    latest = store.latest_version()
+    assert dirs[-1].endswith(f"{latest:08d}")
+    # CURRENT always points at a loadable checkpoint.
+    assert store.load().version == latest
+
+
+def test_load_missing_store_raises(tmp_path):
+    store = CheckpointStore(tmp_path / "empty")
+    with pytest.raises(CheckpointError):
+        store.load()
+
+
+def test_corrupt_state_json_names_file(tmp_path, fabric):
+    sup = RoutingSupervisor(fabric, policy=FAST, checkpoint_dir=tmp_path / "ckpt")
+    sup.checkpoint()
+    store = CheckpointStore(tmp_path / "ckpt")
+    state_file = store.root / store._name(store.latest_version()) / "state.json"
+    state_file.write_text("{ truncated")
+    with pytest.raises(CheckpointError) as exc:
+        store.load()
+    assert "state.json" in str(exc.value)
+
+
+def test_corrupt_current_pointer(tmp_path, fabric):
+    RoutingSupervisor(fabric, policy=FAST, checkpoint_dir=tmp_path / "ckpt")
+    (tmp_path / "ckpt" / "CURRENT").write_text("garbage")
+    with pytest.raises(CheckpointError):
+        CheckpointStore(tmp_path / "ckpt").load()
+
+
+def test_missing_state_keys_rejected(tmp_path, fabric):
+    sup = RoutingSupervisor(fabric, policy=FAST, checkpoint_dir=tmp_path / "ckpt")
+    sup.checkpoint()
+    store = CheckpointStore(tmp_path / "ckpt")
+    state_file = store.root / store._name(store.latest_version()) / "state.json"
+    data = json.loads(state_file.read_text())
+    del data["dead_cables"]
+    state_file.write_text(json.dumps(data))
+    with pytest.raises(CheckpointError):
+        store.load()
+
+
+def test_no_stale_staging_dirs_left(tmp_path, fabric):
+    sup = RoutingSupervisor(fabric, policy=FAST, checkpoint_dir=tmp_path / "ckpt")
+    _run_events(sup, fabric, 3)
+    leftovers = [p for p in (tmp_path / "ckpt").iterdir() if p.name.startswith(".")]
+    assert leftovers == []

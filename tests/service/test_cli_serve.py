@@ -1,0 +1,89 @@
+"""End-to-end CLI: serve soak, simulated SIGKILL, restore, inspection."""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.cli import main
+
+REPO = Path(__file__).resolve().parents[2]
+
+TOPO = [
+    "--family", "random", "--switches", "8", "--links", "18",
+    "--terminals-per-switch", "2", "--seed", "3",
+]
+
+
+def _run_cli(args):
+    """Run the CLI in a real subprocess (needed for os._exit paths)."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src") + os.pathsep + env.get("PYTHONPATH", "")
+    return subprocess.run(
+        [sys.executable, "-m", "repro", *args],
+        capture_output=True, text=True, env=env, cwd=REPO, timeout=300,
+    )
+
+
+def test_serve_in_process(tmp_path, capsys):
+    out = tmp_path / "serve.json"
+    rc = main(
+        ["serve", *TOPO, "--events", "6", "--chaos-seed", "7",
+         "--json", "--out", str(out)]
+    )
+    assert rc == 0
+    summary = json.loads(capsys.readouterr().out)
+    assert summary["survived"] and summary["final_state"] == "healthy"
+    assert json.loads(out.read_text())["summary"]["events_submitted"] == 6
+
+
+def test_serve_kill_restore_inspect(tmp_path):
+    ckpt = tmp_path / "ckpt"
+    report = tmp_path / "serve.json"
+
+    killed = _run_cli(
+        ["serve", *TOPO, "--events", "10", "--chaos-seed", "7",
+         "--checkpoint-dir", str(ckpt), "--kill-after", "5"]
+    )
+    assert killed.returncode == 137, killed.stderr
+    assert "simulating hard kill" in killed.stderr
+    assert not report.exists()  # died before writing any report
+
+    restored = _run_cli(
+        ["serve", "--restore", "--checkpoint-dir", str(ckpt),
+         "--json", "--out", str(report)]
+    )
+    assert restored.returncode == 0, restored.stderr
+    summary = json.loads(restored.stdout)
+    assert summary["survived"] and summary["final_state"] == "healthy"
+    assert summary["skipped_events"] >= 5  # fast-forwarded past the kill
+    assert summary["events_submitted"] == 10  # persisted soak params win
+
+    inspect = _run_cli(["checkpoint", str(ckpt), "--json"])
+    assert inspect.returncode == 0, inspect.stderr
+    info = json.loads(inspect.stdout)
+    assert info["ok"] and info["routable"] and info["deadlock_free"]
+    assert info["engine"] == "dfsssp" and info["state"] == "healthy"
+
+
+def test_serve_restore_requires_checkpoint_dir(capsys):
+    assert main(["serve", "--restore"]) == 1
+    assert "--checkpoint-dir" in capsys.readouterr().err
+
+
+def test_checkpoint_missing_dir(tmp_path, capsys):
+    assert main(["checkpoint", str(tmp_path / "nope")]) == 1
+    assert "no checkpoint" in capsys.readouterr().err
+
+
+def test_serve_inject_timeout(tmp_path, capsys):
+    rc = main(
+        ["serve", *TOPO, "--events", "5", "--chaos-seed", "7",
+         "--inject-timeout-at", "1", "--json"]
+    )
+    assert rc == 0
+    summary = json.loads(capsys.readouterr().out)
+    assert summary["survived"] and summary["compute_timeouts"] >= 1

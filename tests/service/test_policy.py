@@ -1,0 +1,135 @@
+"""Backoff, circuit breaker and service-policy round-trips."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.service import (
+    CLOSED,
+    HALF_OPEN,
+    OPEN,
+    BackoffPolicy,
+    CircuitBreaker,
+    ServicePolicy,
+)
+from repro.utils.prng import make_rng
+
+
+class FakeClock:
+    def __init__(self, t: float = 0.0):
+        self.t = t
+
+    def __call__(self) -> float:
+        return self.t
+
+    def advance(self, dt: float) -> None:
+        self.t += dt
+
+
+# ----------------------------------------------------------------------
+# backoff
+# ----------------------------------------------------------------------
+def test_backoff_grows_exponentially_and_caps():
+    p = BackoffPolicy(base_s=0.1, factor=2.0, cap_s=0.5, jitter=0.0)
+    assert [p.delay(a) for a in range(5)] == [0.1, 0.2, 0.4, 0.5, 0.5]
+
+
+def test_backoff_jitter_only_shortens():
+    p = BackoffPolicy(base_s=1.0, factor=1.0, cap_s=1.0, jitter=0.5)
+    rng = make_rng(123)
+    delays = [p.delay(0, rng) for _ in range(200)]
+    assert all(0.5 <= d <= 1.0 for d in delays)
+    assert min(delays) < max(delays)  # jitter actually varies
+
+
+def test_backoff_validation():
+    with pytest.raises(ValueError):
+        BackoffPolicy(base_s=-1.0)
+    with pytest.raises(ValueError):
+        BackoffPolicy(jitter=1.5)
+    with pytest.raises(ValueError):
+        BackoffPolicy(max_attempts=0)
+
+
+# ----------------------------------------------------------------------
+# circuit breaker
+# ----------------------------------------------------------------------
+def test_breaker_trips_after_threshold():
+    clock = FakeClock()
+    br = CircuitBreaker(threshold=2, cooldown_s=10.0, clock=clock)
+    assert br.allow() and br.state == CLOSED
+    br.record_failure()
+    assert br.allow()  # one failure below threshold
+    br.record_failure()
+    assert br.state == OPEN and not br.allow()
+
+
+def test_breaker_half_open_probe_cycle():
+    clock = FakeClock()
+    br = CircuitBreaker(threshold=1, cooldown_s=10.0, clock=clock)
+    br.record_failure()
+    assert not br.allow()
+    clock.advance(10.0)
+    assert br.allow()  # cooldown elapsed: the single half-open probe
+    assert br.state == HALF_OPEN
+    br.record_failure()  # probe failed: re-open immediately
+    assert br.state == OPEN and not br.allow()
+    clock.advance(10.0)
+    assert br.allow()
+    br.record_success()
+    assert br.state == CLOSED and br.failures == 0 and br.allow()
+
+
+def test_breaker_round_trip_reanchors_cooldown():
+    clock = FakeClock()
+    br = CircuitBreaker(threshold=1, cooldown_s=10.0, clock=clock)
+    br.record_failure()
+    clock.advance(4.0)
+    data = br.to_dict()
+    assert data["cooldown_remaining_s"] == pytest.approx(6.0)
+
+    # "Restart": a fresh monotonic clock starting from zero.
+    clock2 = FakeClock(1000.0)
+    restored = CircuitBreaker.from_dict(data, clock=clock2)
+    assert restored.state == OPEN and not restored.allow()
+    clock2.advance(5.9)
+    assert not restored.allow()
+    clock2.advance(0.2)
+    assert restored.allow()  # same residual cooldown as before the crash
+
+
+def test_breaker_validation():
+    with pytest.raises(ValueError):
+        CircuitBreaker(threshold=0)
+
+
+# ----------------------------------------------------------------------
+# service policy
+# ----------------------------------------------------------------------
+def test_service_policy_round_trip():
+    p = ServicePolicy(
+        repair_deadline_s=1.5,
+        full_deadline_s=None,
+        backoff=BackoffPolicy(base_s=0.01, max_attempts=2),
+        breaker_threshold=5,
+        fallback_engine=None,
+        checkpoint_every=4,
+    )
+    q = ServicePolicy.from_dict(p.to_dict())
+    assert q == p
+    assert isinstance(q.backoff, BackoffPolicy)
+
+
+def test_service_policy_with_replaces_fields():
+    p = ServicePolicy()
+    q = p.with_(repair_deadline_s=0.0)
+    assert q.repair_deadline_s == 0.0
+    assert p.repair_deadline_s == 5.0  # original untouched (frozen)
+    assert q.backoff == p.backoff
+
+
+def test_service_policy_validation():
+    with pytest.raises(ValueError):
+        ServicePolicy(checkpoint_every=0)
+    with pytest.raises(ValueError):
+        ServicePolicy(keep_checkpoints=0)

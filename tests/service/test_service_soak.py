@@ -1,0 +1,89 @@
+"""Service-mode soak: survival, injected timeouts, kill/restore parity."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import topologies
+from repro.resilience import ServiceSoakReport, run_service_soak
+from repro.service import BackoffPolicy, RoutingSupervisor, ServicePolicy
+
+FAST = ServicePolicy(backoff=BackoffPolicy(base_s=0.0, jitter=0.0, max_attempts=2))
+
+
+@pytest.fixture()
+def fabric():
+    return topologies.random_topology(10, 22, terminals_per_switch=2, seed=3)
+
+
+def _no_sleep(_s: float) -> None:
+    pass
+
+
+def test_soak_survives_and_recovers(fabric):
+    sup = RoutingSupervisor(fabric, policy=FAST, sleep=_no_sleep)
+    report = run_service_soak(sup, 12, seed=7, burst_max=2)
+    assert report.survived and report.failure is None
+    assert report.events_submitted == 12
+    assert report.final_state == "healthy"
+    summary = report.summary()
+    assert summary["mode"] == "service"
+    assert sum(summary["batches_by_action"].values()) == summary["batches"]
+    # Every record carries the serving verification fields.
+    assert all("served_version" in r for r in report.records)
+    assert all(r.get("served_deadlock_free") for r in report.records)
+
+
+def test_soak_injected_timeout_escalates(fabric):
+    sup = RoutingSupervisor(fabric, policy=FAST, sleep=_no_sleep)
+    report = run_service_soak(sup, 8, seed=7, inject_timeout_at={2})
+    assert report.survived
+    assert report.summary()["compute_timeouts"] >= 1
+    injected = [r for r in report.records if r["injected_timeout"]]
+    assert injected and all(r["action"] != "repair" for r in injected)
+    # The injected policy swap is transient: the supervisor's own policy
+    # still carries the original deadline.
+    assert sup.policy.repair_deadline_s == FAST.repair_deadline_s
+
+
+def test_soak_kill_and_restore_matches_uninterrupted(tmp_path, fabric):
+    """A SIGKILL mid-soak plus restore must converge on the same state."""
+    reference = RoutingSupervisor(fabric, policy=FAST, sleep=_no_sleep)
+    ref_report = run_service_soak(reference, 14, seed=7, burst_max=3)
+    assert ref_report.survived
+
+    killed = {"flag": False}
+
+    def fake_kill():
+        killed["flag"] = True
+
+    first = RoutingSupervisor(
+        fabric, policy=FAST, checkpoint_dir=tmp_path / "ckpt", sleep=_no_sleep
+    )
+    partial = run_service_soak(
+        first, 14, seed=7, burst_max=3, kill_after=6, kill_fn=fake_kill
+    )
+    assert killed["flag"]
+    assert partial.events_submitted < 14
+
+    restored = RoutingSupervisor.restore(tmp_path / "ckpt")
+    restored.sleep = _no_sleep
+    resumed = run_service_soak(restored, 14, seed=7, burst_max=3)
+    assert resumed.survived
+    assert resumed.skipped_events == partial.events_submitted
+    assert resumed.events_submitted == 14
+    assert resumed.final_state == ref_report.final_state
+    assert resumed.final_version == ref_report.final_version
+
+
+def test_soak_report_round_trips(tmp_path, fabric):
+    sup = RoutingSupervisor(fabric, policy=FAST, sleep=_no_sleep)
+    report = run_service_soak(sup, 4, seed=7)
+    out = tmp_path / "soak.json"
+    report.save(out)
+    data = json.loads(out.read_text())
+    assert data["summary"]["events_submitted"] == 4
+    assert len(data["batches"]) == len(report.records)
+    assert isinstance(report, ServiceSoakReport)
