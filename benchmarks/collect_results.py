@@ -41,6 +41,9 @@ ORDER = [
         "table2_nas_1024",
         "thm1_reduction",
     ]),
+    ("Performance", [
+        "parallel_speedup",
+    ]),
     ("Extensions", [
         "ext_nas_ranger",
         "ext_dragonfly_vls",

@@ -1,0 +1,220 @@
+"""Performance-regression gate for the routing hot path.
+
+Measures, on the reference fabric ``xgft(3, (8,8,6), (1,4,4))`` (88
+switches, 384 terminals — large enough that process-pool startup is
+noise):
+
+* serial SSSP / DFSSSP route time and peak memory (tracemalloc),
+* parallel DFSSSP (``workers=4, kernel="numpy"``) route time,
+
+and writes everything to ``benchmarks/results/BENCH_parallel.json`` (the
+CI artifact) plus the usual text table for RESULTS.md.
+
+Two gates fail the run:
+
+* **speedup** — parallel DFSSSP must be ≥ 2× faster than serial at 4
+  workers (the tentpole's acceptance criterion; currently ~2.7×);
+* **regression** — serial SSSP, *normalized by a machine-speed
+  calibration primitive*, must not be > 20% slower than the committed
+  baseline in ``benchmarks/baselines/BENCH_parallel_baseline.json``.
+  The calibration primitive (pure-Python heap churn, independent of the
+  routing code) cancels host-speed differences, so the gate tracks code
+  regressions, not runner hardware.
+
+After an *intentional* perf change, refresh the baseline::
+
+    PYTHONPATH=src python benchmarks/test_perf_regression.py --rebaseline
+"""
+
+from __future__ import annotations
+
+import heapq
+import json
+import time
+import tracemalloc
+from pathlib import Path
+
+import numpy as np
+
+from repro.core import DFSSSPEngine, SSSPEngine
+from repro.network.topologies import xgft
+from repro.utils.reporting import Table
+
+from conftest import RESULTS_DIR, emit
+
+BASELINE_PATH = Path(__file__).parent / "baselines" / "BENCH_parallel_baseline.json"
+BENCH_JSON = RESULTS_DIR / "BENCH_parallel.json"
+
+#: reference fabric (see module docstring)
+REFERENCE_XGFT = (3, (8, 8, 6), (1, 4, 4))
+
+#: smaller companion fabric for the tracemalloc pass — allocation tracing
+#: slows Python-heavy code ~10x, so memory is profiled separately from time
+MEMORY_XGFT = (3, (6, 6, 6), (1, 3, 3))
+
+#: serial-SSSP regression tolerance vs the committed baseline
+REGRESSION_FACTOR = 1.2
+
+#: required parallel-DFSSSP speedup at PARALLEL_WORKERS workers
+MIN_SPEEDUP = 2.0
+PARALLEL_WORKERS = 4
+
+
+def _calibrate() -> float:
+    """Machine-speed unit: seconds for a fixed pure-Python heap workload.
+
+    Deliberately independent of the routing code (a regression there must
+    not slow the yardstick too) but dominated by the same interpreter
+    operations — heap pushes/pops and integer arithmetic — as the serial
+    SSSP hot loop, so host-speed variation divides out of the ratio.
+    """
+    start = time.perf_counter()
+    acc = 0
+    for _ in range(3):
+        h: list[tuple[int, int]] = []
+        for i in range(120_000):
+            heapq.heappush(h, ((i * 2654435761) & 0xFFFFF, i))
+        while h:
+            acc ^= heapq.heappop(h)[1]
+    assert acc == 0
+    return time.perf_counter() - start
+
+
+def _timed_route(engine, fabric):
+    start = time.perf_counter()
+    result = engine.route(fabric)
+    return result, time.perf_counter() - start
+
+
+def _peak_memory_mb(engine, fabric) -> float:
+    """Peak Python-heap allocation of one route, in MB (tracemalloc)."""
+    tracemalloc.start()
+    try:
+        engine.route(fabric)
+        _, peak = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+    return peak / 1e6
+
+
+def measure() -> dict:
+    """All measurements as one JSON-ready record."""
+    fabric = xgft(*REFERENCE_XGFT)
+    calib = _calibrate()
+
+    serial_sssp, t_sssp = _timed_route(SSSPEngine(), fabric)
+    serial_df, t_df = _timed_route(DFSSSPEngine(), fabric)
+    par_engine = DFSSSPEngine(workers=PARALLEL_WORKERS, kernel="numpy")
+    par_df, t_par = _timed_route(par_engine, fabric)
+    par_sssp_engine = SSSPEngine(workers=PARALLEL_WORKERS, kernel="numpy")
+    par_sssp, t_par_sssp = _timed_route(par_sssp_engine, fabric)
+
+    mem_fabric = xgft(*MEMORY_XGFT)
+    mem_sssp = _peak_memory_mb(SSSPEngine(), mem_fabric)
+    mem_df = _peak_memory_mb(DFSSSPEngine(), mem_fabric)
+
+    # The gate only means anything if the parallel run is the *same* run.
+    assert np.array_equal(
+        par_df.tables.next_channel, serial_df.tables.next_channel
+    ), "parallel DFSSSP diverged from serial — perf numbers are meaningless"
+    assert np.array_equal(par_df.layered.path_layers, serial_df.layered.path_layers)
+    assert np.array_equal(
+        par_sssp.tables.next_channel, serial_sssp.tables.next_channel
+    )
+
+    return {
+        "fabric": f"xgft{REFERENCE_XGFT}",
+        "terminals": fabric.num_terminals,
+        "switches": fabric.num_switches,
+        "memory_fabric": f"xgft{MEMORY_XGFT}",
+        "calibration_s": calib,
+        "serial_sssp_s": t_sssp,
+        "serial_sssp_peak_mb": mem_sssp,
+        "serial_dfsssp_s": t_df,
+        "serial_dfsssp_peak_mb": mem_df,
+        "parallel_sssp_s": t_par_sssp,
+        "parallel_dfsssp_s": t_par,
+        "parallel_workers": PARALLEL_WORKERS,
+        "parallel_kernel": "numpy",
+        "dfsssp_speedup": t_df / t_par,
+        "sssp_speedup": t_sssp / t_par_sssp,
+        "serial_sssp_per_calib": t_sssp / calib,
+    }
+
+
+def _emit(record: dict) -> None:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    BENCH_JSON.write_text(json.dumps(record, indent=1) + "\n")
+    table = Table(
+        ["configuration", "time [s]", "speedup", "peak mem [MB]"],
+        title=f"parallel routing on {record['fabric']} "
+        f"({record['terminals']} terminals; memory profiled on "
+        f"{record['memory_fabric']})",
+    )
+    table.add_row(["sssp serial", round(record["serial_sssp_s"], 3), 1.0,
+                   round(record["serial_sssp_peak_mb"], 1)])
+    table.add_row([f"sssp workers={record['parallel_workers']} numpy",
+                   round(record["parallel_sssp_s"], 3),
+                   round(record["sssp_speedup"], 2), None])
+    table.add_row(["dfsssp serial", round(record["serial_dfsssp_s"], 3), 1.0,
+                   round(record["serial_dfsssp_peak_mb"], 1)])
+    table.add_row([f"dfsssp workers={record['parallel_workers']} numpy",
+                   round(record["parallel_dfsssp_s"], 3),
+                   round(record["dfsssp_speedup"], 2), None])
+    emit("parallel_speedup", table.render(), table)
+
+
+def test_parallel_speedup_and_no_serial_regression():
+    record = measure()
+    _emit(record)
+
+    assert record["dfsssp_speedup"] >= MIN_SPEEDUP, (
+        f"parallel DFSSSP speedup {record['dfsssp_speedup']:.2f}x at "
+        f"{PARALLEL_WORKERS} workers is below the required {MIN_SPEEDUP}x "
+        f"(serial {record['serial_dfsssp_s']:.3f}s, "
+        f"parallel {record['parallel_dfsssp_s']:.3f}s)"
+    )
+
+    assert BASELINE_PATH.is_file(), (
+        f"missing committed baseline {BASELINE_PATH}; create it with "
+        "`PYTHONPATH=src python benchmarks/test_perf_regression.py --rebaseline`"
+    )
+    baseline = json.loads(BASELINE_PATH.read_text())
+    allowed = baseline["serial_sssp_per_calib"] * REGRESSION_FACTOR
+    assert record["serial_sssp_per_calib"] <= allowed, (
+        f"serial SSSP regressed: {record['serial_sssp_per_calib']:.2f} "
+        f"calibration units vs baseline "
+        f"{baseline['serial_sssp_per_calib']:.2f} "
+        f"(gate: {REGRESSION_FACTOR:.1f}x). If intentional, rebaseline with "
+        "`PYTHONPATH=src python benchmarks/test_perf_regression.py --rebaseline`"
+    )
+
+
+def _rebaseline() -> None:
+    record = measure()
+    _emit(record)
+    BASELINE_PATH.parent.mkdir(parents=True, exist_ok=True)
+    BASELINE_PATH.write_text(
+        json.dumps(
+            {
+                "fabric": record["fabric"],
+                "serial_sssp_per_calib": record["serial_sssp_per_calib"],
+                "note": "serial SSSP route time divided by the calibration "
+                "primitive; gate allows 1.2x",
+            },
+            indent=1,
+        )
+        + "\n"
+    )
+    print(f"baseline written to {BASELINE_PATH}")
+    print(json.dumps(record, indent=1))
+
+
+if __name__ == "__main__":
+    import sys
+
+    if "--rebaseline" in sys.argv:
+        _rebaseline()
+    else:
+        test_parallel_speedup_and_no_serial_regression()
+        print(BENCH_JSON.read_text())

@@ -54,6 +54,7 @@ from repro.network import load_fabric, save_fabric
 from repro.network import topologies as topo
 from repro.network.fabric import Fabric
 from repro.obs import JsonlSink, get_registry, set_sink
+from repro.parallel.kernel import KERNELS
 from repro.routing import PAPER_ENGINES, extract_paths, make_engine
 from repro.routing.base import LayeredRouting
 from repro.deadlock import verify_deadlock_free
@@ -118,6 +119,40 @@ def _add_topo_args(p: argparse.ArgumentParser) -> None:
     p.add_argument("--seed", type=int, default=0)
 
 
+#: engines that understand the parallel-execution options
+PARALLEL_ENGINES = ("sssp", "dfsssp")
+
+
+def _add_parallel_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--workers", type=int, default=0,
+        help="fan SSSP/DFSSSP destination columns over N worker processes "
+        "(0 = serial; results are bit-identical either way)",
+    )
+    p.add_argument(
+        "--kernel", choices=KERNELS, default="python",
+        help="SSSP/DFSSSP shortest-path kernel (the vectorized 'numpy' "
+        "kernel is bit-identical to the reference 'python' heap)",
+    )
+
+
+def _engine_opts(args, name: str) -> dict:
+    """Parallel options for ``make_engine(name, ...)``.
+
+    Only SSSP/DFSSSP accept ``workers``/``kernel``; other engines get an
+    empty dict so multi-engine commands (``route --engines minhop,dfsssp
+    --workers 4``) keep working.
+    """
+    if name not in PARALLEL_ENGINES:
+        return {}
+    opts: dict = {}
+    if getattr(args, "workers", 0):
+        opts["workers"] = args.workers
+    if getattr(args, "kernel", "python") != "python":
+        opts["kernel"] = args.kernel
+    return opts
+
+
 def _add_obs_args(p: argparse.ArgumentParser) -> None:
     p.add_argument(
         "--trace", metavar="FILE",
@@ -160,7 +195,7 @@ def cmd_route(args) -> int:
     )
     for name in args.engines.split(","):
         try:
-            result = make_engine(name).route(fabric)
+            result = make_engine(name, **_engine_opts(args, name)).route(fabric)
             paths = extract_paths(result.tables)
             layered = result.layered or LayeredRouting.single_layer(result.tables)
             report = verify_deadlock_free(layered, paths)
@@ -189,7 +224,7 @@ def cmd_simulate(args) -> int:
     )
     for name in args.engines.split(","):
         try:
-            result = make_engine(name).route(fabric)
+            result = make_engine(name, **_engine_opts(args, name)).route(fabric)
             sim = CongestionSimulator(result.tables)
             ebb = sim.effective_bisection_bandwidth(args.patterns, seed=args.seed)
             table.add_row([name, ebb.ebb, ebb.minimum, ebb.maximum])
@@ -254,7 +289,7 @@ def cmd_throughput(args) -> int:
         title=f"open-loop throughput on {fabric}",
     )
     for name in args.engines.split(","):
-        result = make_engine(name).route(fabric)
+        result = make_engine(name, **_engine_opts(args, name)).route(fabric)
         sim = FlitSimulator(
             result.tables,
             layered=result.layered,
@@ -304,7 +339,10 @@ def cmd_chaos(args) -> int:
     from repro.resilience import ChaosRunner
 
     fabric = _build_topo(args)
-    runner = ChaosRunner(make_engine(args.engine), verify=not args.no_verify)
+    runner = ChaosRunner(
+        make_engine(args.engine, **_engine_opts(args, args.engine)),
+        verify=not args.no_verify,
+    )
     report = runner.run(
         fabric,
         num_events=args.events,
@@ -392,6 +430,7 @@ def cmd_serve(args) -> int:
             policy=policy,
             checkpoint_dir=args.checkpoint_dir,
             seed=args.seed,
+            engine_opts=_engine_opts(args, args.engine),
         )
         events = args.events
 
@@ -513,7 +552,7 @@ def cmd_deadlock(args) -> int:
     fabric = _build_topo(args)
     pattern = shift_pattern(fabric, args.shift)
     for name in args.engines.split(","):
-        result = make_engine(name).route(fabric)
+        result = make_engine(name, **_engine_opts(args, name)).route(fabric)
         sim = FlitSimulator(
             result.tables,
             layered=result.layered,
@@ -542,6 +581,7 @@ def main(argv: list[str] | None = None) -> int:
     p = sub.add_parser("route", help="run routing engines, show path stats")
     _add_topo_args(p)
     _add_obs_args(p)
+    _add_parallel_args(p)
     p.add_argument("--engines", "--engine", default=",".join(PAPER_ENGINES))
     p.add_argument("--json", action="store_true", help="machine-readable JSON output")
     p.set_defaults(func=cmd_route)
@@ -549,6 +589,7 @@ def main(argv: list[str] | None = None) -> int:
     p = sub.add_parser("simulate", help="effective bisection bandwidth")
     _add_topo_args(p)
     _add_obs_args(p)
+    _add_parallel_args(p)
     p.add_argument("--engines", "--engine", default="minhop,dfsssp")
     p.add_argument("--patterns", type=int, default=50)
     p.add_argument("--json", action="store_true", help="machine-readable JSON output")
@@ -562,6 +603,7 @@ def main(argv: list[str] | None = None) -> int:
     p = sub.add_parser("throughput", help="open-loop saturation sweep")
     _add_topo_args(p)
     _add_obs_args(p)
+    _add_parallel_args(p)
     p.add_argument("--engines", "--engine", default="dfsssp")
     p.add_argument("--rates", default="0.1,0.3,0.6,0.9")
     p.add_argument("--buffers", type=int, default=2)
@@ -586,6 +628,7 @@ def main(argv: list[str] | None = None) -> int:
     p = sub.add_parser("deadlock", help="flit-level deadlock experiment")
     _add_topo_args(p)
     _add_obs_args(p)
+    _add_parallel_args(p)
     p.add_argument("--engines", "--engine", default="sssp,dfsssp")
     p.add_argument("--shift", type=int, default=2)
     p.add_argument("--buffers", type=int, default=1)
@@ -596,6 +639,7 @@ def main(argv: list[str] | None = None) -> int:
     p = sub.add_parser("chaos", help="fault-injection soak (degrade/repair/verify)")
     _add_topo_args(p)
     _add_obs_args(p)
+    _add_parallel_args(p)
     p.add_argument("--engine", default="dfsssp", help="engine under test")
     p.add_argument("--events", type=int, default=50, help="fault events to inject")
     p.add_argument("--chaos-seed", type=int, default=0, help="fault-stream RNG seed")
@@ -615,6 +659,7 @@ def main(argv: list[str] | None = None) -> int:
     )
     _add_topo_args(p)
     _add_obs_args(p)
+    _add_parallel_args(p)
     p.add_argument("--engine", default="dfsssp", help="primary routing engine")
     p.add_argument("--events", type=int, default=50, help="fault events to inject")
     p.add_argument("--chaos-seed", type=int, default=0, help="fault-stream RNG seed")

@@ -45,8 +45,12 @@ class DFSSSPEngine(RoutingEngine):
     balance:
         Spread paths over unused layers after cycle breaking (Algorithm
         2's final step).
-    dest_order / seed / count_switch_sources:
-        Forwarded to :class:`SSSPEngine`.
+    dest_order / seed / count_switch_sources / workers / kernel / batch:
+        Forwarded to :class:`SSSPEngine` — in particular ``workers=N``
+        fans the SSSP phase out over a process pool and ``kernel="numpy"``
+        selects the vectorized Dijkstra, both bit-identical to the serial
+        reference (the layer assignment consumes identical tables, so the
+        layered result is identical too).
     """
 
     name = "dfsssp"
@@ -61,6 +65,9 @@ class DFSSSPEngine(RoutingEngine):
         dest_order: str = "index",
         seed=None,
         count_switch_sources: bool = False,
+        workers: int = 0,
+        kernel: str = "python",
+        batch: int | None = None,
     ):
         if mode not in ("offline", "online"):
             raise ValueError(f"mode must be 'offline' or 'online', got {mode!r}")
@@ -69,7 +76,12 @@ class DFSSSPEngine(RoutingEngine):
         self.mode = mode
         self.balance = balance
         self._sssp = SSSPEngine(
-            dest_order=dest_order, seed=seed, count_switch_sources=count_switch_sources
+            dest_order=dest_order,
+            seed=seed,
+            count_switch_sources=count_switch_sources,
+            workers=workers,
+            kernel=kernel,
+            batch=batch,
         )
 
     def reroute(self, prior, degraded) -> RoutingResult:

@@ -33,7 +33,10 @@ from repro.network.fabric import Fabric
 from repro.obs import DURATION_BUCKETS, get_hooks, get_registry, span
 from repro.routing.base import RoutingEngine, RoutingResult, RoutingTables
 from repro.service.budget import check_budget
-from repro.utils.prng import make_rng
+from repro.utils.prng import make_rng, stable_fabric_seed
+
+#: per-destination shortest-path kernels (see :mod:`repro.parallel.kernel`).
+KERNELS = ("python", "numpy")
 
 
 class SSSPEngine(RoutingEngine):
@@ -46,22 +49,54 @@ class SSSPEngine(RoutingEngine):
         in which destinations are routed influences balancing slightly
         (the paper notes the source order defines the routes).
     seed:
-        RNG seed for ``dest_order="random"``.
+        RNG seed for ``dest_order="random"``. ``None`` derives a stable
+        seed from the fabric (:func:`~repro.utils.prng.stable_fabric_seed`)
+        so results stay reproducible across processes and restarts.
     count_switch_sources:
         Whether switches count as path sources in the weight update. The
         paper's OpenSM implementation balances CA-to-CA routes only
         (default False).
+    workers:
+        0 (default) routes serially in-process. ``N >= 1`` fans the
+        per-destination columns out over an ``N``-process pool
+        (:mod:`repro.parallel.executor`); the result is bit-identical to
+        the serial run.
+    kernel:
+        ``"python"`` (reference heap Dijkstra, default) or ``"numpy"``
+        (vectorized masked-argmin kernel). Both are bit-identical; see
+        :mod:`repro.parallel.kernel`.
+    batch:
+        Hop columns per parallel batch (default ``4 * workers``). Only
+        used when ``workers >= 1``; batching affects scheduling and span
+        granularity, never results.
     """
 
     name = "sssp"
     supports_incremental_reroute = True
 
-    def __init__(self, dest_order: str = "index", seed=None, count_switch_sources: bool = False):
+    def __init__(
+        self,
+        dest_order: str = "index",
+        seed=None,
+        count_switch_sources: bool = False,
+        workers: int = 0,
+        kernel: str = "python",
+        batch: int | None = None,
+    ):
         if dest_order not in ("index", "random"):
             raise ValueError(f"dest_order must be 'index' or 'random', got {dest_order!r}")
+        if kernel not in KERNELS:
+            raise ValueError(f"kernel must be one of {KERNELS}, got {kernel!r}")
+        if workers < 0:
+            raise ValueError(f"workers must be >= 0, got {workers}")
+        if batch is not None and batch < 1:
+            raise ValueError(f"batch must be >= 1 or None, got {batch}")
         self.dest_order = dest_order
         self.seed = seed
         self.count_switch_sources = count_switch_sources
+        self.workers = workers
+        self.kernel = kernel
+        self.batch = batch
 
     # ------------------------------------------------------------------
     def _route(self, fabric: Fabric) -> RoutingResult:
@@ -98,15 +133,48 @@ class SSSPEngine(RoutingEngine):
             count_fallback(self.name, reason=type(err).__name__)
             return self.route(degraded.fabric)
 
+    def resolved_seed(self, fabric: Fabric):
+        """The RNG seed a route on ``fabric`` will actually use.
+
+        An explicit ``seed`` wins; otherwise (``seed=None``) the seed is
+        derived deterministically from the fabric so that ``dest_order=
+        "random"`` stays bit-reproducible across processes — the parallel
+        executor, checkpoint replay and the differential tests rely on it.
+        """
+        return self.seed if self.seed is not None else stable_fabric_seed(fabric)
+
+    def _dest_order(self, fabric: Fabric) -> np.ndarray:
+        order = np.arange(fabric.num_terminals)
+        if self.dest_order == "random":
+            make_rng(self.resolved_seed(fabric)).shuffle(order)
+        return order
+
     def _run(self, fabric: Fabric) -> tuple[RoutingTables, int, np.ndarray]:
         T = fabric.num_terminals
         w0 = T * T + 1
+        order = self._dest_order(fabric)
+
+        if self.workers:
+            from repro.parallel.executor import run_parallel_sssp
+
+            next_channel, weights = run_parallel_sssp(
+                fabric,
+                order,
+                workers=self.workers,
+                kernel=self.kernel,
+                batch=self.batch,
+                count_switch_sources=self.count_switch_sources,
+                engine_name=self.name,
+            )
+            total = int(weights.sum() - w0 * fabric.num_channels)
+            return RoutingTables(fabric, next_channel, engine=self.name), total, weights
+
         weights = np.full(fabric.num_channels, w0, dtype=np.int64)
         next_channel = np.full((fabric.num_nodes, T), -1, dtype=np.int32)
-
-        order = np.arange(T)
-        if self.dest_order == "random":
-            make_rng(self.seed).shuffle(order)
+        if self.kernel == "numpy":
+            from repro.parallel.kernel import dijkstra_to_dest_numpy as dijkstra
+        else:
+            dijkstra = dijkstra_to_dest
 
         reg = get_registry()
         m_sources = reg.counter(
@@ -128,7 +196,7 @@ class SSSPEngine(RoutingEngine):
                 check_budget()  # cooperative deadline (repro.service)
                 dest = int(fabric.terminals[t_idx])
                 with span("sssp.dijkstra", dest=dest) as sp:
-                    dist, parent = dijkstra_to_dest(fabric, dest, weights)
+                    dist, parent = dijkstra(fabric, dest, weights)
                     next_channel[:, t_idx] = parent
                     self._update_weights(
                         fabric, dest, dist, parent, weights, is_term, chan_src

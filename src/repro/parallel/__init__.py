@@ -1,0 +1,37 @@
+"""Parallel routing kernels and the process-pool execution layer.
+
+``repro.parallel`` makes the SSSP/DFSSSP hot path scale without changing
+a single output bit:
+
+* :mod:`repro.parallel.kernel` — the vectorized (numpy) Dijkstra and BFS
+  kernels, selectable on the engines via ``kernel="numpy" | "python"``;
+* :mod:`repro.parallel.executor` — the process pool that fans out
+  per-destination columns in deterministic batches
+  (``SSSPEngine(workers=N)`` / ``DFSSSPEngine(workers=N)``);
+* :mod:`repro.parallel.reduction` — the exact reduction that replays the
+  serial weight-update order and *proves* every column equal to the
+  serial engine's, falling back to a full Dijkstra otherwise.
+
+The determinism contract and the worker model are documented in
+``docs/parallel.md``; the differential suite in ``tests/parallel``
+certifies every parallel path against the serial oracle on every
+topology family.
+"""
+
+from repro.parallel.kernel import (
+    KERNELS,
+    dijkstra_to_dest_numpy,
+    hops_to_dest,
+    resolve_kernel,
+)
+from repro.parallel.reduction import ExactReduction
+from repro.parallel.executor import run_parallel_sssp
+
+__all__ = [
+    "KERNELS",
+    "dijkstra_to_dest_numpy",
+    "hops_to_dest",
+    "resolve_kernel",
+    "ExactReduction",
+    "run_parallel_sssp",
+]

@@ -1,0 +1,258 @@
+"""Process-pool execution layer for SSSP/DFSSSP routing.
+
+The fan-out/reduce split mirrors how per-destination routing
+parallelizes in practice (cf. the Angara graph-routing work): what can
+run concurrently is exactly the *weight-independent* part of each
+destination's column. Workers therefore compute **hop columns** —
+minimum hop counts toward each destination, which no balancing update
+can invalidate — while the parent performs the weight-dependent
+refinement serially, in the engine's fixed destination order, through
+:class:`repro.parallel.reduction.ExactReduction`. Validation with
+Dijkstra fallback makes the combined result bit-identical to the serial
+engine on every fabric, which ``tests/parallel`` asserts property-based
+and per topology family.
+
+Scheduling is deterministic: the ordered destination list is cut into
+fixed-size batches, each batch into per-worker contiguous chunks, and
+results are consumed in submission order — worker count and OS
+scheduling can change timing only, never output. Batch ``b+1`` is
+dispatched before batch ``b`` is reduced, so workers stay busy while the
+parent reduces.
+
+Compute budgets (:mod:`repro.service.budget`) are context-local and do
+not cross process boundaries, so the parent snapshots the active
+budget's remaining seconds into every task; workers re-arm an equivalent
+deadline and poll it from the kernels' inner loops. A worker-side
+:class:`~repro.exceptions.ComputeTimeoutError` is shipped back as a
+plain tuple and re-raised in the parent, preserving the supervisor's
+escalation semantics end to end.
+
+Observability: one ``parallel.run`` span per engine run, one
+``parallel.batch`` span per batch, and ``routing_parallel_*`` metrics
+(workers, batches, columns, validation fallbacks, worker timeouts,
+per-batch wall time) — see ``docs/observability.md``.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.exceptions import ComputeTimeoutError
+from repro.network.fabric import Fabric
+from repro.obs import DURATION_BUCKETS, get_registry, span
+from repro.parallel.kernel import INT64_INF, hops_to_dest, resolve_kernel
+from repro.parallel.reduction import ExactReduction
+from repro.service.budget import active_budget, check_budget, compute_budget
+
+#: default hop columns per batch, per worker (batches of ``4 * workers``).
+BATCH_COLUMNS_PER_WORKER = 4
+
+# ----------------------------------------------------------------------
+# worker side
+# ----------------------------------------------------------------------
+_worker_state: dict = {"fabric": None, "kernel": "numpy"}
+
+
+def _init_worker(fabric: Fabric, kernel: str) -> None:
+    """Pool initializer: pin the (immutable) fabric and kernel choice."""
+    _worker_state["fabric"] = fabric
+    _worker_state["kernel"] = kernel
+
+
+def _hop_column(dest: int) -> np.ndarray:
+    """One destination's hop column with the configured kernel.
+
+    The ``python`` kernel literally fans out
+    :func:`repro.core.sssp.dijkstra_to_dest` on uniform unit weights
+    (whose distances *are* hop counts); ``numpy`` runs the BFS kernel.
+    Both return identical columns.
+    """
+    fabric = _worker_state["fabric"]
+    if _worker_state["kernel"] == "python":
+        from repro.core.sssp import dijkstra_to_dest
+
+        ones = np.ones(fabric.num_channels, dtype=np.int64)
+        dist, _ = dijkstra_to_dest(fabric, dest, ones)
+        return np.where(dist == INT64_INF, -1, dist).astype(np.int32)
+    return hops_to_dest(fabric, dest)
+
+
+def _hop_columns_task(dests: Sequence[int], budget_s, budget_label: str):
+    """Compute hop columns for a chunk of destinations, under a deadline.
+
+    Returns ``("ok", [columns...])`` or ``("timeout", info)`` — shipping
+    the timeout as data keeps the payload picklable regardless of how the
+    exception type evolves.
+    """
+    try:
+        if budget_s is not None:
+            with compute_budget(budget_s, label=budget_label):
+                return ("ok", [_hop_column(int(d)) for d in dests])
+        return ("ok", [_hop_column(int(d)) for d in dests])
+    except ComputeTimeoutError as err:
+        return ("timeout", (str(err), err.label, err.limit_s, err.elapsed_s))
+
+
+# ----------------------------------------------------------------------
+# parent side
+# ----------------------------------------------------------------------
+def _mp_context():
+    """Fork when the platform has it (cheap, fabric shared copy-on-write);
+    spawn otherwise (fabric pickled once per worker via the initializer)."""
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        return multiprocessing.get_context("spawn")
+
+
+def _chunks(items: list, n: int) -> list[list]:
+    """Split ``items`` into at most ``n`` contiguous, near-equal chunks."""
+    n = max(1, min(n, len(items)))
+    size, extra = divmod(len(items), n)
+    out, start = [], 0
+    for i in range(n):
+        end = start + size + (1 if i < extra else 0)
+        out.append(items[start:end])
+        start = end
+    return out
+
+
+def _budget_snapshot():
+    """(remaining seconds, label) of the active budget, for worker re-arm."""
+    budget = active_budget()
+    if budget is None or budget.deadline is None:
+        return None, "compute"
+    return budget.remaining(), budget.label
+
+
+def run_parallel_sssp(
+    fabric: Fabric,
+    order: np.ndarray,
+    *,
+    workers: int,
+    kernel: str = "python",
+    batch: int | None = None,
+    count_switch_sources: bool = False,
+    engine_name: str = "sssp",
+):
+    """Parallel SSSP: fan out hop columns, reduce exactly in ``order``.
+
+    Returns ``(next_channel, weights)`` bit-identical to
+    :meth:`repro.core.sssp.SSSPEngine._run` on the same fabric and
+    destination order.
+    """
+    from repro.core.sssp import update_weights_for_dest
+
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    fallback_dijkstra = resolve_kernel(kernel)
+    T = fabric.num_terminals
+    w0 = T * T + 1
+    weights = np.full(fabric.num_channels, w0, dtype=np.int64)
+    next_channel = np.full((fabric.num_nodes, T), -1, dtype=np.int32)
+    is_term = fabric.kinds == 1  # NodeKind.TERMINAL
+
+    reg = get_registry()
+    reg.gauge(
+        "routing_parallel_workers", "process-pool size of the last parallel run",
+        engine=engine_name,
+    ).set(workers)
+    m_batches = reg.counter(
+        "routing_parallel_batches", "hop-column batches dispatched", engine=engine_name
+    )
+    m_columns = reg.counter(
+        "routing_parallel_columns", "hop columns computed by workers", engine=engine_name
+    )
+    m_fallbacks = reg.counter(
+        "routing_parallel_fallbacks",
+        "reduction columns that failed validation and re-ran full Dijkstra",
+        engine=engine_name,
+    )
+    m_timeouts = reg.counter(
+        "routing_parallel_worker_timeouts",
+        "worker tasks aborted by the polled compute deadline",
+        engine=engine_name,
+    )
+    m_seconds = reg.histogram(
+        "routing_parallel_batch_seconds", "wall time per fan-out/reduce batch",
+        buckets=DURATION_BUCKETS,
+    )
+    m_sources = reg.counter(
+        "sssp_sources_routed", "destination terminals routed (one Dijkstra each)"
+    )
+    m_updates = reg.counter(
+        "sssp_edge_weight_updates", "per-channel weight increments applied after Dijkstras"
+    )
+
+    jobs = [(int(t_idx), int(fabric.terminals[t_idx])) for t_idx in order]
+    batch_size = batch or workers * BATCH_COLUMNS_PER_WORKER
+    if batch_size < 1:
+        raise ValueError(f"batch must be >= 1, got {batch}")
+    batches = [jobs[i : i + batch_size] for i in range(0, len(jobs), batch_size)]
+    reduction = ExactReduction(fabric)
+
+    with span(
+        "parallel.run",
+        engine=engine_name,
+        workers=workers,
+        kernel=kernel,
+        destinations=int(T),
+        batches=len(batches),
+    ):
+        if not batches:
+            return next_channel, weights
+        ctx = _mp_context()
+        with ctx.Pool(workers, initializer=_init_worker, initargs=(fabric, kernel)) as pool:
+            handles: list = [None] * len(batches)
+
+            def dispatch(index: int) -> None:
+                if index >= len(batches):
+                    return
+                budget_s, label = _budget_snapshot()
+                handles[index] = [
+                    pool.apply_async(
+                        _hop_columns_task,
+                        ([dest for _, dest in chunk], budget_s, label),
+                    )
+                    for chunk in _chunks(batches[index], workers)
+                ]
+
+            dispatch(0)
+            for index, batch_jobs in enumerate(batches):
+                dispatch(index + 1)  # keep workers busy while reducing
+                with span(
+                    "parallel.batch", engine=engine_name, batch=index,
+                    columns=len(batch_jobs),
+                ) as sp:
+                    columns: list[np.ndarray] = []
+                    for handle in handles[index]:
+                        status, payload = handle.get()
+                        if status == "timeout":
+                            message, label, limit_s, elapsed_s = payload
+                            m_timeouts.inc()
+                            raise ComputeTimeoutError(
+                                f"parallel worker: {message}",
+                                label=label, limit_s=limit_s, elapsed_s=elapsed_s,
+                            )
+                        columns.extend(payload)
+                    handles[index] = None  # free the batch's column memory
+                    for (t_idx, dest), hops in zip(batch_jobs, columns):
+                        check_budget()  # parent-side deadline between columns
+                        dist, parent = reduction.refine(dest, hops, weights)
+                        if not reduction.validate(dest, dist, parent, weights):
+                            m_fallbacks.inc()
+                            dist, parent = fallback_dijkstra(fabric, dest, weights)
+                        next_channel[:, t_idx] = parent
+                        update_weights_for_dest(
+                            fabric, dest, dist, parent, weights, is_term,
+                            count_switch_sources=count_switch_sources,
+                        )
+                        m_sources.inc()
+                        m_updates.inc(int(np.count_nonzero(parent >= 0)))
+                m_batches.inc()
+                m_columns.inc(len(batch_jobs))
+                m_seconds.observe(sp.duration)
+    return next_channel, weights

@@ -134,6 +134,13 @@ class RoutingSupervisor:
         deadlines always use :func:`time.perf_counter` internally.
     seed:
         Jitter RNG seed (backoff determinism in tests).
+    engine_opts:
+        Keyword options forwarded to :func:`make_engine` when ``engine``
+        is a name (e.g. ``{"workers": 4, "kernel": "numpy"}`` to run the
+        SSSP phase on the parallel executor). Persisted in checkpoints
+        and re-applied on :meth:`restore`, so a restored service keeps
+        its parallel configuration. Ignored when ``engine`` is already an
+        instance.
     """
 
     def __init__(
@@ -146,10 +153,14 @@ class RoutingSupervisor:
         clock=time.monotonic,
         sleep=time.sleep,
         seed=0,
+        engine_opts: dict | None = None,
         _restored: Checkpoint | None = None,
     ):
         self.policy = policy or ServicePolicy()
-        self.engine = engine if isinstance(engine, RoutingEngine) else make_engine(engine)
+        self.engine_opts = {} if isinstance(engine, RoutingEngine) else dict(engine_opts or {})
+        self.engine = (
+            engine if isinstance(engine, RoutingEngine) else make_engine(engine, **self.engine_opts)
+        )
         self.clock = clock
         self.sleep = sleep
         self.rng = make_rng(seed)
@@ -223,6 +234,7 @@ class RoutingSupervisor:
                 clock=clock,
                 sleep=sleep,
                 seed=seed,
+                engine_opts=dict(ckpt.state.get("engine_opts", {})),
                 _restored=ckpt,
             )
         return sup
@@ -513,6 +525,7 @@ class RoutingSupervisor:
         """JSON-serialisable supervisor state (excluding bulk arrays)."""
         return {
             "engine": self.engine.name,
+            "engine_opts": self.engine_opts,
             "state": self._state,
             "stale": self._stale,
             "lkg_version": self.version,

@@ -1,0 +1,84 @@
+"""Golden-route fixture generator (and the drift test's oracle).
+
+``tests/data/golden/*.json`` pin the exact forwarding tables, balancing
+weights and virtual-layer assignments of SSSP and DFSSSP on three small
+reference topologies. ``tests/routing/test_golden_routes.py`` recomputes
+them on every run and fails with a readable diff when any bit drifts —
+the backstop that catches unintended behaviour changes that the
+invariant-style tests (minimality, deadlock-freedom) cannot see.
+
+Regenerate *only* after an intentional routing change::
+
+    PYTHONPATH=src python -m tests.data.golden_gen
+
+and commit the JSON diff alongside the code change.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro import topologies
+from repro.core import DFSSSPEngine, SSSPEngine
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+#: name -> (human-readable builder expression, factory)
+FABRICS = {
+    "ring": ("ring(5, terminals_per_switch=2)", lambda: topologies.ring(5, 2)),
+    "torus3x3": (
+        "torus((3, 3), terminals_per_switch=1)",
+        lambda: topologies.torus((3, 3), 1),
+    ),
+    "xgft": ("xgft(2, (4, 4), (1, 2))", lambda: topologies.xgft(2, (4, 4), (1, 2))),
+}
+
+ENGINES = {
+    "sssp": SSSPEngine,
+    "dfsssp": DFSSSPEngine,
+}
+
+
+def compute_golden(name: str) -> dict:
+    """The golden record for one topology: every engine's exact outputs."""
+    builder_expr, factory = FABRICS[name]
+    fabric = factory()
+    record: dict = {
+        "topology": name,
+        "builder": builder_expr,
+        "num_nodes": fabric.num_nodes,
+        "num_terminals": fabric.num_terminals,
+        "num_channels": fabric.num_channels,
+        "engines": {},
+    }
+    for engine_name, engine_cls in ENGINES.items():
+        result = engine_cls().route(fabric)
+        entry = {
+            "next_channel": result.tables.next_channel.tolist(),
+            "channel_weights": result.channel_weights.tolist(),
+        }
+        if result.layered is not None:
+            entry["path_layers"] = result.layered.path_layers.tolist()
+            entry["layers_used"] = int(result.layered.layers_used)
+        record["engines"][engine_name] = entry
+    return record
+
+
+def golden_path(name: str) -> Path:
+    return GOLDEN_DIR / f"{name}.json"
+
+
+def regenerate() -> list[Path]:
+    GOLDEN_DIR.mkdir(parents=True, exist_ok=True)
+    written = []
+    for name in FABRICS:
+        path = golden_path(name)
+        path.write_text(json.dumps(compute_golden(name), indent=1) + "\n")
+        written.append(path)
+    return written
+
+
+if __name__ == "__main__":
+    for path in regenerate():
+        print(f"wrote {path}")

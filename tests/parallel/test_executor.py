@@ -1,0 +1,143 @@
+"""Executor tests: scheduling, budgets, fallback, metrics and spans."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import topologies
+from repro.core import SSSPEngine
+from repro.exceptions import ComputeTimeoutError
+from repro.obs import InMemorySink, get_registry, use_sink
+from repro.parallel import ExactReduction, run_parallel_sssp
+from repro.parallel.executor import (
+    _budget_snapshot,
+    _chunks,
+    _hop_columns_task,
+    _init_worker,
+)
+from repro.service.budget import compute_budget
+
+
+@pytest.fixture(scope="module")
+def fabric():
+    return topologies.random_topology(10, 20, 2, seed=5)
+
+
+@pytest.fixture(autouse=True)
+def _fresh_registry():
+    get_registry().reset()
+    yield
+    get_registry().reset()
+
+
+def test_chunks_cover_and_preserve_order():
+    items = list(range(11))
+    for n in range(1, 14):
+        chunks = _chunks(items, n)
+        assert sum(chunks, []) == items  # partition, in order
+        assert len(chunks) == min(n, len(items))
+        sizes = [len(c) for c in chunks]
+        assert max(sizes) - min(sizes) <= 1  # near-equal
+
+
+def test_budget_snapshot_without_budget():
+    assert _budget_snapshot() == (None, "compute")
+
+
+def test_budget_snapshot_forwards_remaining():
+    with compute_budget(30.0, label="full_reroute"):
+        remaining, label = _budget_snapshot()
+    assert label == "full_reroute"
+    assert 0 < remaining <= 30.0
+
+
+def test_worker_task_ships_timeout_as_data(fabric):
+    """Workers re-arm the deadline and return it as a picklable tuple."""
+    _init_worker(fabric, "numpy")
+    dests = [int(d) for d in fabric.terminals[:3]]
+    status, payload = _hop_columns_task(dests, 0.0, "repair")
+    assert status == "timeout"
+    message, label, limit_s, elapsed_s = payload
+    assert label == "repair"
+    assert limit_s == 0.0
+    assert elapsed_s >= 0.0
+    assert "budget" in message
+
+
+def test_worker_task_ok_without_budget(fabric):
+    _init_worker(fabric, "numpy")
+    dests = [int(d) for d in fabric.terminals[:3]]
+    status, columns = _hop_columns_task(dests, None, "compute")
+    assert status == "ok"
+    assert len(columns) == 3
+    for col in columns:
+        assert col.shape == (fabric.num_nodes,)
+
+
+def test_parallel_run_honours_expired_budget(fabric):
+    """An exhausted deadline surfaces as ComputeTimeoutError — from the
+    worker or from the parent-side poll, whichever trips first — so the
+    supervisor's escalation ladder works unchanged with workers."""
+    engine = SSSPEngine(workers=2, kernel="numpy")
+    with pytest.raises(ComputeTimeoutError):
+        with compute_budget(0.0, label="repair"):
+            engine.route(fabric)
+
+
+def test_validation_fallback_still_bit_identical(fabric, monkeypatch):
+    """Force every reduction column to fail validation: the executor must
+    re-run the full Dijkstra per destination and still match serial."""
+    base = SSSPEngine().route(fabric)
+    monkeypatch.setattr(ExactReduction, "validate", lambda self, *a, **k: False)
+    par = SSSPEngine(workers=2, kernel="numpy").route(fabric)
+    assert np.array_equal(par.tables.next_channel, base.tables.next_channel)
+    assert np.array_equal(par.channel_weights, base.channel_weights)
+    fallbacks = get_registry().counter(
+        "routing_parallel_fallbacks", "", engine="sssp"
+    )
+    assert fallbacks.value == fabric.num_terminals
+
+
+def test_parallel_metrics_and_spans(fabric):
+    order = np.arange(fabric.num_terminals)
+    sink = InMemorySink()
+    with use_sink(sink):
+        next_channel, weights = run_parallel_sssp(
+            fabric, order, workers=2, kernel="numpy", batch=4
+        )
+    assert next_channel.shape == (fabric.num_nodes, fabric.num_terminals)
+    assert weights.shape == (fabric.num_channels,)
+
+    reg = get_registry()
+    T = fabric.num_terminals
+    expected_batches = -(-T // 4)  # ceil
+    assert reg.gauge("routing_parallel_workers", "", engine="sssp").value == 2
+    assert reg.counter("routing_parallel_columns", "", engine="sssp").value == T
+    assert reg.counter("routing_parallel_batches", "", engine="sssp").value == (
+        expected_batches
+    )
+    assert reg.counter("sssp_sources_routed", "").value == T
+    assert reg.histogram("routing_parallel_batch_seconds", "").count == expected_batches
+
+    runs = sink.find("parallel.run")
+    assert len(runs) == 1
+    assert runs[0].attrs["workers"] == 2
+    assert runs[0].attrs["kernel"] == "numpy"
+    batches = sink.find("parallel.batch")
+    assert len(batches) == expected_batches
+    assert sum(s.attrs["columns"] for s in batches) == T
+
+
+def test_run_parallel_rejects_zero_workers(fabric):
+    with pytest.raises(ValueError, match="workers"):
+        run_parallel_sssp(fabric, np.arange(fabric.num_terminals), workers=0)
+
+
+def test_executor_python_kernel_matches_serial(fabric):
+    """The python worker kernel literally fans out the reference heap
+    Dijkstra on unit weights — results must still be exact."""
+    base = SSSPEngine().route(fabric)
+    par = SSSPEngine(workers=3, kernel="python").route(fabric)
+    assert np.array_equal(par.tables.next_channel, base.tables.next_channel)
+    assert np.array_equal(par.channel_weights, base.channel_weights)

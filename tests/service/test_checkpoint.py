@@ -37,6 +37,39 @@ def _run_events(sup, fabric, n, seed=5, skip=0):
         sup.process()
 
 
+def test_engine_opts_survive_restore(tmp_path, fabric):
+    """A parallel-configured service restores with the same configuration
+    (and stays bit-compatible with its serial checkpoints)."""
+    opts = {"workers": 2, "kernel": "numpy"}
+    sup = RoutingSupervisor(
+        fabric,
+        engine="dfsssp",
+        policy=FAST,
+        checkpoint_dir=tmp_path / "ckpt",
+        engine_opts=opts,
+    )
+    assert sup.engine._sssp.workers == 2
+    assert sup.engine._sssp.kernel == "numpy"
+    expected = sup.serving()
+
+    restored = RoutingSupervisor.restore(tmp_path / "ckpt")
+    assert restored.engine_opts == opts
+    assert restored.engine._sssp.workers == 2
+    assert restored.engine._sssp.kernel == "numpy"
+    served = restored.serving()
+    assert np.array_equal(
+        served.result.tables.next_channel, expected.result.tables.next_channel
+    )
+
+    # Serial supervisor over the same fabric serves identical tables: the
+    # parallel options change execution, never results.
+    serial = RoutingSupervisor(fabric, engine="dfsssp", policy=FAST)
+    assert np.array_equal(
+        serial.serving().result.tables.next_channel,
+        expected.result.tables.next_channel,
+    )
+
+
 def test_checkpoint_restore_round_trip(tmp_path, fabric):
     """save -> kill -> restore yields identical tables, layers and weights."""
     sup = RoutingSupervisor(fabric, policy=FAST, checkpoint_dir=tmp_path / "ckpt")

@@ -53,6 +53,26 @@ def test_route_command_loads_saved_fabric(tmp_path, capsys):
     assert "failed" in text  # ftree on a ring
 
 
+def test_route_parallel_flags(capsys):
+    """--workers/--kernel reach SSSP/DFSSSP and leave other engines alone."""
+    rc = main(
+        ["route", "--family", "ring", "--switches", "5",
+         "--terminals-per-switch", "2", "--engines", "minhop,sssp,dfsssp",
+         "--workers", "2", "--kernel", "numpy", "--metrics", "-"]
+    )
+    assert rc == 0
+    text = capsys.readouterr().out
+    assert "minhop" in text and "dfsssp" in text
+    assert 'routing_parallel_workers{engine="sssp"} 2' in text
+    assert 'routing_parallel_fallbacks{engine="sssp"} 0' in text
+
+
+def test_route_rejects_unknown_kernel(capsys):
+    with pytest.raises(SystemExit):
+        main(["route", "--family", "ring", "--switches", "5",
+              "--engine", "sssp", "--kernel", "cuda"])
+
+
 def test_simulate_command(capsys):
     rc = main(
         [
