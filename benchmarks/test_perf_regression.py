@@ -6,22 +6,31 @@ noise):
 
 * serial SSSP / DFSSSP route time and peak memory (tracemalloc),
 * parallel DFSSSP (``workers=4, kernel="numpy"``) route time,
+* cycle breaking: the incremental CSR engine
+  (:func:`repro.deadlock.incremental.assign_layers_incremental`) vs the
+  rebuild-based reference (:func:`repro.core.layers.assign_layers_offline`)
+  on the same XGFT plus a dragonfly,
 
-and writes everything to ``benchmarks/results/BENCH_parallel.json`` (the
-CI artifact) plus the usual text table for RESULTS.md.
+and writes everything to ``benchmarks/results/BENCH_parallel.json`` and
+``benchmarks/results/BENCH_cdg.json`` (the CI artifacts) plus the usual
+text tables for RESULTS.md.
 
-Two gates fail the run:
+Three gates fail the run:
 
 * **speedup** — parallel DFSSSP must be ≥ 2× faster than serial at 4
-  workers (the tentpole's acceptance criterion; currently ~2.7×);
-* **regression** — serial SSSP, *normalized by a machine-speed
-  calibration primitive*, must not be > 20% slower than the committed
-  baseline in ``benchmarks/baselines/BENCH_parallel_baseline.json``.
+  workers (currently ~2.7×);
+* **cycle breaking** — the incremental engine must be ≥ 3× faster than
+  the rebuild reference on *both* benchmark fabrics, with bit-identical
+  layer assignments (currently ~4.5× on the XGFT, ~3.4× on the
+  dragonfly);
+* **regression** — serial SSSP and the incremental cycle breaker,
+  *normalized by a machine-speed calibration primitive*, must not be
+  > 20% slower than the committed baselines in ``benchmarks/baselines/``.
   The calibration primitive (pure-Python heap churn, independent of the
   routing code) cancels host-speed differences, so the gate tracks code
   regressions, not runner hardware.
 
-After an *intentional* perf change, refresh the baseline::
+After an *intentional* perf change, refresh the baselines::
 
     PYTHONPATH=src python benchmarks/test_perf_regression.py --rebaseline
 """
@@ -37,13 +46,18 @@ from pathlib import Path
 import numpy as np
 
 from repro.core import DFSSSPEngine, SSSPEngine
-from repro.network.topologies import xgft
+from repro.core.layers import assign_layers_offline
+from repro.deadlock.incremental import assign_layers_incremental
+from repro.network.topologies import dragonfly, xgft
+from repro.routing import extract_paths
 from repro.utils.reporting import Table
 
 from conftest import RESULTS_DIR, emit
 
 BASELINE_PATH = Path(__file__).parent / "baselines" / "BENCH_parallel_baseline.json"
 BENCH_JSON = RESULTS_DIR / "BENCH_parallel.json"
+CDG_BASELINE_PATH = Path(__file__).parent / "baselines" / "BENCH_cdg_baseline.json"
+CDG_BENCH_JSON = RESULTS_DIR / "BENCH_cdg.json"
 
 #: reference fabric (see module docstring)
 REFERENCE_XGFT = (3, (8, 8, 6), (1, 4, 4))
@@ -58,6 +72,17 @@ REGRESSION_FACTOR = 1.2
 #: required parallel-DFSSSP speedup at PARALLEL_WORKERS workers
 MIN_SPEEDUP = 2.0
 PARALLEL_WORKERS = 4
+
+#: cycle-breaking benchmark fabrics: the reference XGFT plus a dragonfly
+#: (dense global links make its CDGs much more cyclic — the adversarial
+#: case for the drain/eviction machinery)
+CDG_FABRICS = {
+    "xgft(3, (8, 8, 6), (1, 4, 4))": lambda: xgft(3, (8, 8, 6), (1, 4, 4)),
+    "dragonfly(8, 4, 4)": lambda: dragonfly(8, 4, 4),
+}
+
+#: required incremental-vs-rebuild cycle-breaking speedup, per fabric
+MIN_CDG_SPEEDUP = 3.0
 
 
 def _calibrate() -> float:
@@ -142,6 +167,64 @@ def measure() -> dict:
     }
 
 
+def measure_cdg() -> dict:
+    """Cycle-breaking comparison on both benchmark fabrics."""
+    calib = _calibrate()
+    fabrics = {}
+    for name, build in CDG_FABRICS.items():
+        fabric = build()
+        paths = extract_paths(SSSPEngine().route(fabric).tables)
+        pids = paths.active_pids()
+
+        # Best-of-2 per engine: one noisy scheduler hiccup must not trip
+        # a gate that the code clears by a comfortable margin.
+        t_rebuild = t_inc = float("inf")
+        for _ in range(2):
+            start = time.perf_counter()
+            ref = assign_layers_offline(paths, pids=pids)
+            t_rebuild = min(t_rebuild, time.perf_counter() - start)
+
+            start = time.perf_counter()
+            inc = assign_layers_incremental(paths, pids=pids)
+            t_inc = min(t_inc, time.perf_counter() - start)
+
+        # The speedup only means anything if both engines did the same work.
+        assert np.array_equal(inc.path_layers, ref.path_layers), (
+            f"{name}: incremental diverged from rebuild — numbers are meaningless"
+        )
+        assert inc.cycles_broken == ref.cycles_broken
+
+        fabrics[name] = {
+            "switches": fabric.num_switches,
+            "terminals": fabric.num_terminals,
+            "paths": int(len(pids)),
+            "cycles_broken": ref.cycles_broken,
+            "layers_needed": ref.layers_needed,
+            "rebuild_s": t_rebuild,
+            "incremental_s": t_inc,
+            "speedup": t_rebuild / t_inc,
+            "incremental_per_calib": t_inc / calib,
+        }
+    return {"calibration_s": calib, "fabrics": fabrics}
+
+
+def _emit_cdg(record: dict) -> None:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    CDG_BENCH_JSON.write_text(json.dumps(record, indent=1) + "\n")
+    table = Table(
+        ["fabric", "paths", "cycles", "rebuild [s]", "incremental [s]", "speedup"],
+        title="cycle breaking: incremental CSR engine vs rebuild reference "
+        "(bit-identical assignments)",
+    )
+    for name, f in record["fabrics"].items():
+        table.add_row([
+            name, f["paths"], f["cycles_broken"],
+            round(f["rebuild_s"], 3), round(f["incremental_s"], 3),
+            round(f["speedup"], 2),
+        ])
+    emit("cdg_speedup", table.render(), table)
+
+
 def _emit(record: dict) -> None:
     RESULTS_DIR.mkdir(exist_ok=True)
     BENCH_JSON.write_text(json.dumps(record, indent=1) + "\n")
@@ -190,6 +273,33 @@ def test_parallel_speedup_and_no_serial_regression():
     )
 
 
+def test_cycle_breaking_speedup_and_no_regression():
+    record = measure_cdg()
+    _emit_cdg(record)
+
+    for name, f in record["fabrics"].items():
+        assert f["speedup"] >= MIN_CDG_SPEEDUP, (
+            f"incremental cycle breaking on {name} is only "
+            f"{f['speedup']:.2f}x the rebuild reference "
+            f"(rebuild {f['rebuild_s']:.3f}s, incremental "
+            f"{f['incremental_s']:.3f}s); gate requires {MIN_CDG_SPEEDUP}x"
+        )
+
+    assert CDG_BASELINE_PATH.is_file(), (
+        f"missing committed baseline {CDG_BASELINE_PATH}; create it with "
+        "`PYTHONPATH=src python benchmarks/test_perf_regression.py --rebaseline`"
+    )
+    baseline = json.loads(CDG_BASELINE_PATH.read_text())
+    for name, base in baseline["incremental_per_calib"].items():
+        got = record["fabrics"][name]["incremental_per_calib"]
+        assert got <= base * REGRESSION_FACTOR, (
+            f"incremental cycle breaking on {name} regressed: {got:.2f} "
+            f"calibration units vs baseline {base:.2f} "
+            f"(gate: {REGRESSION_FACTOR:.1f}x). If intentional, rebaseline with "
+            "`PYTHONPATH=src python benchmarks/test_perf_regression.py --rebaseline`"
+        )
+
+
 def _rebaseline() -> None:
     record = measure()
     _emit(record)
@@ -209,6 +319,25 @@ def _rebaseline() -> None:
     print(f"baseline written to {BASELINE_PATH}")
     print(json.dumps(record, indent=1))
 
+    cdg = measure_cdg()
+    _emit_cdg(cdg)
+    CDG_BASELINE_PATH.write_text(
+        json.dumps(
+            {
+                "incremental_per_calib": {
+                    name: f["incremental_per_calib"]
+                    for name, f in cdg["fabrics"].items()
+                },
+                "note": "incremental cycle-breaking time divided by the "
+                "calibration primitive; gate allows 1.2x",
+            },
+            indent=1,
+        )
+        + "\n"
+    )
+    print(f"baseline written to {CDG_BASELINE_PATH}")
+    print(json.dumps(cdg, indent=1))
+
 
 if __name__ == "__main__":
     import sys
@@ -218,3 +347,5 @@ if __name__ == "__main__":
     else:
         test_parallel_speedup_and_no_serial_regression()
         print(BENCH_JSON.read_text())
+        test_cycle_breaking_speedup_and_no_regression()
+        print(CDG_BENCH_JSON.read_text())

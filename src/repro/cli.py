@@ -134,6 +134,11 @@ def _add_parallel_args(p: argparse.ArgumentParser) -> None:
         help="SSSP/DFSSSP shortest-path kernel (the vectorized 'numpy' "
         "kernel is bit-identical to the reference 'python' heap)",
     )
+    p.add_argument(
+        "--cdg", choices=("incremental", "rebuild"), default="incremental",
+        help="DFSSSP cycle-breaking engine (the vectorized 'incremental' "
+        "CSR engine is bit-identical to the 'rebuild' reference)",
+    )
 
 
 def _engine_opts(args, name: str) -> dict:
@@ -150,6 +155,8 @@ def _engine_opts(args, name: str) -> dict:
         opts["workers"] = args.workers
     if getattr(args, "kernel", "python") != "python":
         opts["kernel"] = args.kernel
+    if name == "dfsssp" and getattr(args, "cdg", "incremental") != "incremental":
+        opts["cdg"] = args.cdg
     return opts
 
 
@@ -235,25 +242,48 @@ def cmd_simulate(args) -> int:
 
 
 def cmd_stats(args) -> int:
-    """Render a ``--metrics`` JSON dump as a fixed-width table."""
-    if args.file == "-":
-        data = json.load(sys.stdin)
-    else:
-        with open(args.file, encoding="utf-8") as fp:
-            data = json.load(fp)
-    entries = data.get("metrics")
-    if entries is None:
-        raise ReproError(f"{args.file}: not a metrics dump (no 'metrics' key)")
-    table = Table(["metric", "type", "labels", "value"], title="metrics registry")
-    for e in entries:
-        labels = ",".join(f"{k}={v}" for k, v in sorted(e.get("labels", {}).items())) or "-"
-        if e["type"] == "histogram":
-            table.add_row([f"{e['name']}_count", e["type"], labels, e["count"]])
-            table.add_row([f"{e['name']}_sum", e["type"], labels, float(e["sum"])])
-            table.add_row([f"{e['name']}_mean", e["type"], labels, float(e["mean"])])
+    """Render a ``--metrics`` JSON dump and/or a routing-cache listing."""
+    if not args.file and not args.cache_dir:
+        raise ReproError("stats needs a metrics file and/or --cache-dir")
+    if args.file:
+        if args.file == "-":
+            data = json.load(sys.stdin)
         else:
-            table.add_row([e["name"], e["type"], labels, e["value"]])
-    print(table.render())
+            with open(args.file, encoding="utf-8") as fp:
+                data = json.load(fp)
+        entries = data.get("metrics")
+        if entries is None:
+            raise ReproError(f"{args.file}: not a metrics dump (no 'metrics' key)")
+        table = Table(["metric", "type", "labels", "value"], title="metrics registry")
+        for e in entries:
+            labels = ",".join(f"{k}={v}" for k, v in sorted(e.get("labels", {}).items())) or "-"
+            if e["type"] == "histogram":
+                table.add_row([f"{e['name']}_count", e["type"], labels, e["count"]])
+                table.add_row([f"{e['name']}_sum", e["type"], labels, float(e["sum"])])
+                table.add_row([f"{e['name']}_mean", e["type"], labels, float(e["mean"])])
+            else:
+                table.add_row([e["name"], e["type"], labels, e["value"]])
+        print(table.render())
+    if args.cache_dir:
+        from repro.routing.cache import RoutingCache
+
+        cache = RoutingCache(args.cache_dir)
+        table = Table(
+            ["key", "engine", "fingerprint", "layers", "bytes"],
+            title=f"routing cache {args.cache_dir}",
+        )
+        for meta in cache.entries():
+            stats = meta.get("stats", {})
+            table.add_row(
+                [
+                    meta.get("key", "?"),
+                    meta.get("engine", "?"),
+                    str(meta.get("fingerprint", ""))[:12],
+                    stats.get("layers_used"),
+                    meta.get("bytes", 0),
+                ]
+            )
+        print(table.render())
     return 0
 
 
@@ -404,7 +434,9 @@ def cmd_serve(args) -> int:
     if args.restore:
         if not args.checkpoint_dir:
             raise ReproError("serve --restore requires --checkpoint-dir")
-        supervisor = RoutingSupervisor.restore(args.checkpoint_dir)
+        supervisor = RoutingSupervisor.restore(
+            args.checkpoint_dir, cache_dir=args.cache_dir
+        )
         # A restored soak must replay the original stream: the persisted
         # parameters win over whatever defaults the restart command used.
         persisted = supervisor.extra.get("soak", {})
@@ -429,6 +461,7 @@ def cmd_serve(args) -> int:
             engine=args.engine,
             policy=policy,
             checkpoint_dir=args.checkpoint_dir,
+            cache_dir=args.cache_dir,
             seed=args.seed,
             engine_opts=_engine_opts(args, args.engine),
         )
@@ -689,6 +722,10 @@ def main(argv: list[str] | None = None) -> int:
     )
     p.add_argument("--checkpoint-dir", help="persist checkpoints here (enables restore)")
     p.add_argument(
+        "--cache-dir",
+        help="fingerprint-keyed routing cache (warm-starts full reroutes)",
+    )
+    p.add_argument(
         "--checkpoint-every", type=int, default=1,
         help="checkpoint after every N accepted batches",
     )
@@ -720,7 +757,11 @@ def main(argv: list[str] | None = None) -> int:
     p.set_defaults(func=cmd_checkpoint)
 
     p = sub.add_parser("stats", help="render a --metrics JSON dump as a table")
-    p.add_argument("file", help="metrics JSON file ('-' = stdin)")
+    p.add_argument("file", nargs="?", help="metrics JSON file ('-' = stdin)")
+    p.add_argument(
+        "--cache-dir",
+        help="also list the routing-cache entries under this directory",
+    )
     p.set_defaults(func=cmd_stats)
 
     args = parser.parse_args(argv)

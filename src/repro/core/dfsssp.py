@@ -42,6 +42,13 @@ class DFSSSPEngine(RoutingEngine):
     mode:
         ``"offline"`` (the paper's fast contribution) or ``"online"``
         (the LASH-style baseline kept for the §IV runtime comparison).
+    cdg:
+        Cycle-breaking engine for offline mode: ``"incremental"``
+        (default — the vectorized CSR engine of
+        :mod:`repro.deadlock.incremental`) or ``"rebuild"`` (the
+        dict-backed reference). Both produce bit-identical layer
+        assignments; the benchmark suite gates the former at ≥3× the
+        latter's speed.
     balance:
         Spread paths over unused layers after cycle breaking (Algorithm
         2's final step).
@@ -61,6 +68,7 @@ class DFSSSPEngine(RoutingEngine):
         max_layers: int = DEFAULT_MAX_LAYERS,
         heuristic: str = "weakest",
         mode: str = "offline",
+        cdg: str = "incremental",
         balance: bool = True,
         dest_order: str = "index",
         seed=None,
@@ -71,9 +79,12 @@ class DFSSSPEngine(RoutingEngine):
     ):
         if mode not in ("offline", "online"):
             raise ValueError(f"mode must be 'offline' or 'online', got {mode!r}")
+        if cdg not in ("incremental", "rebuild"):
+            raise ValueError(f"cdg must be 'incremental' or 'rebuild', got {cdg!r}")
         self.max_layers = max_layers
         self.heuristic = heuristic
         self.mode = mode
+        self.cdg = cdg
         self.balance = balance
         self._sssp = SSSPEngine(
             dest_order=dest_order,
@@ -125,7 +136,15 @@ class DFSSSPEngine(RoutingEngine):
             # spine-originated suffixes separately would inflate lane counts.
             active = paths.active_pids()
             if self.mode == "offline":
-                assignment = assign_layers_offline(
+                if self.cdg == "incremental":
+                    # Imported here: repro.deadlock.incremental depends on
+                    # this package for LayerAssignment.
+                    from repro.deadlock.incremental import assign_layers_incremental
+
+                    assign = assign_layers_incremental
+                else:
+                    assign = assign_layers_offline
+                assignment = assign(
                     paths,
                     max_layers=self.max_layers,
                     heuristic=self.heuristic,
@@ -162,6 +181,7 @@ class DFSSSPEngine(RoutingEngine):
             stats={
                 "engine": self.name,
                 "mode": self.mode,
+                "cdg": self.cdg if self.mode == "offline" else None,
                 "heuristic": self.heuristic if self.mode == "offline" else None,
                 "layers_needed": assignment.layers_needed,
                 "layers_used": layered.layers_used,

@@ -12,6 +12,12 @@ the paper evaluates three heuristics:
   undiscovered cycles at once). Empirically the worst: 4–16 layers.
 * ``first``     — the first edge of the discovered cycle (the paper's
   "pseudo-random" baseline): 4–8 layers.
+
+Ties between equal-weight edges resolve to the lowest ``(c1, c2)``
+channel-id pair — never to traversal order — so any two cycle-breaking
+engines fed the same cycle make the same choice. The rebuild-based and
+incremental engines rely on this for their bit-identical-assignment
+contract (``repro.deadlock.incremental``).
 """
 
 from __future__ import annotations
@@ -25,23 +31,13 @@ Heuristic = Callable[[ChannelDependencyGraph, list[Edge]], Edge]
 
 
 def weakest_edge(cdg: ChannelDependencyGraph, cycle: list[Edge]) -> Edge:
-    """Edge with the fewest inducing paths (ties: first in the cycle)."""
-    best, best_w = cycle[0], cdg.edge_weight(*cycle[0])
-    for e in cycle[1:]:
-        w = cdg.edge_weight(*e)
-        if w < best_w:
-            best, best_w = e, w
-    return best
+    """Edge with the fewest inducing paths (ties: lowest (c1, c2) ids)."""
+    return min(cycle, key=lambda e: (cdg.edge_weight(*e), e))
 
 
 def strongest_edge(cdg: ChannelDependencyGraph, cycle: list[Edge]) -> Edge:
-    """Edge with the most inducing paths (ties: first in the cycle)."""
-    best, best_w = cycle[0], cdg.edge_weight(*cycle[0])
-    for e in cycle[1:]:
-        w = cdg.edge_weight(*e)
-        if w > best_w:
-            best, best_w = e, w
-    return best
+    """Edge with the most inducing paths (ties: lowest (c1, c2) ids)."""
+    return min(cycle, key=lambda e: (-cdg.edge_weight(*e), e))
 
 
 def first_edge(cdg: ChannelDependencyGraph, cycle: list[Edge]) -> Edge:

@@ -1,7 +1,13 @@
 """Channel dependency graphs, cycle search and deadlock-freedom checks."""
 
 from repro.deadlock.cdg import ChannelDependencyGraph
-from repro.deadlock.cycles import CycleSearch, find_any_cycle, is_acyclic
+from repro.deadlock.cycles import (
+    CycleSearch,
+    drain_cycles,
+    find_any_cycle,
+    is_acyclic,
+    tarjan_sccs,
+)
 from repro.deadlock.verify import (
     VerificationReport,
     build_layer_cdgs,
@@ -9,11 +15,32 @@ from repro.deadlock.verify import (
     verify_with_networkx,
 )
 
+# repro.deadlock.incremental imports the heuristics/layers machinery from
+# repro.core, which itself imports repro.deadlock.cdg — so the incremental
+# engine loads lazily to keep package initialisation acyclic.
+_LAZY = {
+    "LayerCDG": "repro.deadlock.incremental",
+    "assign_layers_incremental": "repro.deadlock.incremental",
+}
+
+
+def __getattr__(name: str):
+    target = _LAZY.get(name)
+    if target is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(target), name)
+
 __all__ = [
     "ChannelDependencyGraph",
     "CycleSearch",
+    "LayerCDG",
+    "assign_layers_incremental",
+    "drain_cycles",
     "find_any_cycle",
     "is_acyclic",
+    "tarjan_sccs",
     "VerificationReport",
     "build_layer_cdgs",
     "verify_deadlock_free",

@@ -30,6 +30,27 @@ class VerificationReport:
     def __bool__(self) -> bool:  # pragma: no cover - convenience
         return self.deadlock_free
 
+    def failure_summary(self) -> str:
+        """Human-readable account of *which* layer failed and why.
+
+        Names every cyclic layer and spells out one witness cycle as a
+        channel chain (``c1 -> c2 -> ... -> c1``) so an assertion message
+        or service log pinpoints the offending buffer loop instead of
+        reporting a bare boolean.
+        """
+        if self.deadlock_free:
+            return "deadlock-free: all layer CDGs acyclic"
+        parts = []
+        for layer in sorted(self.cycles):
+            cycle = self.cycles[layer]
+            chain = " -> ".join(str(c1) for c1, _ in cycle)
+            chain += f" -> {cycle[-1][1]}"
+            parts.append(
+                f"layer {layer} ({self.edges_per_layer[layer]} edges, "
+                f"{self.paths_per_layer[layer]} paths) has witness cycle {chain}"
+            )
+        return f"cyclic CDG in {len(self.cycles)} layer(s): " + "; ".join(parts)
+
 
 def build_layer_cdgs(
     layered: LayeredRouting, paths: PathSet, traffic_only: bool = True, pids=None

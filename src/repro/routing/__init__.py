@@ -18,6 +18,7 @@ from repro.routing.dor import DOREngine
 from repro.routing.dor_vc import DORVCEngine
 from repro.routing.ftree import FatTreeEngine, tree_ranks
 from repro.routing.lash import LASHEngine
+from repro.routing.cache import RoutingCache, cache_key
 from repro.routing.io import (
     RoutingState,
     fabric_fingerprint,
@@ -34,6 +35,8 @@ from repro.routing.registry import (
 )
 
 __all__ = [
+    "RoutingCache",
+    "cache_key",
     "RoutingState",
     "fabric_fingerprint",
     "load_routing",

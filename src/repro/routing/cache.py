@@ -1,0 +1,177 @@
+"""Fingerprint-keyed routing cache.
+
+A full DFSSSP run on a large fabric costs seconds to minutes, yet its
+inputs are completely determined by (a) the fabric's structure and (b)
+the engine configuration — both engines are deterministic functions of
+those. :class:`RoutingCache` memoises full routing results on disk under
+a key derived from the :func:`~repro.routing.io.fabric_fingerprint` and
+the engine's name + options, so a :class:`~repro.service.supervisor.RoutingSupervisor`
+restarting (or re-encountering a previously seen degraded fabric) can
+warm-start instead of recomputing.
+
+Each entry is two files in the cache directory:
+
+* ``<key>.npz`` — tables, lane assignment and balancing weights, written
+  through :func:`~repro.routing.io.save_routing` (atomic, fingerprint-
+  stamped, so a cache hit is *still* validated against the live fabric
+  at load time — a re-cabled fabric can never be served stale tables);
+* ``<key>.meta.json`` — human-inspectable metadata (engine, options,
+  fingerprint, the engine's ``stats`` dict) for ``repro-route stats``.
+
+Counters: ``routing_cache_hit_total`` / ``routing_cache_miss_total`` /
+``routing_cache_store_total``, labelled by engine.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.exceptions import RoutingError
+from repro.network.fabric import Fabric
+from repro.obs import get_registry
+from repro.routing.base import RoutingResult
+from repro.routing.io import fabric_fingerprint, load_routing_state, save_routing
+from repro.utils.atomicio import atomic_write_text
+
+_KEY_LEN = 24
+
+
+def cache_key(fingerprint: str, engine: str, opts: dict | None = None) -> str:
+    """Deterministic entry key: fingerprint + engine + sorted options.
+
+    Options are JSON-encoded with sorted keys so dict ordering never
+    splits the cache; anything unserialisable raises immediately rather
+    than silently colliding.
+    """
+    payload = json.dumps(opts or {}, sort_keys=True, default=_jsonify)
+    digest = hashlib.sha256(
+        f"{fingerprint}|{engine}|{payload}".encode()
+    ).hexdigest()
+    return digest[:_KEY_LEN]
+
+
+def _jsonify(obj):
+    if isinstance(obj, (np.integer,)):
+        return int(obj)
+    if isinstance(obj, (np.floating,)):
+        return float(obj)
+    raise TypeError(f"cache options must be JSON-serialisable, got {type(obj).__name__}")
+
+
+class RoutingCache:
+    """Disk cache of full routing results, keyed by fabric + engine config.
+
+    >>> cache = RoutingCache(tmp_dir)            # doctest: +SKIP
+    >>> hit = cache.load(fabric, "dfsssp", {})   # None on miss
+    >>> cache.store(fabric, "dfsssp", {}, result)
+    """
+
+    def __init__(self, cache_dir: str | Path):
+        self.dir = Path(cache_dir)
+        self.dir.mkdir(parents=True, exist_ok=True)
+
+    # ------------------------------------------------------------------
+    def _paths(self, key: str) -> tuple[Path, Path]:
+        return self.dir / f"{key}.npz", self.dir / f"{key}.meta.json"
+
+    def _counter(self, event: str, engine: str):
+        return get_registry().counter(
+            f"routing_cache_{event}_total",
+            f"routing-cache {event}s",
+            engine=str(engine),
+        )
+
+    # ------------------------------------------------------------------
+    def load(self, fabric: Fabric, engine: str, opts: dict | None = None) -> RoutingResult | None:
+        """Return the cached routing for ``fabric`` + config, or ``None``.
+
+        A hit re-validates the stored fingerprint against ``fabric`` (via
+        :func:`load_routing_state`); a corrupt or mismatched entry counts
+        as a miss and is left for :meth:`store` to overwrite.
+        """
+        key = cache_key(fabric_fingerprint(fabric), engine, opts)
+        npz, meta_path = self._paths(key)
+        if not npz.is_file():
+            self._counter("miss", engine).inc()
+            return None
+        try:
+            state = load_routing_state(npz, fabric)
+            meta = json.loads(meta_path.read_text()) if meta_path.is_file() else {}
+        except (RoutingError, OSError, ValueError, KeyError):
+            self._counter("miss", engine).inc()
+            return None
+        self._counter("hit", engine).inc()
+        stats = dict(meta.get("stats", {}))
+        stats["cache"] = "hit"
+        return RoutingResult(
+            tables=state.tables,
+            layered=state.layered,
+            deadlock_free=bool(meta.get("deadlock_free", state.layered is not None)),
+            stats=stats,
+            channel_weights=state.channel_weights,
+        )
+
+    def store(
+        self, fabric: Fabric, engine: str, opts: dict | None, result: RoutingResult
+    ) -> str:
+        """Persist ``result`` for ``fabric`` + config; returns the key.
+
+        Both files are written atomically; a crash mid-store leaves any
+        previous entry intact.
+        """
+        key = cache_key(fabric_fingerprint(fabric), engine, opts)
+        npz, meta_path = self._paths(key)
+        save_routing(
+            npz,
+            result.tables,
+            layered=result.layered,
+            channel_weights=result.channel_weights,
+        )
+        meta = {
+            "key": key,
+            "engine": str(engine),
+            "opts": json.loads(json.dumps(opts or {}, sort_keys=True, default=_jsonify)),
+            "fingerprint": fabric_fingerprint(fabric),
+            "deadlock_free": bool(result.deadlock_free),
+            "stats": _json_safe_stats(result.stats),
+        }
+        atomic_write_text(meta_path, json.dumps(meta, indent=2, sort_keys=True) + "\n")
+        self._counter("store", engine).inc()
+        return key
+
+    # ------------------------------------------------------------------
+    def entries(self) -> list[dict]:
+        """Metadata of every cache entry (for ``repro-route stats``)."""
+        out = []
+        for meta_path in sorted(self.dir.glob("*.meta.json")):
+            try:
+                meta = json.loads(meta_path.read_text())
+            except (OSError, ValueError):  # pragma: no cover - corrupt entry
+                continue
+            npz = self.dir / f"{meta.get('key', meta_path.stem.split('.')[0])}.npz"
+            meta["bytes"] = npz.stat().st_size if npz.is_file() else 0
+            out.append(meta)
+        return out
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many were removed."""
+        removed = 0
+        for p in list(self.dir.glob("*.npz")) + list(self.dir.glob("*.meta.json")):
+            p.unlink(missing_ok=True)
+            removed += 1
+        return removed
+
+
+def _json_safe_stats(stats: dict) -> dict:
+    """Engine stats dicts hold numpy scalars; coerce for JSON."""
+    safe = {}
+    for k, v in stats.items():
+        try:
+            safe[k] = json.loads(json.dumps(v, default=_jsonify))
+        except TypeError:
+            safe[k] = str(v)
+    return safe

@@ -2,6 +2,8 @@
 
 import numpy as np
 import pytest
+from hypothesis import given
+from hypothesis import strategies as st
 
 from repro.core.heuristics import (
     HEURISTICS,
@@ -52,11 +54,65 @@ def test_first_picks_first(weighted_cycle):
     assert first_edge(cdg, cycle) == cycle[0]
 
 
-def test_ties_resolve_to_first_occurrence(weighted_cycle):
+def test_ties_resolve_to_lowest_channel_ids(weighted_cycle):
     cdg, cycle, c = weighted_cycle
-    # add a path so edge 0 and edge 1 both weigh 2
+    # add a path so edge 0 and edge 1 both weigh 2: the tie resolves to
+    # the lowest (c1, c2) pair, not to cycle order
     cdg.add_path(99, np.array([c[0], c[1]], dtype=np.int32))
-    assert weakest_edge(cdg, cycle) == (c[0], c[1])
+    tied = [e for e in cycle if cdg.edge_weight(*e) == 2]
+    assert len(tied) == 2
+    assert weakest_edge(cdg, cycle) == min(tied)
+    # rotating the cycle must not change the choice (cycle order is a
+    # traversal artefact; channel ids are graph properties)
+    rotated = cycle[1:] + cycle[:1]
+    assert weakest_edge(cdg, rotated) == weakest_edge(cdg, cycle)
+
+
+def test_all_equal_weights_pick_lowest_edge(weighted_cycle):
+    cdg, cycle, c = weighted_cycle
+    # equalise every edge at weight 3
+    cdg.add_path(100, np.array([c[0], c[1]], dtype=np.int32))
+    cdg.add_path(101, np.array([c[0], c[1]], dtype=np.int32))
+    cdg.add_path(102, np.array([c[1], c[2]], dtype=np.int32))
+    assert {cdg.edge_weight(*e) for e in cycle} == {3}
+    assert weakest_edge(cdg, cycle) == min(cycle)
+    assert strongest_edge(cdg, cycle) == min(cycle)
+
+
+class _StubCDG:
+    """edge_weight-only stand-in (heuristics touch nothing else)."""
+
+    def __init__(self, weights):
+        self._w = weights
+
+    def edge_weight(self, c1, c2):
+        return self._w[(c1, c2)]
+
+
+@given(
+    weights=st.lists(st.integers(min_value=1, max_value=4), min_size=2, max_size=12),
+    rotate=st.integers(min_value=0, max_value=11),
+)
+def test_tie_breaking_is_canonical(weights, rotate):
+    """Property: weakest/strongest are pure functions of the edge *set*.
+
+    The chosen edge equals the spec ``min(cycle, key=(weight, edge))``
+    (resp. ``(-weight, edge)``) and is invariant under rotation of the
+    cycle — the determinism the rebuild/incremental bit-identical
+    contract rests on.
+    """
+    n = len(weights)
+    cycle = [(i, (i + 1) % n) for i in range(n)]
+    cdg = _StubCDG(dict(zip(cycle, weights)))
+    rotated = cycle[rotate % n :] + cycle[: rotate % n]
+
+    weak = weakest_edge(cdg, cycle)
+    assert weak == min(cycle, key=lambda e: (cdg.edge_weight(*e), e))
+    assert weakest_edge(cdg, rotated) == weak
+
+    strong = strongest_edge(cdg, cycle)
+    assert strong == min(cycle, key=lambda e: (-cdg.edge_weight(*e), e))
+    assert strongest_edge(cdg, rotated) == strong
 
 
 def test_registry_lookup():

@@ -1,0 +1,197 @@
+"""Differential suite: incremental CSR engine vs the rebuild reference.
+
+The contract (``repro.deadlock.incremental``) is *bit-identical* layer
+assignments — not merely "both acyclic" — across every topology family,
+every heuristic, and after faults. ``debug=True`` additionally
+cross-checks the CSR delta state against a from-scratch dict CDG after
+every eviction, so a drift in the vectorized bookkeeping fails loudly
+here rather than surfacing as a subtly different assignment.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import topologies
+from repro.core import DFSSSPEngine, SSSPEngine
+from repro.core.layers import assign_layers_offline
+from repro.deadlock import (
+    LayerCDG,
+    assign_layers_incremental,
+    verify_deadlock_free,
+)
+from repro.network.faults import cable_keys, degrade
+from repro.routing import extract_paths
+from repro.routing.base import LayeredRouting
+
+# Seven distinct families (the acceptance floor), small enough to keep
+# the full matrix fast but each with a genuinely different CDG shape.
+FAMILIES = {
+    "ring": lambda: topologies.ring(8, terminals_per_switch=1),
+    "torus": lambda: topologies.torus((3, 3), terminals_per_switch=1),
+    "mesh": lambda: topologies.mesh((3, 3), terminals_per_switch=1),
+    "hypercube": lambda: topologies.hypercube(4, terminals_per_switch=1),
+    "xgft": lambda: topologies.xgft(2, (4, 4), (1, 4)),
+    "dragonfly": lambda: topologies.dragonfly(4, 2, 2),
+    "random": lambda: topologies.random_topology(16, 40, 2, seed=13),
+}
+
+HEURISTICS = ("weakest", "strongest", "first")
+
+
+def _paths_for(fabric):
+    tables = SSSPEngine().route(fabric).tables
+    return extract_paths(tables)
+
+
+def _tables_and_paths(fabric):
+    tables = SSSPEngine().route(fabric).tables
+    return tables, extract_paths(tables)
+
+
+@pytest.fixture(scope="module", params=sorted(FAMILIES))
+def family_paths(request):
+    fabric = FAMILIES[request.param]()
+    return request.param, _paths_for(fabric)
+
+
+@pytest.mark.parametrize("heuristic", HEURISTICS)
+def test_bit_identical_assignments(family_paths, heuristic):
+    name, paths = family_paths
+    pids = paths.active_pids()
+    ref = assign_layers_offline(paths, heuristic=heuristic, pids=pids)
+    inc = assign_layers_incremental(paths, heuristic=heuristic, pids=pids, debug=True)
+    np.testing.assert_array_equal(
+        inc.path_layers, ref.path_layers,
+        err_msg=f"{name}/{heuristic}: incremental diverged from rebuild reference",
+    )
+    assert inc.layers_needed == ref.layers_needed
+    assert inc.cycles_broken == ref.cycles_broken
+    assert inc.paths_moved == ref.paths_moved
+
+
+@pytest.mark.parametrize("heuristic", HEURISTICS)
+def test_bit_identical_without_balancing(family_paths, heuristic):
+    name, paths = family_paths
+    pids = paths.active_pids()
+    ref = assign_layers_offline(paths, heuristic=heuristic, balance=False, pids=pids)
+    inc = assign_layers_incremental(paths, heuristic=heuristic, balance=False, pids=pids)
+    np.testing.assert_array_equal(
+        inc.path_layers, ref.path_layers,
+        err_msg=f"{name}/{heuristic} (balance=False): engines diverged",
+    )
+
+
+@pytest.mark.parametrize("family", sorted(FAMILIES))
+def test_incremental_result_is_deadlock_free(family):
+    tables, paths = _tables_and_paths(FAMILIES[family]())
+    assignment = assign_layers_incremental(paths, pids=paths.active_pids())
+    layered = LayeredRouting(tables, assignment.path_layers, assignment.num_layers)
+    report = verify_deadlock_free(layered, paths)
+    assert report.deadlock_free, report.failure_summary()
+
+
+@pytest.mark.parametrize("heuristic", HEURISTICS)
+def test_bit_identical_after_fault(heuristic):
+    """Post-fault full reroutes agree too (degraded CDGs have different
+    shapes — missing channels renumber nothing but delete edge runs)."""
+    fabric = topologies.random_topology(14, 34, 2, seed=7)
+    switch_cables = [
+        key
+        for key in cable_keys(fabric)
+        if fabric.is_switch(int(fabric.channels.src[key[0]]))
+        and fabric.is_switch(int(fabric.channels.dst[key[0]]))
+    ]
+    degraded = degrade(fabric, dead_cables=switch_cables[:2]).fabric
+    paths = _paths_for(degraded)
+    pids = paths.active_pids()
+    ref = assign_layers_offline(paths, heuristic=heuristic, pids=pids)
+    inc = assign_layers_incremental(paths, heuristic=heuristic, pids=pids, debug=True)
+    np.testing.assert_array_equal(inc.path_layers, ref.path_layers)
+
+
+@pytest.mark.parametrize("cdg", ("incremental", "rebuild"))
+def test_engine_reroute_matches_across_cdg_engines(cdg):
+    """DFSSSPEngine-level check: route + reroute under each cdg engine
+    produce the same layered result as the opposite engine."""
+    fabric = topologies.torus((3, 3), terminals_per_switch=1)
+    engine = DFSSSPEngine(cdg=cdg)
+    other = DFSSSPEngine(cdg="rebuild" if cdg == "incremental" else "incremental")
+    result = engine.route(fabric)
+    expect = other.route(fabric)
+    np.testing.assert_array_equal(
+        result.layered.path_layers, expect.layered.path_layers
+    )
+    assert result.stats["cdg"] == cdg
+
+    switch_cables = [
+        key
+        for key in cable_keys(fabric)
+        if fabric.is_switch(int(fabric.channels.src[key[0]]))
+        and fabric.is_switch(int(fabric.channels.dst[key[0]]))
+    ]
+    degraded = degrade(fabric, dead_cables=[switch_cables[0]])
+    rerouted = engine.reroute(result, degraded)
+    expect_rr = other.reroute(expect, degraded)
+    np.testing.assert_array_equal(
+        rerouted.tables.next_channel, expect_rr.tables.next_channel
+    )
+    np.testing.assert_array_equal(
+        rerouted.layered.path_layers, expect_rr.layered.path_layers
+    )
+
+
+def test_layer_cdg_matches_reference_build():
+    """The vectorized CSR build agrees with the dict CDG edge-for-edge."""
+    from repro.deadlock.cdg import ChannelDependencyGraph
+
+    paths = _paths_for(topologies.dragonfly(4, 2, 2))
+    pids = np.asarray(paths.active_pids(), dtype=np.int64)
+    cdg = LayerCDG(paths, pids)
+    ref = ChannelDependencyGraph(paths.fabric)
+    for pid in pids.tolist():
+        ref.add_path(pid, paths.path(pid))
+    assert cdg.num_edges == ref.num_edges
+    assert cdg.num_paths == ref.num_paths
+    for c1, row in ref.succ.items():
+        for c2, ref_pids in row.items():
+            assert cdg.edge_weight(c1, c2) == len(ref_pids)
+            assert sorted(cdg.pids_of_edge(c1, c2)) == sorted(ref_pids)
+    assert sorted(cdg.nodes()) == sorted(ref.nodes())
+
+
+def test_evict_edge_moves_exactly_the_inducing_paths():
+    paths = _paths_for(topologies.ring(8, terminals_per_switch=1))
+    pids = np.asarray(paths.active_pids(), dtype=np.int64)
+    cdg = LayerCDG(paths, pids)
+    membership_edges = [e for e, _w in _edges_of(cdg)]
+    c1, c2 = membership_edges[0]
+    expect = sorted(cdg.pids_of_edge(c1, c2))
+    before = cdg.num_paths
+    movers, _dead = cdg.evict_edge(c1, c2)
+    assert sorted(movers) == expect
+    assert cdg.num_paths == before - len(expect)
+    assert cdg.edge_weight(c1, c2) == 0
+
+
+def _edges_of(cdg):
+    out = []
+    for i in range(len(cdg.alive)):
+        if cdg.alive[i]:
+            out.append(((int(cdg.edge_src[i]), int(cdg.edge_dst[i])), int(cdg.weight[i])))
+    return out
+
+
+def test_pids_must_be_strictly_increasing():
+    from repro.exceptions import ReproError
+
+    paths = _paths_for(topologies.ring(6, terminals_per_switch=1))
+    with pytest.raises(ReproError, match="strictly increasing"):
+        LayerCDG(paths, np.array([3, 1, 2], dtype=np.int64))
+
+
+def test_unknown_heuristic_rejected():
+    paths = _paths_for(topologies.ring(6, terminals_per_switch=1))
+    with pytest.raises(ValueError, match="unknown heuristic"):
+        assign_layers_incremental(paths, heuristic="bogus")

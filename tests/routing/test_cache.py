@@ -1,0 +1,130 @@
+"""Fingerprint-keyed routing cache."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import topologies
+from repro.network.faults import cable_keys, degrade
+from repro.obs import get_registry
+from repro.routing import RoutingCache, cache_key, fabric_fingerprint, make_engine
+
+
+@pytest.fixture()
+def fabric():
+    return topologies.random_topology(10, 22, 2, seed=11)
+
+
+@pytest.fixture()
+def result(fabric):
+    return make_engine("dfsssp").route(fabric)
+
+
+def _counter_value(name, engine="dfsssp"):
+    return get_registry().counter(name, engine=engine).value
+
+
+def test_miss_then_store_then_hit(tmp_path, fabric, result):
+    cache = RoutingCache(tmp_path)
+    assert cache.load(fabric, "dfsssp", {}) is None
+
+    key = cache.store(fabric, "dfsssp", {}, result)
+    assert (tmp_path / f"{key}.npz").is_file()
+    assert (tmp_path / f"{key}.meta.json").is_file()
+
+    hit = cache.load(fabric, "dfsssp", {})
+    assert hit is not None
+    assert hit.stats["cache"] == "hit"
+    assert hit.deadlock_free == result.deadlock_free
+    np.testing.assert_array_equal(hit.tables.next_channel, result.tables.next_channel)
+    np.testing.assert_array_equal(hit.layered.path_layers, result.layered.path_layers)
+    np.testing.assert_array_equal(hit.channel_weights, result.channel_weights)
+
+
+def test_key_covers_engine_and_options(fabric):
+    fp = fabric_fingerprint(fabric)
+    base = cache_key(fp, "dfsssp", {})
+    assert cache_key(fp, "dfsssp", {}) == base  # deterministic
+    assert cache_key(fp, "sssp", {}) != base
+    assert cache_key(fp, "dfsssp", {"workers": 4}) != base
+    # option dict ordering must not split the cache
+    assert cache_key(fp, "dfsssp", {"a": 1, "b": 2}) == cache_key(
+        fp, "dfsssp", {"b": 2, "a": 1}
+    )
+
+
+def test_options_partition_entries(tmp_path, fabric, result):
+    cache = RoutingCache(tmp_path)
+    cache.store(fabric, "dfsssp", {}, result)
+    assert cache.load(fabric, "dfsssp", {"kernel": "numpy"}) is None
+    assert cache.load(fabric, "sssp", {}) is None
+
+
+def test_different_fabric_misses(tmp_path, fabric, result):
+    cache = RoutingCache(tmp_path)
+    cache.store(fabric, "dfsssp", {}, result)
+    other = topologies.random_topology(10, 22, 2, seed=12)
+    assert cache.load(other, "dfsssp", {}) is None
+
+
+def test_degraded_fabric_gets_its_own_entry(tmp_path, fabric, result):
+    cache = RoutingCache(tmp_path)
+    cache.store(fabric, "dfsssp", {}, result)
+    switch_cables = [
+        key
+        for key in cable_keys(fabric)
+        if fabric.is_switch(int(fabric.channels.src[key[0]]))
+        and fabric.is_switch(int(fabric.channels.dst[key[0]]))
+    ]
+    degraded = degrade(fabric, dead_cables=[switch_cables[0]]).fabric
+    assert cache.load(degraded, "dfsssp", {}) is None
+    dres = make_engine("dfsssp").route(degraded)
+    cache.store(degraded, "dfsssp", {}, dres)
+    assert cache.load(degraded, "dfsssp", {}) is not None
+    assert cache.load(fabric, "dfsssp", {}) is not None  # both coexist
+    assert len(cache.entries()) == 2
+
+
+def test_corrupt_entry_counts_as_miss(tmp_path, fabric, result):
+    cache = RoutingCache(tmp_path)
+    key = cache.store(fabric, "dfsssp", {}, result)
+    (tmp_path / f"{key}.npz").write_bytes(b"not an npz archive")
+    assert cache.load(fabric, "dfsssp", {}) is None
+    # store overwrites the corrupt entry and the hit path recovers
+    cache.store(fabric, "dfsssp", {}, result)
+    assert cache.load(fabric, "dfsssp", {}) is not None
+
+
+def test_metrics_count_hits_misses_stores(tmp_path, fabric, result):
+    cache = RoutingCache(tmp_path)
+    h0 = _counter_value("routing_cache_hit_total")
+    m0 = _counter_value("routing_cache_miss_total")
+    s0 = _counter_value("routing_cache_store_total")
+    cache.load(fabric, "dfsssp", {})
+    cache.store(fabric, "dfsssp", {}, result)
+    cache.load(fabric, "dfsssp", {})
+    assert _counter_value("routing_cache_miss_total") == m0 + 1
+    assert _counter_value("routing_cache_store_total") == s0 + 1
+    assert _counter_value("routing_cache_hit_total") == h0 + 1
+
+
+def test_entries_and_clear(tmp_path, fabric, result):
+    cache = RoutingCache(tmp_path)
+    key = cache.store(fabric, "dfsssp", {}, result)
+    entries = cache.entries()
+    assert len(entries) == 1
+    meta = entries[0]
+    assert meta["key"] == key
+    assert meta["engine"] == "dfsssp"
+    assert meta["fingerprint"] == fabric_fingerprint(fabric)
+    assert meta["bytes"] > 0
+    assert meta["stats"].get("engine") == "dfsssp"
+    # meta file is valid standalone JSON (human-inspectable)
+    raw = json.loads((tmp_path / f"{key}.meta.json").read_text())
+    assert raw["key"] == key
+    assert cache.clear() == 2
+    assert cache.entries() == []
+    assert cache.load(fabric, "dfsssp", {}) is None

@@ -1,0 +1,83 @@
+"""Supervisor warm-start through the fingerprint-keyed routing cache."""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro import topologies
+from repro.network.faults import cable_keys
+from repro.obs import InMemorySink, get_registry, use_sink
+from repro.resilience import LINK_UP, FaultEvent
+from repro.service import BackoffPolicy, RoutingSupervisor, ServicePolicy
+
+FAST = ServicePolicy(backoff=BackoffPolicy(base_s=0.0, jitter=0.0, max_attempts=2))
+
+
+@pytest.fixture()
+def fabric():
+    # Big enough that a full DFSSSP run dwarfs one .npz load: the
+    # warm-vs-cold timing assertion below needs headroom, not luck.
+    return topologies.random_topology(24, 60, terminals_per_switch=2, seed=9)
+
+
+def _hits(engine="dfsssp") -> int:
+    return get_registry().counter("routing_cache_hit_total", engine=engine).value
+
+
+def test_restart_warm_starts_and_is_faster(tmp_path, fabric):
+    t0 = time.perf_counter()
+    cold = RoutingSupervisor(fabric, engine="dfsssp", policy=FAST, cache_dir=tmp_path)
+    cold_s = time.perf_counter() - t0
+
+    hits_before = _hits()
+    sink = InMemorySink()
+    with use_sink(sink):
+        t0 = time.perf_counter()
+        warm = RoutingSupervisor(fabric, engine="dfsssp", policy=FAST, cache_dir=tmp_path)
+        warm_s = time.perf_counter() - t0
+
+    # Measurably faster: the warm path loads one .npz instead of routing.
+    assert warm_s < cold_s, (
+        f"warm start ({warm_s:.4f}s) not faster than cold ({cold_s:.4f}s)"
+    )
+    assert _hits() == hits_before + 1
+    ws = sink.find("cache.warm_start")
+    assert len(ws) == 1 and ws[0].attrs["hit"] is True
+
+    # And identical: the cache replays the exact routing, verified anew.
+    np.testing.assert_array_equal(
+        warm.serving().result.tables.next_channel,
+        cold.serving().result.tables.next_channel,
+    )
+    np.testing.assert_array_equal(
+        warm.serving().result.layered.path_layers,
+        cold.serving().result.layered.path_layers,
+    )
+    assert warm.serving().result.deadlock_free
+
+
+def test_full_rung_hits_cache_for_seen_fabric(tmp_path, fabric):
+    sup = RoutingSupervisor(fabric, engine="dfsssp", policy=FAST, cache_dir=tmp_path)
+    # A LINK_UP for a healthy cable folds to the baseline fabric and
+    # forces the ladder past the repair rung straight to "full" — whose
+    # fabric the initial route already cached.
+    hits_before = _hits()
+    sink = InMemorySink()
+    with use_sink(sink):
+        sup.submit(FaultEvent(LINK_UP, cable=cable_keys(fabric)[0]))
+        outcome = sup.process()
+    assert outcome.ok and outcome.action == "full"
+    assert _hits() == hits_before + 1
+    ws = sink.find("cache.warm_start")
+    assert len(ws) == 1 and ws[0].attrs["hit"] is True
+    assert sup.serving().result.deadlock_free
+
+
+def test_no_cache_dir_means_no_cache_traffic(fabric):
+    sink = InMemorySink()
+    with use_sink(sink):
+        RoutingSupervisor(fabric, engine="dfsssp", policy=FAST)
+    assert sink.find("cache.warm_start") == []
