@@ -14,7 +14,12 @@ Subcommands mirror the OpenSM-era workflow on the fabric model:
 * ``serve``      — supervised service-mode soak (deadlines, backoff,
   last-known-good serving, checkpoint/restore; see ``docs/service.md``);
 * ``checkpoint`` — inspect and verify a service checkpoint directory;
-* ``stats``      — render a ``--metrics`` JSON dump as a table.
+* ``stats``      — render a ``--metrics`` JSON dump as a table, a
+  ``--trace`` JSONL file as a span tree (``--trace-tree``, optionally
+  filtered to one ``--request`` id), or a flight-recorder dump
+  (``--flight``);
+* ``health``     — judge declarative SLOs against a metrics dump
+  (exit 1 on violation; powers the CI health gate).
 
 Fabrics come from generators (``--family``), saved JSON (``--fabric``) or
 real ``ibnetdiscover`` dumps (``--ibnetdiscover``).
@@ -182,6 +187,35 @@ def _dump_metrics(target: str) -> None:
         atomic_write_text(target, reg.render_prometheus())
 
 
+def _add_telemetry_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--flight-out", metavar="FILE",
+        help="dump the flight recorder (last-events ring) here after the "
+        "run and on SIGTERM — post-mortem context for kills",
+    )
+    p.add_argument(
+        "--health-out", metavar="FILE",
+        help="write a machine-readable SLO health report here after the run",
+    )
+
+
+def _write_telemetry_artifacts(args, mode: str):
+    """Honour --flight-out / --health-out at the end of a soak.
+
+    Returns the health report (or None) so callers can surface it.
+    """
+    from repro.obs import get_recorder
+    from repro.obs.slo import evaluate_slos, slos_for
+
+    report = None
+    if getattr(args, "flight_out", None):
+        get_recorder().dump(args.flight_out)
+    if getattr(args, "health_out", None):
+        report = evaluate_slos(slos_for(mode), get_registry().snapshot())
+        report.save(args.health_out)
+    return report
+
+
 def cmd_topo(args) -> int:
     fabric = _build_topo(args)
     print(fabric)
@@ -243,8 +277,45 @@ def cmd_simulate(args) -> int:
 
 def cmd_stats(args) -> int:
     """Render a ``--metrics`` JSON dump and/or a routing-cache listing."""
-    if not args.file and not args.cache_dir:
-        raise ReproError("stats needs a metrics file and/or --cache-dir")
+    if not args.file and not args.cache_dir and not args.trace_tree and not args.flight:
+        raise ReproError(
+            "stats needs a metrics file, --cache-dir, --trace-tree or --flight"
+        )
+    if args.trace_tree:
+        from repro.obs.export import build_trace_tree, read_trace, trace_request_ids
+
+        records = read_trace(args.trace_tree)
+        if args.request:
+            roots = build_trace_tree(records, request_id=args.request)
+            if not roots:
+                raise ReproError(
+                    f"{args.trace_tree}: no spans with request_id {args.request!r} "
+                    f"(known: {', '.join(trace_request_ids(records)) or 'none'})"
+                )
+            print(f"request {args.request}:")
+        else:
+            roots = build_trace_tree(records)
+        from repro.obs.export import render_trace_tree
+
+        print(render_trace_tree(roots))
+    if args.flight:
+        with open(args.flight, encoding="utf-8") as fp:
+            dump = json.load(fp)
+        events = dump.get("events", [])
+        print(
+            f"flight recorder: {dump.get('recorded', len(events))} events recorded, "
+            f"{dump.get('evicted', 0)} evicted, showing {len(events)}"
+        )
+        table = Table(["seq", "kind", "request", "detail"], title=args.flight)
+        for event in events:
+            detail = " ".join(
+                f"{k}={v}" for k, v in event.items()
+                if k not in ("seq", "ts", "mono", "kind", "request_id") and v is not None
+            )
+            table.add_row(
+                [event.get("seq"), event.get("kind"), event.get("request_id") or "-", detail]
+            )
+        print(table.render())
     if args.file:
         if args.file == "-":
             data = json.load(sys.stdin)
@@ -285,6 +356,48 @@ def cmd_stats(args) -> int:
             )
         print(table.render())
     return 0
+
+
+def cmd_health(args) -> int:
+    """Judge declarative SLOs against a recorded metrics dump."""
+    from repro.obs.slo import evaluate_slos, load_slos, slos_for
+
+    if args.file == "-":
+        data = json.load(sys.stdin)
+    else:
+        with open(args.file, encoding="utf-8") as fp:
+            data = json.load(fp)
+    if data.get("metrics") is None:
+        raise ReproError(f"{args.file}: not a metrics dump (no 'metrics' key)")
+    slos = load_slos(args.slos) if args.slos else slos_for(args.mode)
+    report = evaluate_slos(slos, data)
+    if args.out:
+        report.save(args.out)
+    if args.json:
+        print(report.to_json())
+    else:
+        table = Table(
+            ["slo", "objective", "value", "target", "burn", "verdict"],
+            title=f"health ({args.mode} SLOs) from {args.file}",
+        )
+        for r in report.results:
+            verdict = "SKIP" if r.compliant is None else ("ok" if r.compliant else "VIOLATED")
+            table.add_row(
+                [
+                    r.name,
+                    r.objective,
+                    round(r.value, 6) if r.value is not None else None,
+                    r.threshold,
+                    round(r.burn_rate, 3) if r.burn_rate is not None else None,
+                    verdict,
+                ]
+            )
+        print(table.render())
+        print(
+            f"healthy: {report.healthy} "
+            f"({len(report.evaluated)} evaluated, {len(report.violations)} violated)"
+        )
+    return 0 if report.healthy else 1
 
 
 def cmd_vls(args) -> int:
@@ -383,6 +496,7 @@ def cmd_chaos(args) -> int:
     summary = report.summary()
     if args.out:
         report.save(args.out)
+    _write_telemetry_artifacts(args, mode="chaos")
     if args.json:
         print(json.dumps(summary, indent=2))
     else:
@@ -416,8 +530,14 @@ def cmd_chaos(args) -> int:
 
 
 def cmd_serve(args) -> int:
+    from repro.obs import get_recorder, install_signal_dump, record_event
+    from repro.obs.slo import SLOEngine, slos_for
     from repro.resilience import run_service_soak
     from repro.service import BackoffPolicy, RoutingSupervisor, ServicePolicy
+
+    if args.flight_out:
+        # A SIGTERM mid-soak still leaves a post-mortem dump behind.
+        install_signal_dump(args.flight_out)
 
     def _deadline(value: float) -> float | None:
         return None if value <= 0 else value
@@ -476,6 +596,14 @@ def cmd_serve(args) -> int:
             # Simulate SIGKILL: no cleanup, no atexit, no report. The
             # checkpoint written by the preceding batch is all that
             # survives — exactly what `serve --restore` must cope with.
+            # The flight recorder dumps first: its last events are the
+            # post-mortem explanation of this kill.
+            record_event(
+                "kill", reason="simulated SIGKILL (--kill-after)",
+                events_submitted=supervisor.events_submitted,
+            )
+            if args.flight_out:
+                get_recorder().dump(args.flight_out)
             sys.stderr.write(
                 f"serve: simulating hard kill after "
                 f"{supervisor.events_submitted} events\n"
@@ -483,17 +611,42 @@ def cmd_serve(args) -> int:
             sys.stderr.flush()
             os._exit(137)
 
+    slo_engine = (
+        SLOEngine(slos_for("service")) if (args.health_out or args.top) else None
+    )
+
+    def on_batch(record: dict) -> None:
+        health = slo_engine.tick() if slo_engine is not None else None
+        if args.top:
+            from repro.obs.export import render_top
+
+            out = render_top(
+                served=supervisor.serving(),
+                report=health,
+                recorder=get_recorder(),
+                batches=supervisor.batches,
+                events=supervisor.events_submitted,
+            )
+            if sys.stdout.isatty():  # pragma: no cover - interactive only
+                sys.stdout.write("\x1b[2J\x1b[H")
+            sys.stdout.write(out)
+            sys.stdout.flush()
+
     report = run_service_soak(
         supervisor,
         events,
         inject_timeout_at=inject,
         kill_after=args.kill_after,
         kill_fn=kill_fn,
+        on_batch=on_batch,
         **soak_kwargs,
     )
     summary = report.summary()
     if args.out:
         report.save(args.out)
+    health = _write_telemetry_artifacts(args, mode="service")
+    if health is not None and not health.healthy:
+        summary["slo_violations"] = [r.name for r in health.violations]
     if args.json:
         print(json.dumps(summary, indent=2))
     else:
@@ -684,6 +837,7 @@ def main(argv: list[str] | None = None) -> int:
     )
     p.add_argument("--out", help="write the full report (summary + events) as JSON")
     p.add_argument("--json", action="store_true", help="print the summary as JSON")
+    _add_telemetry_args(p)
     p.set_defaults(func=cmd_chaos)
 
     p = sub.add_parser(
@@ -745,6 +899,12 @@ def main(argv: list[str] | None = None) -> int:
     )
     p.add_argument("--out", help="write the full report (summary + batches) as JSON")
     p.add_argument("--json", action="store_true", help="print the summary as JSON")
+    _add_telemetry_args(p)
+    p.add_argument(
+        "--top", action="store_true",
+        help="redraw a top-style live health view after every batch "
+        "(supervisor state, SLO table, flight-recorder tail)",
+    )
     p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser("checkpoint", help="inspect / verify a service checkpoint")
@@ -756,13 +916,43 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--json", action="store_true", help="machine-readable JSON output")
     p.set_defaults(func=cmd_checkpoint)
 
-    p = sub.add_parser("stats", help="render a --metrics JSON dump as a table")
+    p = sub.add_parser(
+        "stats", help="render metrics dumps, trace trees and flight dumps"
+    )
     p.add_argument("file", nargs="?", help="metrics JSON file ('-' = stdin)")
     p.add_argument(
         "--cache-dir",
         help="also list the routing-cache entries under this directory",
     )
+    p.add_argument(
+        "--trace-tree", metavar="FILE",
+        help="render a --trace JSONL file as an indented span tree",
+    )
+    p.add_argument(
+        "--request", metavar="ID",
+        help="restrict --trace-tree to one request id's causal tree",
+    )
+    p.add_argument(
+        "--flight", metavar="FILE",
+        help="render a flight-recorder dump (--flight-out) as a table",
+    )
     p.set_defaults(func=cmd_stats)
+
+    p = sub.add_parser(
+        "health", help="judge declarative SLOs against a metrics dump"
+    )
+    p.add_argument("file", help="metrics JSON dump ('-' = stdin)")
+    p.add_argument(
+        "--mode", choices=("service", "chaos"), default="service",
+        help="which default SLO set to evaluate",
+    )
+    p.add_argument(
+        "--slos", metavar="FILE",
+        help="custom SLO definitions (JSON list) instead of the defaults",
+    )
+    p.add_argument("--out", help="write the machine-readable health report here")
+    p.add_argument("--json", action="store_true", help="print the report as JSON")
+    p.set_defaults(func=cmd_health)
 
     args = parser.parse_args(argv)
     sink = prev_sink = None

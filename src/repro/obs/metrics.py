@@ -189,19 +189,15 @@ class Histogram(Metric):
         return out
 
     def quantile(self, q: float) -> float:
-        """Bucket-resolution quantile estimate (upper bound of the bucket
-        holding the q-th observation); exact min/max at the extremes."""
-        if not 0.0 <= q <= 1.0:
-            raise ValueError(f"quantile must be in [0, 1], got {q}")
-        if self._count == 0:
-            return 0.0
-        if q == 0.0:
-            return self.minimum
-        target = q * self._count
-        for le, acc in self.cumulative_buckets():
-            if acc >= target:
-                return min(le, self._max)
-        return self._max  # pragma: no cover - inf bucket catches all
+        """Quantile estimate with linear interpolation inside the bucket
+        holding the q-th observation (Prometheus ``histogram_quantile``
+        semantics), clamped to the exact observed min/max. ``q=0`` and
+        ``q=1`` return the exact extremes."""
+        return quantile_from_buckets(
+            self.cumulative_buckets(), q,
+            minimum=self.minimum if self._count else None,
+            maximum=self.maximum if self._count else None,
+        )
 
     def to_entry(self) -> dict:
         return {
@@ -221,6 +217,118 @@ def _fmt_le(le: float) -> str:
     if le == float("inf"):
         return "+Inf"
     return f"{le:g}"
+
+
+def _parse_le(text: str) -> float:
+    return float("inf") if text == "+Inf" else float(text)
+
+
+def quantile_from_buckets(
+    cumulative: Sequence[tuple[float, int]],
+    q: float,
+    *,
+    minimum: float | None = None,
+    maximum: float | None = None,
+) -> float:
+    """Interpolated quantile from ``(le, cumulative count)`` pairs.
+
+    Linear interpolation inside the bucket holding the q-th observation:
+    the bucket's lower edge is the previous ``le`` (or ``minimum`` for
+    the first occupied bucket, ``0.0`` when unknown), its upper edge the
+    bucket's ``le`` (or ``maximum`` for the ``+Inf`` bucket, else the
+    last finite edge). Results are clamped to ``[minimum, maximum]``
+    when those are known, so small histograms never report a value
+    outside what was actually observed. Works on live histograms
+    (exact ``minimum``/``maximum`` tracked) and on exported/delta'd
+    snapshots alike (pass what you have; ``None`` degrades gracefully).
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"quantile must be in [0, 1], got {q}")
+    cumulative = list(cumulative)
+    count = cumulative[-1][1] if cumulative else 0
+    if count == 0:
+        return 0.0
+    if q == 0.0 and minimum is not None:
+        return minimum
+    if q == 1.0 and maximum is not None:
+        return maximum
+    target = q * count
+    prev_le: float | None = None
+    prev_acc = 0
+    for le, acc in cumulative:
+        if acc >= target:
+            in_bucket = acc - prev_acc
+            pos = (target - prev_acc) / in_bucket if in_bucket else 0.0
+            if prev_le is None:
+                lo = minimum if minimum is not None else min(0.0, le)
+            else:
+                lo = prev_le
+            if le == float("inf"):
+                hi = maximum if maximum is not None else (prev_le or 0.0)
+            else:
+                hi = le
+            value = lo + pos * (hi - lo)
+            if minimum is not None:
+                value = max(value, minimum)
+            if maximum is not None:
+                value = min(value, maximum)
+            return value
+        prev_le, prev_acc = le, acc
+    # Unreachable with a trailing +Inf bucket; be safe for foreign data.
+    return maximum if maximum is not None else (prev_le or 0.0)  # pragma: no cover
+
+
+def _entry_key(entry: dict) -> tuple:
+    return (entry["name"], tuple(sorted(entry.get("labels", {}).items())))
+
+
+def _entry_delta(old: dict | None, new: dict) -> dict:
+    """``new - old`` for one exported metric entry (see snapshot_delta)."""
+    if new["type"] == "gauge" or old is None or old.get("type") != new["type"]:
+        return json.loads(json.dumps(new))  # deep copy, decouple from caller
+    if new["type"] == "histogram":
+        count = max(0, new["count"] - old["count"])
+        total = max(0.0, new["sum"] - old["sum"])
+        old_buckets = old.get("buckets", {})
+        buckets = {
+            le: max(0, acc - old_buckets.get(le, 0))
+            for le, acc in new.get("buckets", {}).items()
+        }
+        return {
+            "name": new["name"],
+            "type": "histogram",
+            "labels": dict(new.get("labels", {})),
+            "count": count,
+            "sum": total,
+            "mean": total / count if count else 0.0,
+            # Whole-run extremes: valid outer bounds for the window, but
+            # not tight — a window cannot re-observe the run's minimum.
+            "min": new["min"] if count else 0.0,
+            "max": new["max"] if count else 0.0,
+            "buckets": buckets,
+        }
+    # counter (and any future monotone kind)
+    out = dict(new)
+    out["labels"] = dict(new.get("labels", {}))
+    out["value"] = max(0, new["value"] - old["value"])
+    return out
+
+
+def quantile_from_entry(entry: dict, q: float) -> float:
+    """Interpolated quantile from an exported histogram entry (a dict in
+    the ``--metrics`` dump / :meth:`MetricsRegistry.snapshot` shape)."""
+    if entry.get("type") != "histogram":
+        raise ValueError(f"{entry.get('name')!r} is not a histogram entry")
+    cumulative = sorted(
+        ((_parse_le(le), acc) for le, acc in entry.get("buckets", {}).items()),
+        key=lambda p: p[0],
+    )
+    count = entry.get("count", 0)
+    return quantile_from_buckets(
+        cumulative, q,
+        minimum=entry.get("min") if count else None,
+        maximum=entry.get("max") if count else None,
+    )
 
 
 class MetricsRegistry:
@@ -281,6 +389,36 @@ class MetricsRegistry:
         """Drop every metric (tests; fresh CLI runs share one process)."""
         with self._lock:
             self._metrics.clear()
+
+    # -- snapshots -----------------------------------------------------
+    def snapshot(self) -> dict:
+        """Point-in-time copy of every metric, in the ``--metrics`` JSON
+        dump shape (``{"metrics": [entry, ...]}``). Entries are plain
+        dicts decoupled from the live objects, so two snapshots bracket
+        an interval and :meth:`snapshot_delta` diffs them."""
+        return self.to_json()
+
+    @staticmethod
+    def snapshot_delta(old: dict, new: dict) -> dict:
+        """Difference of two :meth:`snapshot` dumps (``new - old``).
+
+        Counters and histogram counts/sums/buckets subtract (clamped at
+        zero, so a registry reset between snapshots degrades to ``new``
+        rather than going negative); gauges keep ``new``'s value (they
+        are levels, not totals); histogram ``min``/``max``/``mean`` are
+        recomputed for the window where possible (``mean`` exactly,
+        ``min``/``max`` approximated by ``new``'s whole-run extremes —
+        still valid outer bounds for the window). Metrics absent from
+        ``old`` are treated as starting at zero; metrics absent from
+        ``new`` are dropped. This is the one place soaks and the SLO
+        engine get windowed rates from cumulative metrics.
+        """
+        old_by_key = {_entry_key(e): e for e in old.get("metrics", [])}
+        out = []
+        for entry in new.get("metrics", []):
+            prev = old_by_key.get(_entry_key(entry))
+            out.append(_entry_delta(prev, entry))
+        return {"metrics": out}
 
     # -- export --------------------------------------------------------
     def to_json(self) -> dict:

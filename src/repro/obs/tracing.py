@@ -16,11 +16,19 @@ Spans always measure elapsed time regardless of sink (callers such as
 DFSSSP read ``sp.duration`` for their stats dict). Durations come from
 ``time.perf_counter`` — monotonic, so NTP steps or daylight-saving
 jumps mid-phase cannot produce negative or wildly wrong timings.
-``Span.start_wall`` (``time.time``) is carried as an *annotation only*:
-it anchors the span on the human calendar in trace output (the ``ts``
-field) and never participates in arithmetic. Nesting is tracked
-per-context via :mod:`contextvars`, so spans stay correctly parented
-under threads or async tasks.
+``Span.start_wall`` (``time.time``) anchors the span on the human
+calendar and is stamped *together with* ``start_perf`` (one adjacent
+pair of clock reads), so exported records carry a coherent
+(wall, monotonic) pair. The monotonic side is authoritative: ordering
+and arithmetic use ``perf``/``duration_s``; ``ts`` exists to correlate
+traces with external logs. Nesting is tracked per-context via
+:mod:`contextvars`, so spans stay correctly parented under threads or
+async tasks.
+
+When a request id is active (see :mod:`repro.obs.telemetry`), every
+span created in that context is stamped with a ``request_id``
+attribute, so one grep over a JSONL trace recovers a request's whole
+causal tree.
 """
 
 from __future__ import annotations
@@ -33,14 +41,36 @@ from contextvars import ContextVar
 
 _ids = itertools.count(1)
 
+#: Ambient request id — set by :func:`repro.obs.telemetry.request_scope`
+#: (or :func:`set_request_id` directly); every span created while it is
+#: set carries a ``request_id`` attribute. Lives here rather than in
+#: :mod:`repro.obs.telemetry` so ``Span.__init__`` needs no imports.
+_request_id: ContextVar[str | None] = ContextVar("repro_obs_request_id", default=None)
+
+
+def current_request_id() -> str | None:
+    """The ambient request id in this context, if any."""
+    return _request_id.get()
+
+
+def set_request_id(request_id: str | None):
+    """Set the ambient request id; returns a token for :func:`reset_request_id`."""
+    return _request_id.set(request_id)
+
+
+def reset_request_id(token) -> None:
+    _request_id.reset(token)
+
 
 class Span:
     """One timed phase. ``duration`` is None until the span closes.
 
-    ``start_perf`` is the monotonic (``perf_counter``) anchor the
-    duration is measured from; ``start_wall`` is a wall-clock
-    (``time.time``) annotation for trace display only — never used in
-    timing arithmetic, so stepped system clocks cannot skew durations.
+    ``start_perf`` (``perf_counter``) is the monotonic anchor the
+    duration is measured from and is **authoritative** for ordering and
+    arithmetic; ``start_wall`` (``time.time``) is the wall-clock
+    annotation stamped in the same instant, used only to correlate
+    traces with external logs — stepped system clocks cannot skew
+    durations.
     """
 
     __slots__ = (
@@ -50,10 +80,14 @@ class Span:
 
     def __init__(self, name: str, attrs: dict, parent: "Span | None"):
         self.name = name
+        rid = _request_id.get()
+        if rid is not None and "request_id" not in attrs:
+            attrs["request_id"] = rid
         self.attrs = attrs
         self.span_id = next(_ids)
         self.parent = parent
-        self.start_wall = time.time()  # annotation only — see class docstring
+        # One adjacent pair of clock reads — keep wall and perf coherent.
+        self.start_wall = time.time()
         self.start_perf = time.perf_counter()
         self.duration: float | None = None
         self.status = "ok"
@@ -130,9 +164,14 @@ class JsonlSink:
     ``target`` is a path (opened/closed by the sink) or an open
     file-like object (left open on :meth:`close` — e.g. stdout).
 
-    The ``ts`` field is the span's wall-clock start (an annotation for
-    correlating traces with external logs); ``duration_s`` is measured
-    on the monotonic clock and is the only trustworthy elapsed time.
+    Every record stamps both clocks: ``ts`` is the span's wall-clock
+    start (correlates traces with external logs) and ``perf`` the
+    matching monotonic (``perf_counter``) anchor. The monotonic side is
+    authoritative — ``duration_s`` is measured on it, and *stop*
+    records carry the re-anchored pair taken right before the span body
+    ran (start records carry the provisional pair from span creation,
+    so ``stop.ts >= start.ts`` by a hair). Tools that order or compare
+    spans must use ``perf``/``duration_s``, never ``ts``.
     """
 
     enabled = True
@@ -156,6 +195,7 @@ class JsonlSink:
                 "parent": span.parent_id,
                 "name": span.name,
                 "ts": span.start_wall,
+                "perf": span.start_perf,
                 "attrs": span.attrs,
             }
         )
@@ -168,6 +208,7 @@ class JsonlSink:
                 "parent": span.parent_id,
                 "name": span.name,
                 "ts": span.start_wall,
+                "perf": span.start_perf,
                 "duration_s": span.duration,
                 "status": span.status,
                 "attrs": span.attrs,
@@ -237,7 +278,9 @@ class span:
         if sink.enabled:
             sink.start(s)
         # Re-anchor after the sink call so its I/O never counts as phase
-        # time; durations are perf_counter-only (start_wall is display).
+        # time. Both clocks move together so the (wall, perf) pair in
+        # stop records stays coherent; stop records are authoritative.
+        s.start_wall = time.time()
         s.start_perf = time.perf_counter()
         return s
 

@@ -28,7 +28,12 @@ plain tuple and re-raised in the parent, preserving the supervisor's
 escalation semantics end to end.
 
 Observability: one ``parallel.run`` span per engine run, one
-``parallel.batch`` span per batch, and ``routing_parallel_*`` metrics
+``parallel.batch`` span per batch — and, when a sink is live, one
+``parallel.hop_column`` span per destination *inside each worker
+process*, captured there and replayed re-parented under the consuming
+batch span (see :mod:`repro.obs.telemetry`; the shipped carrier's
+``capture`` flag keeps workers span-free when nobody is tracing) —
+plus ``routing_parallel_*`` metrics
 (workers, batches, columns, validation fallbacks, worker timeouts,
 per-batch wall time) — see ``docs/observability.md``.
 """
@@ -36,13 +41,16 @@ per-batch wall time) — see ``docs/observability.md``.
 from __future__ import annotations
 
 import multiprocessing
+import os
 from collections.abc import Sequence
+from contextlib import nullcontext
 
 import numpy as np
 
 from repro.exceptions import ComputeTimeoutError
 from repro.network.fabric import Fabric
 from repro.obs import DURATION_BUCKETS, get_registry, span
+from repro.obs.telemetry import capture_spans, export_context, replay_spans
 from repro.parallel.kernel import INT64_INF, hops_to_dest, resolve_kernel
 from repro.parallel.reduction import ExactReduction
 from repro.service.budget import active_budget, check_budget, compute_budget
@@ -80,20 +88,44 @@ def _hop_column(dest: int) -> np.ndarray:
     return hops_to_dest(fabric, dest)
 
 
-def _hop_columns_task(dests: Sequence[int], budget_s, budget_label: str):
+def _hop_columns_task(dests: Sequence[int], budget_s, budget_label: str,
+                      carrier: dict | None = None):
     """Compute hop columns for a chunk of destinations, under a deadline.
 
-    Returns ``("ok", [columns...])`` or ``("timeout", info)`` — shipping
-    the timeout as data keeps the payload picklable regardless of how the
-    exception type evolves.
+    Returns ``("ok", [columns...], records)`` or ``("timeout", info,
+    records)`` — shipping the timeout as data keeps the payload picklable
+    regardless of how the exception type evolves. ``records`` are the
+    worker's captured span dicts (one ``parallel.hop_column`` per
+    destination, stamped with the shipped request id and this worker's
+    pid) when the ``carrier`` asks for capture, else empty; the parent
+    replays them re-parented under its ``parallel.batch`` span. A
+    timed-out chunk still ships what it captured — the aborted column's
+    span arrives with ``status="error"`` and explains the timeout.
     """
-    try:
-        if budget_s is not None:
-            with compute_budget(budget_s, label=budget_label):
-                return ("ok", [_hop_column(int(d)) for d in dests])
-        return ("ok", [_hop_column(int(d)) for d in dests])
-    except ComputeTimeoutError as err:
-        return ("timeout", (str(err), err.label, err.limit_s, err.elapsed_s))
+    capture = bool(carrier and carrier.get("capture"))
+    ctx = capture_spans(carrier) if capture else nullcontext()
+    records: list[dict] = []
+
+    def columns() -> list[np.ndarray]:
+        out = []
+        for d in dests:
+            if capture:
+                with span("parallel.hop_column", dest=int(d), pid=os.getpid()):
+                    out.append(_hop_column(int(d)))
+            else:
+                out.append(_hop_column(int(d)))
+        return out
+
+    with ctx as sink:
+        if capture:
+            records = sink.records
+        try:
+            if budget_s is not None:
+                with compute_budget(budget_s, label=budget_label):
+                    return ("ok", columns(), records)
+            return ("ok", columns(), records)
+        except ComputeTimeoutError as err:
+            return ("timeout", (str(err), err.label, err.limit_s, err.elapsed_s), records)
 
 
 # ----------------------------------------------------------------------
@@ -212,10 +244,11 @@ def run_parallel_sssp(
                 if index >= len(batches):
                     return
                 budget_s, label = _budget_snapshot()
+                carrier = export_context()
                 handles[index] = [
                     pool.apply_async(
                         _hop_columns_task,
-                        ([dest for _, dest in chunk], budget_s, label),
+                        ([dest for _, dest in chunk], budget_s, label, carrier),
                     )
                     for chunk in _chunks(batches[index], workers)
                 ]
@@ -229,7 +262,11 @@ def run_parallel_sssp(
                 ) as sp:
                     columns: list[np.ndarray] = []
                     for handle in handles[index]:
-                        status, payload = handle.get()
+                        status, payload, records = handle.get()
+                        # Re-parent the worker's captured spans under this
+                        # batch span (even for a timed-out chunk — its
+                        # error span is the explanation).
+                        replay_spans(records)
                         if status == "timeout":
                             message, label, limit_s, elapsed_s = payload
                             m_timeouts.inc()

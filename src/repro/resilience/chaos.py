@@ -319,6 +319,7 @@ def run_service_soak(
     inject_timeout_at: set[int] | frozenset[int] = frozenset(),
     kill_after: int | None = None,
     kill_fn=None,
+    on_batch=None,
 ) -> ServiceSoakReport:
     """Drive a :class:`~repro.service.supervisor.RoutingSupervisor` through
     a seeded fault stream, verifying what it *serves* after every batch.
@@ -341,6 +342,10 @@ def run_service_soak(
         Once at least ``kill_after`` events have been submitted (and
         checkpointed), call ``kill_fn`` — the serve CLI passes a hard
         ``os._exit`` to simulate SIGKILL mid-soak.
+    on_batch:
+        Called with each batch's record dict right after serving was
+        verified — the serve CLI hooks its SLO-engine tick and live
+        ``--top`` redraw here.
     """
     from repro.deadlock.verify import verify_deadlock_free as _verify_df
 
@@ -432,6 +437,8 @@ def run_service_soak(
             record["injected_timeout"] = injected
             ok = verify_serving(record)
             report.records.append(record)
+            if on_batch is not None:
+                on_batch(record)
             if not ok:
                 break
             if (

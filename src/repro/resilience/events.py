@@ -24,6 +24,7 @@ import numpy as np
 
 from repro.exceptions import ReproError
 from repro.network.fabric import Fabric
+from repro.obs.recorder import record_event
 from repro.network.faults import (
     DegradedFabric,
     cable_keys,
@@ -211,6 +212,10 @@ class FaultInjector:
             self.dead_switches = switches
             self.state = tentative
             self.history.append(event)
+            record_event(
+                "fault_injected", fault=kind, detail=event.describe(self.healthy),
+                dead_cables=len(cables), dead_switches=len(switches),
+            )
             return event, tentative
         return None
 

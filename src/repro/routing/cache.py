@@ -33,6 +33,7 @@ import numpy as np
 from repro.exceptions import RoutingError
 from repro.network.fabric import Fabric
 from repro.obs import get_registry
+from repro.obs.recorder import record_event
 from repro.routing.base import RoutingResult
 from repro.routing.io import fabric_fingerprint, load_routing_state, save_routing
 from repro.utils.atomicio import atomic_write_text
@@ -78,7 +79,8 @@ class RoutingCache:
     def _paths(self, key: str) -> tuple[Path, Path]:
         return self.dir / f"{key}.npz", self.dir / f"{key}.meta.json"
 
-    def _counter(self, event: str, engine: str):
+    def _counter(self, event: str, engine: str, key: str | None = None):
+        record_event(f"cache_{event}", engine=str(engine), key=key)
         return get_registry().counter(
             f"routing_cache_{event}_total",
             f"routing-cache {event}s",
@@ -96,15 +98,15 @@ class RoutingCache:
         key = cache_key(fabric_fingerprint(fabric), engine, opts)
         npz, meta_path = self._paths(key)
         if not npz.is_file():
-            self._counter("miss", engine).inc()
+            self._counter("miss", engine, key).inc()
             return None
         try:
             state = load_routing_state(npz, fabric)
             meta = json.loads(meta_path.read_text()) if meta_path.is_file() else {}
         except (RoutingError, OSError, ValueError, KeyError):
-            self._counter("miss", engine).inc()
+            self._counter("miss", engine, key).inc()
             return None
-        self._counter("hit", engine).inc()
+        self._counter("hit", engine, key).inc()
         stats = dict(meta.get("stats", {}))
         stats["cache"] = "hit"
         return RoutingResult(
@@ -140,7 +142,7 @@ class RoutingCache:
             "stats": _json_safe_stats(result.stats),
         }
         atomic_write_text(meta_path, json.dumps(meta, indent=2, sort_keys=True) + "\n")
-        self._counter("store", engine).inc()
+        self._counter("store", engine, key).inc()
         return key
 
     # ------------------------------------------------------------------

@@ -19,6 +19,8 @@ from __future__ import annotations
 import time
 from dataclasses import asdict, dataclass, field, replace
 
+from repro.obs.recorder import record_event
+
 #: circuit-breaker states
 CLOSED = "closed"
 OPEN = "open"
@@ -95,11 +97,14 @@ class CircuitBreaker:
         if self.state == OPEN:
             if self.opened_at is not None and self.clock() - self.opened_at >= self.cooldown_s:
                 self.state = HALF_OPEN
+                record_event("breaker_half_open", failures=self.failures)
                 return True
             return False
         return True
 
     def record_success(self) -> None:
+        if self.state != CLOSED:
+            record_event("breaker_closed", failures=self.failures)
         self.state = CLOSED
         self.failures = 0
         self.opened_at = None
@@ -107,6 +112,9 @@ class CircuitBreaker:
     def record_failure(self) -> None:
         self.failures += 1
         if self.state == HALF_OPEN or self.failures >= self.threshold:
+            if self.state != OPEN:
+                record_event("breaker_open", failures=self.failures,
+                             threshold=self.threshold)
             self.state = OPEN
             self.opened_at = self.clock()
 

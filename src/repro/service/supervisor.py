@@ -40,6 +40,7 @@ State machine::
 
 from __future__ import annotations
 
+import secrets
 import time
 from collections import deque
 from dataclasses import asdict, dataclass, field
@@ -50,6 +51,8 @@ from repro.network.fabric import Fabric
 from repro.network.faults import DegradedFabric, degrade, identity_degradation
 from repro.network.validate import check_routable
 from repro.obs import DURATION_BUCKETS, get_registry, span
+from repro.obs.recorder import get_recorder, record_event
+from repro.obs.telemetry import request_scope
 from repro.resilience.events import LINK_UP, FaultEvent, relative_degradation
 from repro.routing.base import RoutingEngine, RoutingResult
 from repro.routing.paths import extract_paths
@@ -95,6 +98,7 @@ class BatchOutcome:
     """JSON-friendly record of one coalesced repair batch."""
 
     batch: int
+    request_id: str | None = None
     events: list[dict] = field(default_factory=list)
     coalesced: int = 0
     action: str = "none"  # "repair" | "full" | "fallback" | "rejected" | "failed"
@@ -194,6 +198,11 @@ class RoutingSupervisor:
         self.events_submitted = 0
         self.batches = 0
         self.consecutive_failures = 0
+        # Request-id namespace: ids are svc-<service_id>-<seq>. Both parts
+        # are checkpointed, so a restored service keeps issuing unique ids
+        # in the same namespace (no id is ever reused across a crash).
+        self.service_id = secrets.token_hex(4)
+        self.request_seq = 0
 
         if _restored is not None:
             self._adopt(_restored)
@@ -210,7 +219,9 @@ class RoutingSupervisor:
         self.version = 0
         self._ckpt_seq = 1
         self._successes_since_checkpoint = 0
-        with span("service.initial_route", engine=self.engine.name):
+        with request_scope(
+            self._next_request_id(), name="service.initial_route", engine=self.engine.name
+        ):
             with compute_budget(self.policy.full_deadline_s, label="initial_route"):
                 result = self._full_route(fabric)
             self._verify(result)
@@ -274,7 +285,14 @@ class RoutingSupervisor:
         self.consecutive_failures = int(state.get("consecutive_failures", 0))
         self.breaker = CircuitBreaker.from_dict(state["breaker"], clock=self.clock)
         self.extra = dict(state.get("extra", {}))
+        # Pre-telemetry checkpoints lack the id namespace; fresh one then.
+        self.service_id = str(state.get("service_id") or self.service_id)
+        self.request_seq = int(state.get("request_seq", 0))
         self._set_state(state.get("state", HEALTHY))
+        record_event(
+            "restore", engine=self.engine.name, version=self.version,
+            state=self._state, pending=len(self._uncommitted),
+        )
 
     def _count_restore(self) -> None:
         get_registry().counter(
@@ -289,9 +307,17 @@ class RoutingSupervisor:
     def state(self) -> str:
         return self._state
 
+    def _next_request_id(self) -> str:
+        self.request_seq += 1
+        return f"svc-{self.service_id}-{self.request_seq:06d}"
+
     def _set_state(self, state: str) -> None:
         if state not in STATES:
             raise ServiceError(f"unknown supervisor state {state!r}")
+        prev = getattr(self, "_state", None)
+        if prev != state:
+            record_event("state_transition", engine=self.engine.name,
+                         from_state=prev, to_state=state)
         self._state = state
         get_registry().gauge(
             "service_state",
@@ -301,6 +327,16 @@ class RoutingSupervisor:
 
     def serving(self) -> ServedRouting:
         """The routing a query gets *right now* — never unroutable/cyclic."""
+        reg = get_registry()
+        reg.counter(
+            "service_serves_total", "routing queries answered",
+            engine=self.engine.name,
+        ).inc()
+        if self._stale:
+            reg.counter(
+                "service_stale_serves_total", "routing queries answered with stale tables",
+                engine=self.engine.name,
+            ).inc()
         return ServedRouting(
             result=self._lkg,
             stale=self._stale,
@@ -318,6 +354,9 @@ class RoutingSupervisor:
         self._queue.append(event)
         self.events_submitted += 1
         self._stale = True
+        record_event("fault_submitted", engine=self.engine.name, fault=event.kind,
+                     cable=list(event.cable) if event.cable is not None else None,
+                     switch=event.switch, queued=len(self._queue))
         get_registry().counter(
             "service_events_submitted", "fault events queued at the supervisor",
             engine=self.engine.name,
@@ -341,6 +380,7 @@ class RoutingSupervisor:
         self.batches += 1
         outcome = BatchOutcome(
             batch=self.batches,
+            request_id=self._next_request_id(),
             events=[e.to_dict() for e in batch],
             coalesced=len(batch),
             version=self.version,
@@ -362,12 +402,16 @@ class RoutingSupervisor:
                 f"circuit breaker open ({self.breaker.failures} consecutive failures); "
                 f"serving stale last-known-good"
             )
+            record_event("batch_rejected", engine=self.engine.name,
+                         request_id=outcome.request_id,
+                         breaker_failures=self.breaker.failures)
             m_batches.inc()
             return outcome
 
         t0 = time.perf_counter()
-        with span(
-            "service.batch", engine=self.engine.name, coalesced=len(batch)
+        with request_scope(
+            outcome.request_id, name="service.batch",
+            engine=self.engine.name, coalesced=len(batch),
         ) as sp:
             prev_state = self._state
             self._set_state(REPAIRING)
@@ -465,6 +509,8 @@ class RoutingSupervisor:
                         with compute_budget(deadline, label=rung):
                             result = attempt_fn()
                         self._verify(result)
+                    record_event("rung_ok", engine=self.engine.name, rung=rung,
+                                 attempt=attempt)
                     return rung, result, errors
                 except ComputeTimeoutError as err:
                     outcome.timeouts += 1
@@ -472,8 +518,14 @@ class RoutingSupervisor:
                         "service_timeouts", "compute budgets exhausted", rung=rung,
                         engine=self.engine.name,
                     ).inc()
+                    record_event("rung_failed", engine=self.engine.name, rung=rung,
+                                 attempt=attempt, cause="timeout",
+                                 limit_s=err.limit_s, elapsed_s=err.elapsed_s)
                     errors.append(f"{rung}[{attempt}]: {err}")
                 except ReproError as err:
+                    record_event("rung_failed", engine=self.engine.name, rung=rung,
+                                 attempt=attempt, cause="error",
+                                 error=f"{type(err).__name__}: {err}")
                     errors.append(f"{rung}[{attempt}]: {type(err).__name__}: {err}")
         return None, None, errors
 
@@ -516,6 +568,8 @@ class RoutingSupervisor:
         self.version += 1
         self.consecutive_failures = 0
         self.breaker.record_success()
+        record_event("routing_accepted", engine=self.engine.name, action=action,
+                     version=self.version)
         # A fallback-engine routing is fresh but not the primary engine's
         # quality: the service is functioning, degraded.
         self._set_state(HEALTHY if action in ("repair", "full") else DEGRADED)
@@ -537,6 +591,10 @@ class RoutingSupervisor:
         self.consecutive_failures += 1
         self.breaker.record_failure()
         self._set_state(FAILED if self.breaker.open else DEGRADED)
+        record_event("batch_failed", engine=self.engine.name,
+                     request_id=outcome.request_id,
+                     consecutive_failures=self.consecutive_failures,
+                     errors=len(errors))
         outcome.action = "failed"
         outcome.errors.extend(errors)
         outcome.state = self._state
@@ -563,6 +621,8 @@ class RoutingSupervisor:
         return {
             "engine": self.engine.name,
             "engine_opts": self.engine_opts,
+            "service_id": self.service_id,
+            "request_seq": self.request_seq,
             "state": self._state,
             "stale": self._stale,
             "lkg_version": self.version,
@@ -588,6 +648,11 @@ class RoutingSupervisor:
                 result=self._lkg,
                 state=self.state_dict(),
             )
+        record_event("checkpoint", engine=self.engine.name, version=self._ckpt_seq,
+                     path=str(path))
+        # The ring rides along with every checkpoint: after a crash the
+        # newest flightrecorder.json explains what led up to it.
+        get_recorder().dump(self._store.root / "flightrecorder.json")
         self._ckpt_seq += 1
         self._successes_since_checkpoint = 0
         get_registry().counter(

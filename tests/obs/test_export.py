@@ -1,0 +1,174 @@
+"""Trace-tree reconstruction/rendering and the live `top` view."""
+
+from __future__ import annotations
+
+from repro.obs import (
+    FlightRecorder,
+    JsonlSink,
+    MetricsRegistry,
+    SLO,
+    evaluate_slos,
+    request_scope,
+    span,
+    use_sink,
+)
+from repro.obs.export import (
+    build_trace_tree,
+    read_trace,
+    render_top,
+    render_trace_tree,
+    trace_request_ids,
+)
+
+
+def _write_trace(path):
+    """Two requests: req-a has a nested tree, req-b a single span."""
+    sink = JsonlSink(str(path))
+    with use_sink(sink):
+        with request_scope("req-a", name="service.batch", engine="dfsssp"):
+            with span("repair"):
+                pass
+            with span("full"):
+                with span("column", dest=3):
+                    pass
+        with request_scope("req-b", name="service.batch"):
+            pass
+    sink.close()
+
+
+def test_read_trace_skips_blank_lines(tmp_path):
+    path = tmp_path / "t.jsonl"
+    path.write_text('{"a": 1}\n\n  \n{"a": 2}\n')
+    assert read_trace(path) == [{"a": 1}, {"a": 2}]
+
+
+def test_build_trace_tree_shape_and_order(tmp_path):
+    path = tmp_path / "t.jsonl"
+    _write_trace(path)
+    roots = build_trace_tree(read_trace(path))
+    assert [r.name for r in roots] == ["service.batch", "service.batch"]
+    batch_a = roots[0]
+    assert batch_a.request_id == "req-a"
+    assert [c.name for c in batch_a.children] == ["repair", "full"]  # perf order
+    (column,) = batch_a.children[1].children
+    assert column.name == "column" and column.attrs["dest"] == 3
+    assert batch_a.status == "ok" and batch_a.duration_s >= 0
+
+
+def test_build_trace_tree_filters_by_request_id(tmp_path):
+    path = tmp_path / "t.jsonl"
+    _write_trace(path)
+    records = read_trace(path)
+    roots = build_trace_tree(records, request_id="req-a")
+    assert len(roots) == 1
+    assert roots[0].request_id == "req-a"
+    assert len(roots[0].children) == 2
+    assert build_trace_tree(records, request_id="req-missing") == []
+
+
+def test_trace_request_ids_first_seen_order(tmp_path):
+    path = tmp_path / "t.jsonl"
+    _write_trace(path)
+    assert trace_request_ids(read_trace(path)) == ["req-a", "req-b"]
+
+
+def test_start_only_spans_render_open():
+    # A crash leaves start records with no stop: status "open", no duration.
+    records = [
+        {"event": "start", "span": 1, "parent": None, "name": "doomed",
+         "ts": 1.0, "perf": 1.0, "attrs": {}},
+    ]
+    (root,) = build_trace_tree(records)
+    assert root.status == "open" and root.duration_s is None
+    assert "open" in render_trace_tree([root])
+
+
+def test_render_trace_tree_branches(tmp_path):
+    path = tmp_path / "t.jsonl"
+    _write_trace(path)
+    roots = build_trace_tree(read_trace(path), request_id="req-a")
+    text = render_trace_tree(roots)
+    lines = text.splitlines()
+    assert lines[0].startswith("service.batch")
+    assert "(engine=dfsssp)" in lines[0]  # request_id suppressed, attrs shown
+    assert "req-a" not in text
+    assert lines[1].startswith("├─ repair")
+    assert lines[2].startswith("└─ full")
+    assert lines[3].startswith("   └─ column")
+    assert "dest=3" in lines[3]
+    assert "ms" in lines[1]
+
+
+def test_render_trace_tree_show_attrs_filter(tmp_path):
+    path = tmp_path / "t.jsonl"
+    _write_trace(path)
+    roots = build_trace_tree(read_trace(path), request_id="req-a")
+    text = render_trace_tree(roots, show_attrs=("dest",))
+    assert "dest=3" in text and "engine=dfsssp" not in text
+
+
+def test_error_status_shown():
+    records = [
+        {"event": "start", "span": 1, "parent": None, "name": "x",
+         "ts": 1.0, "perf": 1.0, "attrs": {}},
+        {"event": "stop", "span": 1, "parent": None, "name": "x",
+         "ts": 1.0, "perf": 1.0, "duration_s": 0.5, "status": "error",
+         "attrs": {"exception": "RuntimeError"}},
+    ]
+    text = render_trace_tree(build_trace_tree(records))
+    assert "[error]" in text and "exception=RuntimeError" in text
+
+
+# ----------------------------------------------------------------------
+# top view
+# ----------------------------------------------------------------------
+def test_render_top_degrades_gracefully_empty():
+    text = render_top()
+    assert "repro-route serve" in text
+    assert text.endswith("\n")
+
+
+def test_render_top_full_view():
+    reg = MetricsRegistry()
+    reg.counter("bad").inc(3)
+    reg.counter("total").inc(4)
+    report = evaluate_slos(
+        [SLO(name="errs", kind="ratio", bad_metric="bad", total_metric="total",
+             max_ratio=0.25),
+         SLO(name="ghost", kind="ratio", bad_metric="no", total_metric="pe",
+             max_ratio=0.5)],
+        reg.snapshot(),
+    )
+    flight = FlightRecorder()
+    flight.record("state_transition", to_state="degraded", request_id="svc-ab-000001")
+    flight.record("batch_failed")
+
+    class Served:
+        state = "degraded"
+        version = 3
+        stale = True
+        pending_events = 2
+
+    text = render_top(served=Served(), report=report, recorder=flight,
+                      batches=7, events=9, tail=8)
+    assert "state=degraded" in text and "version=3 (stale)" in text
+    assert "batches=7" in text and "events=9" in text
+    assert "1 evaluated, 1 violated" in text
+    assert "VIOLATED" in text and "SKIP" in text
+    assert "flight recorder (last 2 of 2 events)" in text
+    assert "svc-ab-000001" in text
+    assert "to_state=degraded" in text
+
+
+def test_render_top_tail_truncates():
+    flight = FlightRecorder()
+    for i in range(10):
+        flight.record("tick", i=i)
+    text = render_top(recorder=flight, tail=3)
+    assert "last 3 of 10" in text
+    assert "i=9" in text and "i=6" not in text
+
+
+def test_top_view_is_plain_text():
+    # the serve CLI reprints this raw; it must never contain ANSI escapes
+    assert "\x1b" not in render_top()

@@ -72,10 +72,88 @@ def test_histogram_quantile(reg):
     for v in (1, 1, 2, 2, 2, 2, 3, 3, 7, 7):
         h.observe(v)
     assert h.quantile(0.0) == 1
-    assert h.quantile(0.5) == 2
+    # target = 5th obs; bucket (1, 2] holds obs 3..6 → 1 + (3/4) * (2-1)
+    assert h.quantile(0.5) == pytest.approx(1.75)
     assert h.quantile(1.0) == 7  # clamped to observed max, not bucket edge
     with pytest.raises(ValueError):
         h.quantile(1.5)
+
+
+def test_quantile_interpolates_linearly_within_bucket(reg):
+    # 100 uniform observations in (0, 10] — every decile should land
+    # within one bucket-width of the exact value.
+    h = reg.histogram("u", buckets=[2.0, 4.0, 6.0, 8.0, 10.0])
+    for i in range(1, 101):
+        h.observe(i / 10.0)
+    for q in (0.1, 0.25, 0.5, 0.75, 0.9):
+        assert h.quantile(q) == pytest.approx(10.0 * q, abs=0.2)
+    assert h.quantile(0.0) == pytest.approx(0.1)
+    assert h.quantile(1.0) == pytest.approx(10.0)
+
+
+def test_quantile_clamped_to_observed_extremes(reg):
+    # A single observation far below its bucket edge must never report
+    # a value outside [min, max].
+    h = reg.histogram("one", buckets=[100.0])
+    h.observe(3.0)
+    for q in (0.0, 0.5, 0.99, 1.0):
+        assert h.quantile(q) == 3.0
+
+
+def test_quantile_from_exported_entry_matches_live(reg):
+    from repro.obs import quantile_from_entry
+
+    h = reg.histogram("lat", buckets=[1, 2, 4])
+    for v in (0.5, 1.5, 1.6, 3.0, 9.0):
+        h.observe(v)
+    entry = json.loads(json.dumps(h.to_entry()))  # through-JSON round trip
+    for q in (0.0, 0.3, 0.5, 0.9, 1.0):
+        assert quantile_from_entry(entry, q) == pytest.approx(h.quantile(q))
+
+
+def test_snapshot_delta_counters_and_gauges(reg):
+    c = reg.counter("reqs", engine="a")
+    g = reg.gauge("depth")
+    c.inc(5)
+    g.set(3)
+    old = reg.snapshot()
+    c.inc(7)
+    g.set(11)
+    delta = MetricsRegistry.snapshot_delta(old, reg.snapshot())
+    by_name = {(e["name"], tuple(sorted(e["labels"].items()))): e for e in delta["metrics"]}
+    assert by_name[("reqs", (("engine", "a"),))]["value"] == 7  # counters subtract
+    assert by_name[("depth", ())]["value"] == 11  # gauges keep the new level
+
+
+def test_snapshot_delta_histograms_subtract_buckets(reg):
+    h = reg.histogram("lat", buckets=[1, 2])
+    h.observe(0.5)
+    h.observe(5.0)
+    old = reg.snapshot()
+    h.observe(1.5)
+    h.observe(1.6)
+    delta = MetricsRegistry.snapshot_delta(old, reg.snapshot())
+    entry = next(e for e in delta["metrics"] if e["name"] == "lat")
+    assert entry["count"] == 2
+    assert entry["sum"] == pytest.approx(3.1)
+    assert entry["mean"] == pytest.approx(1.55)
+    assert entry["buckets"] == {"1": 0, "2": 2, "+Inf": 2}
+
+
+def test_snapshot_delta_new_metric_counts_from_zero(reg):
+    old = reg.snapshot()
+    reg.counter("born_later").inc(4)
+    delta = MetricsRegistry.snapshot_delta(old, reg.snapshot())
+    assert delta["metrics"][0]["value"] == 4
+
+
+def test_snapshot_delta_never_goes_negative(reg):
+    reg.counter("c").inc(10)
+    old = reg.snapshot()
+    reg.reset()
+    reg.counter("c").inc(2)  # registry restarted between snapshots
+    delta = MetricsRegistry.snapshot_delta(old, reg.snapshot())
+    assert delta["metrics"][0]["value"] == 0
 
 
 def test_empty_histogram_is_zero_not_nan(reg):

@@ -110,7 +110,15 @@ def test_jsonl_sink_format(tmp_path):
     assert start_inner["parent"] == start_outer["span"]
     assert stop_inner["duration_s"] >= 0
     assert stop_outer["status"] == "ok"
-    assert stop_outer["ts"] == start_outer["ts"]
+    # Both clocks are stamped together; stop records carry the pair
+    # re-anchored just before the body ran, so they trail the start
+    # record's provisional stamp by a hair and never precede it.
+    for rec in lines:
+        assert "ts" in rec and "perf" in rec
+    assert stop_outer["ts"] >= start_outer["ts"]
+    assert stop_outer["perf"] >= start_outer["perf"]
+    # perf is the authoritative ordering clock: inner started after outer
+    assert stop_inner["perf"] >= stop_outer["perf"]
 
 
 def test_jsonl_sink_leaves_foreign_file_objects_open(tmp_path):

@@ -56,23 +56,37 @@ def test_worker_task_ships_timeout_as_data(fabric):
     """Workers re-arm the deadline and return it as a picklable tuple."""
     _init_worker(fabric, "numpy")
     dests = [int(d) for d in fabric.terminals[:3]]
-    status, payload = _hop_columns_task(dests, 0.0, "repair")
+    status, payload, records = _hop_columns_task(dests, 0.0, "repair")
     assert status == "timeout"
     message, label, limit_s, elapsed_s = payload
     assert label == "repair"
     assert limit_s == 0.0
     assert elapsed_s >= 0.0
     assert "budget" in message
+    assert records == []  # no carrier → no span capture
 
 
 def test_worker_task_ok_without_budget(fabric):
     _init_worker(fabric, "numpy")
     dests = [int(d) for d in fabric.terminals[:3]]
-    status, columns = _hop_columns_task(dests, None, "compute")
+    status, columns, records = _hop_columns_task(dests, None, "compute")
     assert status == "ok"
     assert len(columns) == 3
+    assert records == []
     for col in columns:
         assert col.shape == (fabric.num_nodes,)
+
+
+def test_worker_task_captures_spans_when_carrier_asks(fabric):
+    _init_worker(fabric, "numpy")
+    dests = [int(d) for d in fabric.terminals[:3]]
+    carrier = {"request_id": "req-ff00", "capture": True}
+    status, columns, records = _hop_columns_task(dests, None, "compute", carrier)
+    assert status == "ok"
+    assert [r["name"] for r in records] == ["parallel.hop_column"] * 3
+    assert [r["attrs"]["dest"] for r in records] == dests
+    assert all(r["attrs"]["request_id"] == "req-ff00" for r in records)
+    assert all(r["attrs"]["pid"] > 0 for r in records)
 
 
 def test_parallel_run_honours_expired_budget(fabric):

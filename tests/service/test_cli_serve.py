@@ -43,24 +43,60 @@ def test_serve_in_process(tmp_path, capsys):
 def test_serve_kill_restore_inspect(tmp_path):
     ckpt = tmp_path / "ckpt"
     report = tmp_path / "serve.json"
+    flight = tmp_path / "flight.json"
+    metrics = tmp_path / "metrics.json"
+    health = tmp_path / "health.json"
 
     killed = _run_cli(
         ["serve", *TOPO, "--events", "10", "--chaos-seed", "7",
-         "--checkpoint-dir", str(ckpt), "--kill-after", "5"]
+         "--checkpoint-dir", str(ckpt), "--kill-after", "5",
+         "--flight-out", str(flight)]
     )
     assert killed.returncode == 137, killed.stderr
     assert "simulating hard kill" in killed.stderr
     assert not report.exists()  # died before writing any report
 
+    # The flight dump survived the hard kill and its tail explains it:
+    # normal batch life-cycle events, then the kill itself, last.
+    dump = json.loads(flight.read_text())
+    kinds = [e["kind"] for e in dump["events"]]
+    assert kinds[-1] == "kill"
+    kill_event = dump["events"][-1]
+    assert kill_event["events_submitted"] >= 5
+    assert "SIGKILL" in kill_event["reason"]
+    assert "routing_accepted" in kinds and "checkpoint" in kinds
+
+    # ...and the supervisor's own per-checkpoint dump exists too.
+    assert (ckpt / "flightrecorder.json").exists()
+
     restored = _run_cli(
         ["serve", "--restore", "--checkpoint-dir", str(ckpt),
-         "--json", "--out", str(report)]
+         "--json", "--out", str(report),
+         "--flight-out", str(flight), "--metrics", str(metrics),
+         "--health-out", str(health)]
     )
     assert restored.returncode == 0, restored.stderr
     summary = json.loads(restored.stdout)
     assert summary["survived"] and summary["final_state"] == "healthy"
     assert summary["skipped_events"] >= 5  # fast-forwarded past the kill
     assert summary["events_submitted"] == 10  # persisted soak params win
+    assert "slo_violations" not in summary  # healthy run: no violations
+
+    # Telemetry artifacts of the restored soak: flight dump leads with
+    # the restore event, health report judges ≥3 SLOs and passes.
+    dump = json.loads(flight.read_text())
+    kinds = [e["kind"] for e in dump["events"]]
+    assert "restore" in kinds[:2]  # right after the adopted state transition
+    health_data = json.loads(health.read_text())
+    assert health_data["healthy"] is True
+    assert health_data["evaluated"] >= 3
+
+    # The standalone health gate agrees with the recorded metrics.
+    gate = _run_cli(["health", str(metrics), "--json"])
+    assert gate.returncode == 0, gate.stderr
+    gate_report = json.loads(gate.stdout)
+    assert gate_report["healthy"] is True
+    assert gate_report["evaluated"] >= 3
 
     inspect = _run_cli(["checkpoint", str(ckpt), "--json"])
     assert inspect.returncode == 0, inspect.stderr
