@@ -17,78 +17,67 @@ Quickstart::
     result = DFSSSPEngine().route(fabric)
     report = verify_deadlock_free(result.layered, extract_paths(result.tables))
     assert report.deadlock_free
-"""
 
-from repro.core import (
-    DFSSSPEngine,
-    SSSPEngine,
-    assign_layers_offline,
-    assign_layers_online,
-)
-from repro.deadlock import verify_deadlock_free
-from repro.exceptions import (
-    DeadlockError,
-    DisconnectedFabricError,
-    FabricError,
-    InsufficientLayersError,
-    RepairError,
-    ReproError,
-    RoutingError,
-    SimulationError,
-    UnsupportedTopologyError,
-)
-from repro.network import Fabric, FabricBuilder
-from repro.network import topologies
-from repro.resilience import ChaosRunner, FaultInjector, repair_routing
-from repro.routing import (
-    DOREngine,
-    ENGINES,
-    FatTreeEngine,
-    LASHEngine,
-    LayeredRouting,
-    MinHopEngine,
-    PAPER_ENGINES,
-    RoutingResult,
-    RoutingTables,
-    UpDownEngine,
-    extract_paths,
-    make_engine,
-)
+Top-level names resolve lazily (PEP 562): importing :mod:`repro` alone
+pulls in no numpy and none of the heavy subpackages. This keeps
+``python -m repro.deadlock.checker`` — the standalone certificate
+checker — genuinely dependency-free while preserving the flat
+``from repro import ...`` API.
+"""
 
 __version__ = "1.0.0"
 
-__all__ = [
-    "DFSSSPEngine",
-    "SSSPEngine",
-    "assign_layers_offline",
-    "assign_layers_online",
-    "verify_deadlock_free",
-    "DeadlockError",
-    "DisconnectedFabricError",
-    "FabricError",
-    "InsufficientLayersError",
-    "RepairError",
-    "ReproError",
-    "RoutingError",
-    "SimulationError",
-    "UnsupportedTopologyError",
-    "Fabric",
-    "FabricBuilder",
-    "topologies",
-    "DOREngine",
-    "ENGINES",
-    "FatTreeEngine",
-    "LASHEngine",
-    "LayeredRouting",
-    "MinHopEngine",
-    "PAPER_ENGINES",
-    "RoutingResult",
-    "RoutingTables",
-    "UpDownEngine",
-    "extract_paths",
-    "make_engine",
-    "ChaosRunner",
-    "FaultInjector",
-    "repair_routing",
-    "__version__",
-]
+_EXPORTS = {
+    "DFSSSPEngine": "repro.core",
+    "SSSPEngine": "repro.core",
+    "assign_layers_offline": "repro.core",
+    "assign_layers_online": "repro.core",
+    "verify_deadlock_free": "repro.deadlock",
+    "CertificateError": "repro.exceptions",
+    "DeadlockError": "repro.exceptions",
+    "DisconnectedFabricError": "repro.exceptions",
+    "FabricError": "repro.exceptions",
+    "InsufficientLayersError": "repro.exceptions",
+    "RepairError": "repro.exceptions",
+    "ReproError": "repro.exceptions",
+    "RoutingError": "repro.exceptions",
+    "SimulationError": "repro.exceptions",
+    "UnsupportedTopologyError": "repro.exceptions",
+    "Fabric": "repro.network",
+    "FabricBuilder": "repro.network",
+    "topologies": "repro.network.topologies",
+    "ChaosRunner": "repro.resilience",
+    "FaultInjector": "repro.resilience",
+    "repair_routing": "repro.resilience",
+    "DOREngine": "repro.routing",
+    "ENGINES": "repro.routing",
+    "FatTreeEngine": "repro.routing",
+    "LASHEngine": "repro.routing",
+    "LayeredRouting": "repro.routing",
+    "MinHopEngine": "repro.routing",
+    "PAPER_ENGINES": "repro.routing",
+    "RoutingResult": "repro.routing",
+    "RoutingTables": "repro.routing",
+    "UpDownEngine": "repro.routing",
+    "extract_paths": "repro.routing",
+    "make_engine": "repro.routing",
+}
+
+
+def __getattr__(name: str):
+    target = _EXPORTS.get(name)
+    if target is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    module = importlib.import_module(target)
+    value = module if target.endswith("." + name) else getattr(module, name)
+    globals()[name] = value  # cache: next access skips __getattr__
+    return value
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_EXPORTS))
+
+
+__all__ = [*sorted(_EXPORTS), "__version__"]

@@ -14,6 +14,9 @@ Subcommands mirror the OpenSM-era workflow on the fabric model:
 * ``serve``      — supervised service-mode soak (deadlines, backoff,
   last-known-good serving, checkpoint/restore; see ``docs/service.md``);
 * ``checkpoint`` — inspect and verify a service checkpoint directory;
+* ``certify``    — emit / validate deadlock-freedom certificates (per-layer
+  topological orders over the CDG, checkable in O(V+E) by the
+  dependency-free ``python -m repro.deadlock.checker``);
 * ``stats``      — render a ``--metrics`` JSON dump as a table, a
   ``--trace`` JSONL file as a span tree (``--trace-tree``, optionally
   filtered to one ``--request`` id), or a flight-recorder dump
@@ -755,6 +758,106 @@ def cmd_deadlock(args) -> int:
     return 0
 
 
+def _certify_load_routing(args):
+    """The (tables, layered) pair the ``certify`` subcommand operates on."""
+    fabric = _build_topo(args)
+    if getattr(args, "lft", None):
+        from pathlib import Path
+
+        from repro.network.opensm_export import import_lft, import_sl_assignment
+
+        tables = import_lft(Path(args.lft).read_text(), fabric)
+        if getattr(args, "sl", None):
+            layered = import_sl_assignment(Path(args.sl).read_text(), tables)
+        else:
+            layered = LayeredRouting.single_layer(tables)
+    elif getattr(args, "routing", None):
+        from repro.routing.io import load_routing_state
+
+        state = load_routing_state(args.routing, fabric)
+        tables = state.tables
+        layered = state.layered or LayeredRouting.single_layer(tables)
+    else:
+        result = make_engine(args.engine, **_engine_opts(args, args.engine)).route(fabric)
+        tables = result.tables
+        layered = result.layered or LayeredRouting.single_layer(tables)
+    return tables, layered
+
+
+def cmd_certify(args) -> int:
+    """Emit or validate deadlock-freedom certificates.
+
+    Emission: route (or import a saved routing / OpenSM LFT dump), derive
+    the certificate, run it through the independent checker and print the
+    verdict; ``--out`` persists the JSON. ``--check CERT`` validates an
+    existing certificate instead — standalone, or bound against a routing
+    when ``--routing``/``--lft`` names one. Exit 1 on any rejection, with
+    the witness edge and minimal counterexample cycle printed.
+    """
+    from repro.deadlock import checker
+    from repro.deadlock.certificate import (
+        DeadlockFreedomCertificate,
+        check_against_routing,
+        emit_certificate,
+    )
+    from repro.exceptions import CertificateError
+
+    if args.check:
+        res = checker.check_file(args.check)
+        mode = "standalone"
+        bind = getattr(args, "lft", None) or getattr(args, "routing", None) or args.bind
+        if res.ok and bind:
+            tables, layered = _certify_load_routing(args)
+            cert = DeadlockFreedomCertificate.load(args.check)
+            res = check_against_routing(cert, layered, extract_paths(tables))
+            mode = "bound to routing"
+        if args.json:
+            print(json.dumps({
+                "ok": res.ok, "mode": mode, "reason": res.reason,
+                "layer": res.layer,
+                "witness_edge": list(res.witness_edge) if res.witness_edge else None,
+                "counterexample": res.counterexample,
+                "layers": res.layers, "nodes": res.nodes, "edges": res.edges,
+            }, indent=2))
+        else:
+            print(f"{args.check} ({mode}): {res.summary()}")
+        return 0 if res.ok else 1
+
+    tables, layered = _certify_load_routing(args)
+    paths = extract_paths(tables)
+    try:
+        cert = emit_certificate(layered, paths)
+    except CertificateError as err:
+        print(f"cannot certify: {err}", file=sys.stderr)
+        if err.counterexample:
+            chain = " -> ".join(str(c) for c in err.counterexample)
+            print(f"counterexample cycle: {chain}", file=sys.stderr)
+        return 1
+    res = cert.check()  # independent re-check of our own emission
+    if args.out:
+        cert.save(args.out)
+    info = {
+        "engine": cert.engine,
+        "fingerprint": cert.fingerprint,
+        "layers": cert.num_layers,
+        "cdg_nodes": cert.num_nodes,
+        "dependency_edges": cert.num_edges,
+        "paths": int(len(cert.path_layers)),
+        "checker_verdict": res.summary(),
+        "ok": res.ok,
+    }
+    if args.out:
+        info["out"] = str(args.out)
+    if args.json:
+        print(json.dumps(info, indent=2))
+    else:
+        table = Table(["field", "value"], title="deadlock-freedom certificate")
+        for key, value in info.items():
+            table.add_row([key, value])
+        print(table.render())
+    return 0 if res.ok else 1
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(prog="repro-route", description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
@@ -915,6 +1018,42 @@ def main(argv: list[str] | None = None) -> int:
     )
     p.add_argument("--json", action="store_true", help="machine-readable JSON output")
     p.set_defaults(func=cmd_checkpoint)
+
+    p = sub.add_parser(
+        "certify",
+        help="emit / validate deadlock-freedom certificates",
+    )
+    _add_topo_args(p)
+    p.add_argument(
+        "--engine", default="dfsssp", choices=sorted(PAPER_ENGINES),
+        help="engine to route with when no routing source is given",
+    )
+    _add_parallel_args(p)
+    p.add_argument(
+        "--routing", metavar="NPZ",
+        help="certify a saved routing state instead of routing fresh",
+    )
+    p.add_argument(
+        "--lft", metavar="FILE",
+        help="certify an imported OpenSM-style LFT dump (see opensm_export)",
+    )
+    p.add_argument(
+        "--sl", metavar="FILE",
+        help="SL assignment dump accompanying --lft (default: single layer)",
+    )
+    p.add_argument(
+        "--check", metavar="CERT",
+        help="validate an existing certificate instead of emitting one; "
+        "combine with --routing/--lft to also re-bind it to that routing",
+    )
+    p.add_argument(
+        "--bind", action="store_true",
+        help="with --check and no --routing/--lft: route the described "
+        "topology with --engine and bind the certificate against that",
+    )
+    p.add_argument("--out", help="write the emitted certificate JSON here")
+    p.add_argument("--json", action="store_true", help="machine-readable JSON output")
+    p.set_defaults(func=cmd_certify)
 
     p = sub.add_parser(
         "stats", help="render metrics dumps, trace trees and flight dumps"

@@ -1,26 +1,37 @@
-"""Channel dependency graphs, cycle search and deadlock-freedom checks."""
+"""Channel dependency graphs, cycle search and deadlock-freedom checks.
 
-from repro.deadlock.cdg import ChannelDependencyGraph
-from repro.deadlock.cycles import (
-    CycleSearch,
-    drain_cycles,
-    find_any_cycle,
-    is_acyclic,
-    tarjan_sccs,
-)
-from repro.deadlock.verify import (
-    VerificationReport,
-    build_layer_cdgs,
-    verify_deadlock_free,
-    verify_with_networkx,
-)
+Everything here resolves lazily (PEP 562). Two reasons:
 
-# repro.deadlock.incremental imports the heuristics/layers machinery from
-# repro.core, which itself imports repro.deadlock.cdg — so the incremental
-# engine loads lazily to keep package initialisation acyclic.
+* :mod:`repro.deadlock.incremental` imports the heuristics/layers
+  machinery from :mod:`repro.core`, which itself imports
+  :mod:`repro.deadlock.cdg` — lazy loading keeps package initialisation
+  acyclic;
+* ``python -m repro.deadlock.checker`` must run with *zero* imports of
+  numpy / :mod:`repro.core` / :mod:`repro.deadlock.cdg` — the standalone
+  certificate checker is only independent evidence if importing its
+  package cannot drag the machinery it checks into the process.
+"""
+
 _LAZY = {
+    "ChannelDependencyGraph": "repro.deadlock.cdg",
+    "CycleSearch": "repro.deadlock.cycles",
+    "drain_cycles": "repro.deadlock.cycles",
+    "find_any_cycle": "repro.deadlock.cycles",
+    "is_acyclic": "repro.deadlock.cycles",
+    "tarjan_sccs": "repro.deadlock.cycles",
+    "VerificationReport": "repro.deadlock.verify",
+    "build_layer_cdgs": "repro.deadlock.verify",
+    "verify_deadlock_free": "repro.deadlock.verify",
+    "verify_with_networkx": "repro.deadlock.verify",
     "LayerCDG": "repro.deadlock.incremental",
     "assign_layers_incremental": "repro.deadlock.incremental",
+    "DeadlockFreedomCertificate": "repro.deadlock.certificate",
+    "emit_certificate": "repro.deadlock.certificate",
+    "check_against_routing": "repro.deadlock.certificate",
+    "report_from_check": "repro.deadlock.certificate",
+    "CheckResult": "repro.deadlock.checker",
+    "check_certificate": "repro.deadlock.checker",
+    "find_minimal_cycle": "repro.deadlock.checker",
 }
 
 
@@ -30,19 +41,33 @@ def __getattr__(name: str):
         raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
     import importlib
 
-    return getattr(importlib.import_module(target), name)
+    value = getattr(importlib.import_module(target), name)
+    globals()[name] = value  # cache: next access skips __getattr__
+    return value
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_LAZY))
+
 
 __all__ = [
     "ChannelDependencyGraph",
+    "CheckResult",
     "CycleSearch",
+    "DeadlockFreedomCertificate",
     "LayerCDG",
-    "assign_layers_incremental",
-    "drain_cycles",
-    "find_any_cycle",
-    "is_acyclic",
-    "tarjan_sccs",
     "VerificationReport",
+    "assign_layers_incremental",
     "build_layer_cdgs",
+    "check_against_routing",
+    "check_certificate",
+    "drain_cycles",
+    "emit_certificate",
+    "find_any_cycle",
+    "find_minimal_cycle",
+    "is_acyclic",
+    "report_from_check",
+    "tarjan_sccs",
     "verify_deadlock_free",
     "verify_with_networkx",
 ]

@@ -1,0 +1,323 @@
+"""Deadlock-freedom certificates: emission, binding checks, persistence.
+
+A :class:`DeadlockFreedomCertificate` is a self-contained, versioned JSON
+witness of the Dally–Seitz condition for one routing: per virtual layer,
+the channel-dependency edges the routing induces plus a topological order
+over their endpoints, together with the full path→layer assignment. The
+witness makes deadlock freedom *checkable in O(V+E)* by the deliberately
+independent, stdlib-only :mod:`repro.deadlock.checker` — no re-run of
+Algorithm 2, no shared CDG code (Mendlovic & Matias 2025 use exactly this
+framing: acyclicity certificates are verifiable independently of how the
+routes were computed).
+
+Two levels of trust:
+
+* :func:`repro.deadlock.checker.check_certificate` — *structural*: the
+  certificate is well-formed and every certified layer really is acyclic
+  under its own edge list. Needs nothing but the JSON.
+* :func:`check_against_routing` — *binding*: the certificate describes
+  **this** routing. Re-derives each layer's dependency edges from the
+  live :class:`~repro.routing.paths.PathSet`, compares them to the
+  certified edges, and matches fingerprint and path→layer assignment.
+  A certificate whose layers are individually acyclic but whose paths
+  were silently remapped fails here.
+
+The cache (:mod:`repro.routing.cache`) and the supervisor
+(:mod:`repro.service.supervisor`) run the binding check before serving a
+warm-started or restored routing.
+"""
+
+from __future__ import annotations
+
+import heapq
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.deadlock.checker import FORMAT, KIND, CheckResult, check_certificate
+from repro.exceptions import CertificateError
+from repro.routing.base import LayeredRouting
+from repro.routing.io import fabric_fingerprint
+from repro.routing.paths import PathSet
+from repro.utils.atomicio import atomic_write_text
+
+
+@dataclass
+class LayerWitness:
+    """One layer's certified CDG: edge list plus a topological order."""
+
+    topo_order: np.ndarray  # (V,) int64, node = channel id
+    edges: np.ndarray  # (E, 2) int64, lexicographically sorted
+
+
+@dataclass
+class DeadlockFreedomCertificate:
+    """Versioned, serialisable witness that a routing is deadlock-free."""
+
+    engine: str
+    fingerprint: str | None
+    num_layers: int
+    path_layers: np.ndarray  # (num_paths,) int32, -1 = traffic-free path
+    layers: list[LayerWitness]
+
+    # -- serialisation --------------------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "format": FORMAT,
+            "kind": KIND,
+            "engine": self.engine,
+            "fingerprint": self.fingerprint,
+            "num_layers": int(self.num_layers),
+            "num_paths": int(len(self.path_layers)),
+            "path_layers": [int(v) for v in self.path_layers],
+            "layers": [
+                {
+                    "topo_order": [int(c) for c in lw.topo_order],
+                    "edges": [[int(a), int(b)] for a, b in lw.edges],
+                }
+                for lw in self.layers
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "DeadlockFreedomCertificate":
+        try:
+            layers = [
+                LayerWitness(
+                    topo_order=np.asarray(lw["topo_order"], dtype=np.int64),
+                    edges=np.asarray(lw["edges"], dtype=np.int64).reshape(-1, 2),
+                )
+                for lw in payload["layers"]
+            ]
+            return cls(
+                engine=str(payload.get("engine", "?")),
+                fingerprint=payload.get("fingerprint"),
+                num_layers=int(payload["num_layers"]),
+                path_layers=np.asarray(payload["path_layers"], dtype=np.int32),
+                layers=layers,
+            )
+        except (KeyError, TypeError, ValueError) as err:
+            raise CertificateError(f"malformed certificate payload: {err}") from err
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True) + "\n"
+
+    def save(self, path: str | Path) -> Path:
+        path = Path(path)
+        atomic_write_text(path, self.to_json())
+        return path
+
+    @classmethod
+    def load(cls, path: str | Path) -> "DeadlockFreedomCertificate":
+        try:
+            payload = json.loads(Path(path).read_text())
+        except (OSError, ValueError) as err:
+            raise CertificateError(f"cannot read certificate {path}: {err}") from err
+        return cls.from_dict(payload)
+
+    # -- checking -------------------------------------------------------
+    def check(self) -> CheckResult:
+        """Structural check via the independent stdlib checker."""
+        return check_certificate(self.to_dict())
+
+    @property
+    def num_edges(self) -> int:
+        return int(sum(len(lw.edges) for lw in self.layers))
+
+    @property
+    def num_nodes(self) -> int:
+        return int(sum(len(lw.topo_order) for lw in self.layers))
+
+
+# ----------------------------------------------------------------------
+def _layer_edges(paths: PathSet, pids: np.ndarray) -> np.ndarray:
+    """Unique switch-to-switch dependency edges of the given paths.
+
+    Vectorised like :class:`repro.deadlock.incremental.LayerCDG` (but kept
+    local: certificates must not depend on the engine-side CDG code):
+    consecutive channel pairs of every path, filtered to switch-to-switch
+    hops, packed into 64-bit keys and uniqued. Returns (E, 2) int64
+    sorted lexicographically.
+    """
+    if len(pids) == 0:
+        return np.zeros((0, 2), dtype=np.int64)
+    starts = paths.offsets[pids]
+    lens = paths.offsets[pids + 1] - starts
+    pair_counts = np.maximum(lens - 1, 0)
+    total = int(pair_counts.sum())
+    if total == 0:
+        return np.zeros((0, 2), dtype=np.int64)
+    rep = np.repeat(np.arange(len(pids)), pair_counts)
+    first = np.cumsum(pair_counts) - pair_counts
+    pos = starts[rep] + (np.arange(total) - first[rep])
+    c1 = paths.chans[pos].astype(np.int64)
+    c2 = paths.chans[pos + 1].astype(np.int64)
+    is_sw = paths.fabric.is_switch_channel
+    keep = is_sw[c1] & is_sw[c2]
+    keys = np.unique((c1[keep] << 32) | c2[keep])
+    return np.stack([keys >> 32, keys & 0xFFFFFFFF], axis=1)
+
+
+def _topological_order(edges: np.ndarray) -> tuple[np.ndarray | None, list[int] | None]:
+    """Deterministic (smallest-id-first) Kahn order over the edge nodes.
+
+    Returns ``(order, None)``, or ``(None, cycle)`` with a minimal
+    counterexample when the edge set is cyclic.
+    """
+    nodes = np.unique(edges)
+    succ: dict[int, list[int]] = {}
+    indeg = dict.fromkeys(nodes.tolist(), 0)
+    for a, b in edges.tolist():
+        succ.setdefault(a, []).append(b)
+        indeg[b] += 1
+    heap = [n for n, d in indeg.items() if d == 0]
+    heapq.heapify(heap)
+    order: list[int] = []
+    while heap:
+        n = heapq.heappop(heap)
+        order.append(n)
+        for w in succ.get(n, ()):
+            indeg[w] -= 1
+            if indeg[w] == 0:
+                heapq.heappush(heap, w)
+    if len(order) < len(nodes):
+        from repro.deadlock.checker import find_minimal_cycle
+
+        return None, find_minimal_cycle([tuple(e) for e in edges.tolist()])
+    return np.asarray(order, dtype=np.int64), None
+
+
+def emit_certificate(
+    layered: LayeredRouting,
+    paths: PathSet,
+    *,
+    engine: str | None = None,
+    fingerprint: str | None = None,
+) -> DeadlockFreedomCertificate:
+    """Derive a certificate from a layered routing.
+
+    Only traffic-carrying paths (source switch hosts a terminal) induce
+    buffer dependencies; all other paths are recorded as layer -1 so the
+    binding check knows they were deliberately excluded. Raises
+    :class:`CertificateError` carrying a real witness cycle when a layer's
+    CDG is cyclic — there is no certificate for an unsafe routing.
+    """
+    active = paths.active_mask()
+    path_layers = np.where(active, layered.path_layers.astype(np.int32), np.int32(-1))
+    layers: list[LayerWitness] = []
+    for layer in range(layered.num_layers):
+        pids = np.flatnonzero(path_layers == layer)
+        edges = _layer_edges(paths, pids)
+        order, cycle = _topological_order(edges)
+        if cycle is not None:
+            chain = " -> ".join(str(c) for c in cycle)
+            raise CertificateError(
+                f"layer {layer} CDG is cyclic, routing cannot be certified "
+                f"(counterexample cycle {chain})",
+                layer=layer,
+                counterexample=cycle,
+            )
+        layers.append(LayerWitness(topo_order=order, edges=edges))
+    if fingerprint is None:
+        fingerprint = fabric_fingerprint(paths.fabric)
+    return DeadlockFreedomCertificate(
+        engine=engine or layered.tables.engine,
+        fingerprint=fingerprint,
+        num_layers=layered.num_layers,
+        path_layers=path_layers,
+        layers=layers,
+    )
+
+
+def check_against_routing(
+    cert: DeadlockFreedomCertificate, layered: LayeredRouting, paths: PathSet
+) -> CheckResult:
+    """Full two-level check: structure + binding to a concrete routing.
+
+    Level 1 delegates to the independent checker (well-formed, every
+    layer acyclic). Level 2 binds the certificate to *this* routing:
+    fingerprint, layer count, path→layer assignment on traffic-carrying
+    paths, and per-layer equality between the certified edges and the
+    edges re-derived from the live path set.
+    """
+    res = check_certificate(cert.to_dict())
+    if not res.ok:
+        return res
+
+    def fail(reason: str, layer: int | None = None) -> CheckResult:
+        return CheckResult(False, reason=reason, layer=layer)
+
+    live_fp = fabric_fingerprint(paths.fabric)
+    if cert.fingerprint is not None and cert.fingerprint != live_fp:
+        return fail(
+            f"certificate was issued for a different fabric "
+            f"(fingerprint {cert.fingerprint[:12]}.. != {live_fp[:12]}..)"
+        )
+    if cert.num_layers != layered.num_layers:
+        return fail(
+            f"certificate has {cert.num_layers} layers, routing has "
+            f"{layered.num_layers}"
+        )
+    if len(cert.path_layers) != paths.num_paths:
+        return fail(
+            f"certificate covers {len(cert.path_layers)} paths, routing has "
+            f"{paths.num_paths}"
+        )
+    active = paths.active_mask()
+    if not np.array_equal(
+        cert.path_layers[active], layered.path_layers[active].astype(np.int32)
+    ):
+        bad = int(np.flatnonzero(
+            active & (cert.path_layers != layered.path_layers.astype(np.int32))
+        )[0])
+        return fail(
+            f"path -> layer assignment does not match the routing (first "
+            f"divergence at pid {bad}: certificate says "
+            f"{int(cert.path_layers[bad])}, routing says "
+            f"{int(layered.path_layers[bad])})"
+        )
+    for layer in range(cert.num_layers):
+        pids = np.flatnonzero(active & (layered.path_layers == layer))
+        derived = _layer_edges(paths, pids)
+        claimed = cert.layers[layer].edges
+        if derived.shape != claimed.shape or not np.array_equal(derived, claimed):
+            return fail(
+                f"certified dependency edges do not match the routing "
+                f"({len(claimed)} certified vs {len(derived)} derived)",
+                layer=layer,
+            )
+    return res
+
+
+def report_from_check(cert: DeadlockFreedomCertificate, result: CheckResult):
+    """Bridge a certificate check into a :class:`VerificationReport`.
+
+    Lets the supervisor's rejection path speak the same language whether
+    it verified by full CDG rebuild or by certificate: ``failure_summary``
+    then includes the certificate's minimal counterexample.
+    """
+    from repro.deadlock.verify import VerificationReport
+
+    cycles: dict[int, list[tuple[int, int]]] = {}
+    if result.counterexample and result.layer is not None:
+        ce = result.counterexample
+        cycles[result.layer] = [
+            (int(ce[i]), int(ce[i + 1])) for i in range(len(ce) - 1)
+        ]
+    hist = np.bincount(
+        cert.path_layers[cert.path_layers >= 0], minlength=cert.num_layers
+    )
+    return VerificationReport(
+        deadlock_free=result.ok,
+        num_layers=cert.num_layers,
+        cycles=cycles,
+        edges_per_layer=[len(lw.edges) for lw in cert.layers],
+        paths_per_layer=[int(v) for v in hist],
+        method="certificate",
+        failure_reason=result.reason,
+        certificate_counterexample=(
+            tuple(result.counterexample) if result.counterexample else None
+        ),
+    )

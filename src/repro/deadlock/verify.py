@@ -19,13 +19,25 @@ from repro.routing.paths import PathSet
 
 @dataclass(frozen=True)
 class VerificationReport:
-    """Outcome of a deadlock-freedom check."""
+    """Outcome of a deadlock-freedom check.
+
+    ``method`` records how the verdict was reached: ``"rebuild"`` (full
+    CDG reconstruction, :func:`verify_deadlock_free`) or ``"certificate"``
+    (O(V+E) certificate check,
+    :func:`repro.deadlock.certificate.check_against_routing`). On a
+    certificate rejection, ``failure_reason`` carries the checker's
+    reason and ``certificate_counterexample`` the minimal counterexample
+    cycle, when one exists.
+    """
 
     deadlock_free: bool
     num_layers: int
     cycles: dict[int, list[tuple[int, int]]]  # layer -> one witness cycle
     edges_per_layer: list[int]
     paths_per_layer: list[int]
+    method: str = "rebuild"
+    failure_reason: str | None = None
+    certificate_counterexample: tuple[int, ...] | None = None
 
     def __bool__(self) -> bool:  # pragma: no cover - convenience
         return self.deadlock_free
@@ -36,7 +48,8 @@ class VerificationReport:
         Names every cyclic layer and spells out one witness cycle as a
         channel chain (``c1 -> c2 -> ... -> c1``) so an assertion message
         or service log pinpoints the offending buffer loop instead of
-        reporting a bare boolean.
+        reporting a bare boolean. Certificate-based failures additionally
+        surface the checker's reason and minimal counterexample.
         """
         if self.deadlock_free:
             return "deadlock-free: all layer CDGs acyclic"
@@ -49,7 +62,16 @@ class VerificationReport:
                 f"layer {layer} ({self.edges_per_layer[layer]} edges, "
                 f"{self.paths_per_layer[layer]} paths) has witness cycle {chain}"
             )
-        return f"cyclic CDG in {len(self.cycles)} layer(s): " + "; ".join(parts)
+        if self.certificate_counterexample:
+            chain = " -> ".join(str(c) for c in self.certificate_counterexample)
+            parts.append(f"certificate minimal counterexample cycle {chain}")
+        if self.cycles:
+            head = f"cyclic CDG in {len(self.cycles)} layer(s)"
+            if self.failure_reason:
+                parts.append(self.failure_reason)
+        else:
+            head = self.failure_reason or "verification failed"
+        return head + (": " + "; ".join(parts) if parts else "")
 
 
 def build_layer_cdgs(

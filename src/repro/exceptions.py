@@ -92,6 +92,23 @@ class RepairError(RoutingError):
     """
 
 
+class CertificateError(ReproError):
+    """A deadlock-freedom certificate could not be produced or parsed.
+
+    Raised by :func:`repro.deadlock.certificate.emit_certificate` when a
+    layer's CDG is cyclic (there is no certificate for an unsafe routing;
+    ``counterexample`` then carries a real witness cycle as a channel
+    chain with first == last), and by the certificate loaders on
+    malformed payloads. Note that *checking* a certificate never raises —
+    the checker returns a rejection with a reason instead.
+    """
+
+    def __init__(self, message: str, layer: int | None = None, counterexample=None):
+        super().__init__(message)
+        self.layer = layer
+        self.counterexample = list(counterexample) if counterexample is not None else None
+
+
 class DeadlockError(ReproError):
     """The flit-level simulator detected an actual deadlock (a cycle in the
     packet wait-for graph with every participant blocked)."""

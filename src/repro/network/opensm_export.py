@@ -1,11 +1,16 @@
-"""Export forwarding state in OpenSM-style dump formats.
+"""Export/import forwarding state in OpenSM-style dump formats.
 
 The paper's DFSSSP ships inside OpenSM, whose operators inspect routing
 through ``ibroute`` / ``dump_lfts`` dumps (linear forwarding tables: one
 "LID → output port" line per destination per switch) and per-path SL
 assignments. These exporters produce the equivalent artifacts from our
 model, which makes diffing against a real subnet manager's output — or
-feeding downstream tooling that parses LFT dumps — possible.
+feeding downstream tooling that parses LFT dumps — possible. The reader
+counterparts (:func:`import_lft`, :func:`import_sl_assignment`) go the
+other way: given a dump and the fabric it was taken on, they rebuild
+:class:`RoutingTables` / :class:`LayeredRouting` — which is how foreign
+routings enter the deadlock-freedom certification pipeline
+(``repro-route certify --lft ...``).
 
 Conventions (documented in the dump headers):
 
@@ -17,7 +22,11 @@ Conventions (documented in the dump headers):
 from __future__ import annotations
 
 import io
+import re
 
+import numpy as np
+
+from repro.exceptions import RoutingError
 from repro.network.fabric import Fabric
 from repro.routing.base import LayeredRouting, RoutingTables
 
@@ -84,6 +93,106 @@ def export_sl_assignment(layered: LayeredRouting) -> str:
         sls = layered.path_layers[t_idx * S : (t_idx + 1) * S]
         out.write(" " + " ".join(str(int(sl)) for sl in sls) + "\n")
     return out.getvalue()
+
+
+_LFT_HEADER = re.compile(r"^# LFT dump \((?P<engine>\S+) routing\)")
+_LFT_BLOCK = re.compile(r"^Unicast lids \[[^\]]*\] of switch '[^']*' \(node (?P<node>\d+)\):")
+_LFT_ROW = re.compile(r"^\s+0x(?P<lid>[0-9a-f]+)\s+(?P<port>\d{3}) : ")
+_SL_HEADER = re.compile(r"^# SL assignment dump; (?P<layers>\d+) virtual lanes")
+_SL_ROW = re.compile(r"^DLID 0x(?P<lid>[0-9a-f]+) \('[^']*'\):(?P<sls>( \d+)+)$")
+
+
+def import_lft(text: str, fabric: Fabric) -> RoutingTables:
+    """Rebuild :class:`RoutingTables` from an :func:`export_lft` dump.
+
+    The dump carries switch rows only — LFTs live on switches — so
+    terminal injection rows are synthesized: each terminal forwards into
+    its first attached switch (deterministic; paths, CDGs and therefore
+    certificates depend only on the switch rows, which round-trip
+    exactly). Raises :class:`RoutingError` on ports or LIDs that do not
+    exist on ``fabric`` — a dump from a different fabric cannot be
+    imported silently.
+    """
+    port_to_chan: dict[tuple[int, int], int] = {}
+    for v in range(fabric.num_nodes):
+        for i, c in enumerate(fabric.out_channels(v), start=1):
+            port_to_chan[(v, i)] = int(c)
+
+    engine = "imported"
+    next_channel = np.full((fabric.num_nodes, fabric.num_terminals), -1, dtype=np.int32)
+    node: int | None = None
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        m = _LFT_HEADER.match(line)
+        if m:
+            engine = m.group("engine")
+            continue
+        m = _LFT_BLOCK.match(line)
+        if m:
+            node = int(m.group("node"))
+            if node >= fabric.num_nodes or not fabric.is_switch(node):
+                raise RoutingError(f"LFT line {lineno}: node {node} is not a switch here")
+            continue
+        m = _LFT_ROW.match(line)
+        if not m:
+            continue
+        if node is None:
+            raise RoutingError(f"LFT line {lineno}: forwarding row before any switch block")
+        t_idx = int(m.group("lid"), 16) - 1
+        if not 0 <= t_idx < fabric.num_terminals:
+            raise RoutingError(f"LFT line {lineno}: LID 0x{t_idx + 1:x} out of range")
+        chan = port_to_chan.get((node, int(m.group("port"))))
+        if chan is None:
+            raise RoutingError(
+                f"LFT line {lineno}: switch {node} has no port {int(m.group('port'))}"
+            )
+        next_channel[node, t_idx] = chan
+
+    # Synthesized injection rows (see docstring): terminal -> first switch.
+    for term in fabric.terminals:
+        term = int(term)
+        inject = [c for c in fabric.out_channels(term)
+                  if fabric.is_switch(int(fabric.channels.dst[c]))]
+        for t_idx in range(fabric.num_terminals):
+            if int(fabric.terminals[t_idx]) != term and inject:
+                next_channel[term, t_idx] = inject[0]
+    return RoutingTables(fabric, next_channel, engine=engine)
+
+
+def import_sl_assignment(text: str, tables: RoutingTables) -> LayeredRouting:
+    """Rebuild :class:`LayeredRouting` from an :func:`export_sl_assignment` dump.
+
+    The header names the virtual-lane count; each ``DLID`` row lists one
+    SL per source switch in switch-index order, exactly as exported.
+    """
+    fabric = tables.fabric
+    S, T = fabric.num_switches, fabric.num_terminals
+    num_layers: int | None = None
+    path_layers = np.zeros(S * T, dtype=np.int16)
+    seen = np.zeros(T, dtype=bool)
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        m = _SL_HEADER.match(line)
+        if m:
+            num_layers = int(m.group("layers"))
+            continue
+        m = _SL_ROW.match(line)
+        if not m:
+            continue
+        t_idx = int(m.group("lid"), 16) - 1
+        if not 0 <= t_idx < T:
+            raise RoutingError(f"SL line {lineno}: DLID 0x{t_idx + 1:x} out of range")
+        sls = [int(v) for v in m.group("sls").split()]
+        if len(sls) != S:
+            raise RoutingError(
+                f"SL line {lineno}: {len(sls)} SLs for {S} source switches"
+            )
+        path_layers[t_idx * S : (t_idx + 1) * S] = sls
+        seen[t_idx] = True
+    if num_layers is None:
+        raise RoutingError("SL dump has no '# SL assignment dump' header")
+    if not seen.all():
+        missing = int(np.flatnonzero(~seen)[0])
+        raise RoutingError(f"SL dump is missing DLID 0x{missing + 1:x}")
+    return LayeredRouting(tables, path_layers, num_layers)
 
 
 def export_route(tables: RoutingTables, src: int, dst: int) -> str:

@@ -178,6 +178,13 @@ class RoutingResult:
     per-channel balancing weights of weight-based engines (SSSP/DFSSSP)
     so :mod:`repro.resilience` can continue balancing across incremental
     repairs instead of restarting from uniform weights.
+
+    ``certificate`` (a
+    :class:`repro.deadlock.certificate.DeadlockFreedomCertificate`, typed
+    loosely to keep this module import-light) is attached by the cache,
+    checkpoint store and ``certify`` CLI so consumers can re-check
+    deadlock freedom in O(V+E) without re-running the layer assignment.
+    Engines themselves leave it ``None``.
     """
 
     tables: RoutingTables
@@ -185,6 +192,7 @@ class RoutingResult:
     deadlock_free: bool = False
     stats: dict = field(default_factory=dict)
     channel_weights: np.ndarray | None = None
+    certificate: object | None = None
 
     @property
     def num_layers(self) -> int:

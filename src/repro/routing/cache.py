@@ -9,17 +9,25 @@ the engine's name + options, so a :class:`~repro.service.supervisor.RoutingSuper
 restarting (or re-encountering a previously seen degraded fabric) can
 warm-start instead of recomputing.
 
-Each entry is two files in the cache directory:
+Each entry is up to three files in the cache directory:
 
 * ``<key>.npz`` — tables, lane assignment and balancing weights, written
   through :func:`~repro.routing.io.save_routing` (atomic, fingerprint-
   stamped, so a cache hit is *still* validated against the live fabric
   at load time — a re-cabled fabric can never be served stale tables);
 * ``<key>.meta.json`` — human-inspectable metadata (engine, options,
-  fingerprint, the engine's ``stats`` dict) for ``repro-route stats``.
+  fingerprint, the engine's ``stats`` dict) for ``repro-route stats``;
+* ``<key>.cert.json`` — the deadlock-freedom certificate of layered
+  results (see :mod:`repro.deadlock.certificate`). Emitted at store
+  time and re-checked — structure *and* binding to the live routing —
+  at load time, so a warm start serves provably safe tables without
+  re-running the layer assignment. A missing, corrupt or mismatched
+  certificate turns the hit into a miss and bumps
+  ``routing_cert_invalid_total``.
 
 Counters: ``routing_cache_hit_total`` / ``routing_cache_miss_total`` /
-``routing_cache_store_total``, labelled by engine.
+``routing_cache_store_total`` / ``routing_cert_invalid_total``, labelled
+by engine.
 """
 
 from __future__ import annotations
@@ -30,7 +38,7 @@ from pathlib import Path
 
 import numpy as np
 
-from repro.exceptions import RoutingError
+from repro.exceptions import CertificateError, RoutingError
 from repro.network.fabric import Fabric
 from repro.obs import get_registry
 from repro.obs.recorder import record_event
@@ -76,8 +84,12 @@ class RoutingCache:
         self.dir.mkdir(parents=True, exist_ok=True)
 
     # ------------------------------------------------------------------
-    def _paths(self, key: str) -> tuple[Path, Path]:
-        return self.dir / f"{key}.npz", self.dir / f"{key}.meta.json"
+    def _paths(self, key: str) -> tuple[Path, Path, Path]:
+        return (
+            self.dir / f"{key}.npz",
+            self.dir / f"{key}.meta.json",
+            self.dir / f"{key}.cert.json",
+        )
 
     def _counter(self, event: str, engine: str, key: str | None = None):
         record_event(f"cache_{event}", engine=str(engine), key=key)
@@ -93,10 +105,13 @@ class RoutingCache:
 
         A hit re-validates the stored fingerprint against ``fabric`` (via
         :func:`load_routing_state`); a corrupt or mismatched entry counts
-        as a miss and is left for :meth:`store` to overwrite.
+        as a miss and is left for :meth:`store` to overwrite. Layered
+        entries additionally carry a deadlock-freedom certificate that is
+        re-checked — structurally and against the loaded routing — before
+        the hit is served; an invalid certificate is a miss.
         """
         key = cache_key(fabric_fingerprint(fabric), engine, opts)
-        npz, meta_path = self._paths(key)
+        npz, meta_path, cert_path = self._paths(key)
         if not npz.is_file():
             self._counter("miss", engine, key).inc()
             return None
@@ -106,33 +121,86 @@ class RoutingCache:
         except (RoutingError, OSError, ValueError, KeyError):
             self._counter("miss", engine, key).inc()
             return None
+        cert = None
+        if state.layered is not None:
+            cert = self._checked_certificate(cert_path, state, engine, key)
+            if cert is None:
+                self._counter("miss", engine, key).inc()
+                return None
         self._counter("hit", engine, key).inc()
         stats = dict(meta.get("stats", {}))
         stats["cache"] = "hit"
+        if cert is not None:
+            stats["certified"] = True
         return RoutingResult(
             tables=state.tables,
             layered=state.layered,
             deadlock_free=bool(meta.get("deadlock_free", state.layered is not None)),
             stats=stats,
             channel_weights=state.channel_weights,
+            certificate=cert,
         )
+
+    def _checked_certificate(self, cert_path: Path, state, engine: str, key: str):
+        """Load + fully check the entry's certificate; ``None`` if invalid.
+
+        An entry stored before certificates existed (or whose certificate
+        was corrupted/tampered with) must not be served as deadlock-free
+        on trust — the caller treats ``None`` as a cache miss so the
+        routing is recomputed and re-certified.
+        """
+        from repro.deadlock.certificate import (
+            DeadlockFreedomCertificate,
+            check_against_routing,
+        )
+        from repro.routing.paths import extract_paths
+
+        reason = None
+        try:
+            cert = DeadlockFreedomCertificate.load(cert_path)
+            check = check_against_routing(cert, state.layered, extract_paths(state.tables))
+            if check.ok:
+                return cert
+            reason = check.reason
+        except CertificateError as err:
+            reason = str(err)
+        record_event("cache_cert_invalid", engine=str(engine), key=key, reason=reason)
+        get_registry().counter(
+            "routing_cert_invalid_total",
+            "cache entries rejected for a missing/invalid deadlock certificate",
+            engine=str(engine),
+        ).inc()
+        return None
 
     def store(
         self, fabric: Fabric, engine: str, opts: dict | None, result: RoutingResult
     ) -> str:
         """Persist ``result`` for ``fabric`` + config; returns the key.
 
-        Both files are written atomically; a crash mid-store leaves any
-        previous entry intact.
+        All files are written atomically; a crash mid-store leaves any
+        previous entry intact. Layered results are certified on the way
+        in (the certificate is also attached to ``result``); an
+        uncertifiable layered routing — a cyclic layer — refuses to
+        enter the cache by raising :class:`CertificateError` with a
+        witness cycle.
         """
         key = cache_key(fabric_fingerprint(fabric), engine, opts)
-        npz, meta_path = self._paths(key)
+        npz, meta_path, cert_path = self._paths(key)
+        if result.layered is not None and result.certificate is None:
+            from repro.deadlock.certificate import emit_certificate
+            from repro.routing.paths import extract_paths
+
+            result.certificate = emit_certificate(
+                result.layered, extract_paths(result.tables), engine=str(engine)
+            )
         save_routing(
             npz,
             result.tables,
             layered=result.layered,
             channel_weights=result.channel_weights,
         )
+        if result.certificate is not None:
+            result.certificate.save(cert_path)
         meta = {
             "key": key,
             "engine": str(engine),
@@ -154,17 +222,20 @@ class RoutingCache:
                 meta = json.loads(meta_path.read_text())
             except (OSError, ValueError):  # pragma: no cover - corrupt entry
                 continue
-            npz = self.dir / f"{meta.get('key', meta_path.stem.split('.')[0])}.npz"
+            key = meta.get("key", meta_path.stem.split(".")[0])
+            npz = self.dir / f"{key}.npz"
             meta["bytes"] = npz.stat().st_size if npz.is_file() else 0
+            meta["certified"] = (self.dir / f"{key}.cert.json").is_file()
             out.append(meta)
         return out
 
     def clear(self) -> int:
-        """Delete every entry; returns how many were removed."""
+        """Delete every entry file; returns how many were removed."""
         removed = 0
-        for p in list(self.dir.glob("*.npz")) + list(self.dir.glob("*.meta.json")):
-            p.unlink(missing_ok=True)
-            removed += 1
+        for pattern in ("*.npz", "*.meta.json", "*.cert.json"):
+            for p in self.dir.glob(pattern):
+                p.unlink(missing_ok=True)
+                removed += 1
         return removed
 
 

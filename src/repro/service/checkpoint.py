@@ -20,6 +20,7 @@ Layout under the store root::
         fabric.json
         routing.npz
         state.json
+        certificate.json  # deadlock-freedom certificate (layered routings)
 
 Writes are crash-safe by construction: a checkpoint is staged in a
 temporary directory, published with a single ``rename`` to its (never
@@ -127,6 +128,8 @@ class CheckpointStore:
                 result.layered,
                 channel_weights=result.channel_weights,
             )
+            if result.certificate is not None:
+                (staging / "certificate.json").write_text(result.certificate.to_json())
             payload = dict(state)
             payload["format"] = STATE_FORMAT
             payload["version"] = version
@@ -206,12 +209,27 @@ class CheckpointStore:
         except (RoutingError, OSError, ValueError) as err:
             raise CheckpointError(f"{routing_path}: {err}") from err
 
+        certificate = None
+        cert_path = path / "certificate.json"
+        if cert_path.is_file():
+            from repro.deadlock.certificate import DeadlockFreedomCertificate
+            from repro.exceptions import CertificateError
+
+            try:
+                certificate = DeadlockFreedomCertificate.load(cert_path)
+            except CertificateError as err:
+                # Checkpoints are immutable and written atomically; an
+                # unparsable certificate means tampering or disk fault —
+                # fail loudly like any other corrupt checkpoint file.
+                raise CheckpointError(f"{cert_path}: {err}") from err
+
         result = RoutingResult(
             tables=routing.tables,
             layered=routing.layered,
             deadlock_free=routing.layered is not None,
             stats={"engine": routing.engine, "restored_from": str(path)},
             channel_weights=routing.channel_weights,
+            certificate=certificate,
         )
         return Checkpoint(
             version=int(state.get("version", version)),

@@ -292,7 +292,18 @@ class RoutingSupervisor:
         record_event(
             "restore", engine=self.engine.name, version=self.version,
             state=self._state, pending=len(self._uncommitted),
+            certified=self._lkg.certificate is not None,
         )
+        # A restored routing is re-verified before it is ever served —
+        # via its checkpointed certificate (O(V+E)) when one is present,
+        # via the full CDG rebuild otherwise. The scope id lives outside
+        # the numbered namespace: restores must not shift request_seq,
+        # which is checkpointed so pre-crash ids are never reused.
+        with request_scope(
+            f"svc-{self.service_id}-restore-{ckpt.version:06d}",
+            name="service.restore_verify", engine=self.engine.name,
+        ):
+            self._verify(self._lkg)
 
     def _count_restore(self) -> None:
         get_registry().counter(
@@ -549,14 +560,45 @@ class RoutingSupervisor:
         return result
 
     def _verify(self, result: RoutingResult) -> None:
-        """Refuse to serve unroutable or cyclic tables (independent check)."""
+        """Refuse to serve unroutable or cyclic tables (independent check).
+
+        Results that carry a deadlock-freedom certificate (cache hits,
+        restored checkpoints) are verified by the O(V+E) certificate
+        check — structure *and* binding to the live routing — instead of
+        the full CDG rebuild; everything else pays the rebuild. Either
+        way a ``service.verify`` span and a ``verify`` flight-recorder
+        event record which method ran; a rejection dumps the certificate's
+        minimal counterexample to the flight recorder before raising.
+        """
         paths = extract_paths(result.tables)
-        if result.layered is not None:
-            report = verify_deadlock_free(result.layered, paths)
-            if not report.deadlock_free:
-                raise RoutingError(
-                    f"candidate routing rejected: {report.failure_summary()}"
-                )
+        if result.layered is None:
+            return
+        if result.certificate is not None:
+            from repro.deadlock.certificate import check_against_routing, report_from_check
+
+            with span("service.verify", method="certificate") as sp:
+                check = check_against_routing(result.certificate, result.layered, paths)
+                sp.set_attr("ok", check.ok)
+            record_event("verify", engine=self.engine.name, method="certificate",
+                         ok=check.ok)
+            if check.ok:
+                return
+            record_event(
+                "certificate_rejected", engine=self.engine.name,
+                reason=check.reason, layer=check.layer,
+                witness_edge=list(check.witness_edge) if check.witness_edge else None,
+                counterexample=check.counterexample,
+            )
+            report = report_from_check(result.certificate, check)
+        else:
+            with span("service.verify", method="rebuild") as sp:
+                report = verify_deadlock_free(result.layered, paths)
+                sp.set_attr("ok", report.deadlock_free)
+            record_event("verify", engine=self.engine.name, method="rebuild",
+                         ok=report.deadlock_free)
+            if report.deadlock_free:
+                return
+        raise RoutingError(f"candidate routing rejected: {report.failure_summary()}")
 
     def _accept(self, result: RoutingResult, target: DegradedFabric,
                 cables: set, switches: set, action: str) -> None:
@@ -641,6 +683,16 @@ class RoutingSupervisor:
         """Write an atomic checkpoint now; returns its path."""
         if self._store is None:
             raise ServiceError("supervisor has no checkpoint directory configured")
+        if self._lkg.layered is not None and self._lkg.certificate is None:
+            # Certify at checkpoint time so every restore can verify in
+            # O(V+E) — cache hits already arrive certified, this covers
+            # fresh routes and incremental repairs.
+            from repro.deadlock.certificate import emit_certificate
+
+            self._lkg.certificate = emit_certificate(
+                self._lkg.layered, extract_paths(self._lkg.tables),
+                engine=self._lkg.tables.engine,
+            )
         with span("service.checkpoint", version=self._ckpt_seq):
             path = self._store.save(
                 version=self._ckpt_seq,

@@ -1,0 +1,151 @@
+"""Property-based tests (hypothesis) for deadlock-freedom certificates.
+
+* On arbitrary random fabrics, a certificate can be emitted **iff** the
+  full verifier passes — the O(V+E) witness and the O(paths · hops)
+  re-verification agree everywhere.
+* Corrupted certificates (reversed topological order, dropped layer,
+  path remapped to another layer) are always rejected by the pipeline:
+  structurally where the wire format itself breaks, at binding time
+  where the certificate no longer describes the routing.
+* Whenever the checker returns a counterexample it is a *real* cycle in
+  the certified edge set — closed, and every step an actual edge.
+"""
+
+from __future__ import annotations
+
+import json
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro import topologies
+from repro.deadlock import verify_deadlock_free
+from repro.deadlock.certificate import (
+    DeadlockFreedomCertificate,
+    check_against_routing,
+    emit_certificate,
+)
+from repro.deadlock.checker import check_certificate, find_minimal_cycle
+from repro.exceptions import CertificateError
+from repro.routing import extract_paths, make_engine
+from repro.routing.base import LayeredRouting
+
+_slow = settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+random_topo_params = st.tuples(
+    st.integers(min_value=4, max_value=10),  # switches
+    st.integers(min_value=0, max_value=12),  # extra links beyond the tree
+    st.integers(min_value=1, max_value=2),  # terminals per switch
+    st.integers(min_value=0, max_value=10_000),  # seed
+)
+
+
+def _route(params, engine_name):
+    s, extra, tps, seed = params
+    links = min(s - 1 + extra, s * (s - 1) // 2)
+    fabric = topologies.random_topology(s, links, tps, seed=seed)
+    result = make_engine(engine_name).route(fabric)
+    paths = extract_paths(result.tables)
+    layered = result.layered or LayeredRouting.single_layer(result.tables)
+    return layered, paths
+
+
+def _assert_real_cycle(cycle, edges) -> None:
+    assert cycle[0] == cycle[-1]
+    assert len(cycle) >= 3
+    for a, b in zip(cycle, cycle[1:]):
+        assert (a, b) in edges
+
+
+@_slow
+@given(random_topo_params, st.sampled_from(["sssp", "dfsssp"]))
+def test_certified_iff_verified(params, engine_name):
+    layered, paths = _route(params, engine_name)
+    verified = verify_deadlock_free(layered, paths).deadlock_free
+    try:
+        cert = emit_certificate(layered, paths)
+    except CertificateError as err:
+        assert not verified
+        assert err.counterexample is not None
+        return
+    assert verified
+    assert check_certificate(json.loads(cert.to_json())).ok
+    assert check_against_routing(cert, layered, paths).ok
+
+
+@_slow
+@given(random_topo_params, st.data())
+def test_corrupted_certificates_always_rejected(params, data):
+    layered, paths = _route(params, "dfsssp")
+    cert = emit_certificate(layered, paths)
+    wire = json.loads(cert.to_json())
+
+    corruption = data.draw(
+        st.sampled_from(["reverse_order", "drop_layer", "remap_path"]),
+        label="corruption",
+    )
+    if corruption == "reverse_order":
+        # Reversing a layer's topological order flips *every* certified
+        # edge backwards — guaranteed structural rejection for any layer
+        # that certifies at least one dependency.
+        edged = [i for i, l in enumerate(wire["layers"]) if l["edges"]]
+        if not edged:
+            return  # nothing to corrupt: no dependencies anywhere
+        li = data.draw(st.sampled_from(edged), label="layer")
+        wire["layers"][li]["topo_order"].reverse()
+        res = check_certificate(wire)
+        assert not res.ok and res.layer == li and res.witness_edge is not None
+        if res.counterexample is not None:
+            edges = {(a, b) for a, b in wire["layers"][li]["edges"]}
+            _assert_real_cycle(res.counterexample, edges)
+        return
+
+    if corruption == "drop_layer":
+        wire["num_layers"] -= 1
+        wire["layers"].pop()
+        if wire["num_layers"] == 0:
+            res = check_certificate(wire)  # wire format itself now invalid
+        else:
+            res = check_certificate(wire)
+            if res.ok:
+                # Structurally consistent (no path claimed the dropped
+                # layer) — binding must still notice the layer-count lie.
+                res = check_against_routing(
+                    DeadlockFreedomCertificate.from_dict(wire), layered, paths
+                )
+        assert not res.ok
+        return
+
+    # remap_path: move one active path to a different (valid) layer.
+    pids = paths.active_pids()
+    pid = int(data.draw(st.sampled_from(list(map(int, pids))), label="pid"))
+    old = wire["path_layers"][pid]
+    wire["path_layers"][pid] = (old + 1) % wire["num_layers"] if wire["num_layers"] > 1 else -1
+    assert check_certificate(wire).ok  # the lie is structurally invisible...
+    res = check_against_routing(
+        DeadlockFreedomCertificate.from_dict(wire), layered, paths
+    )
+    assert not res.ok  # ...but never survives binding
+
+
+@_slow
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 15), st.integers(0, 15)),
+        min_size=0,
+        max_size=40,
+    ),
+    st.lists(st.integers(0, 15), min_size=2, max_size=6, unique=True),
+)
+def test_minimal_cycle_is_real(noise_edges, cycle_nodes):
+    # Plant a guaranteed cycle among arbitrary noise edges.
+    planted = list(zip(cycle_nodes, cycle_nodes[1:])) + [
+        (cycle_nodes[-1], cycle_nodes[0])
+    ]
+    edges = [e for e in noise_edges if e[0] != e[1]] + planted
+    cycle = find_minimal_cycle(edges)
+    assert cycle is not None
+    _assert_real_cycle(cycle, set(edges))

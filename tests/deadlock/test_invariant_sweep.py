@@ -16,11 +16,19 @@ sweep is about *silent* invariant violations, not applicability.
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
 from repro import topologies
 from repro.deadlock import verify_deadlock_free
-from repro.exceptions import ReproError, RoutingError
+from repro.deadlock.certificate import (
+    DeadlockFreedomCertificate,
+    check_against_routing,
+    emit_certificate,
+)
+from repro.deadlock.checker import check_certificate
+from repro.exceptions import CertificateError, ReproError, RoutingError
 from repro.network.faults import cable_keys, degrade
 from repro.routing import extract_paths, make_engine
 from repro.routing.base import LayeredRouting
@@ -47,10 +55,40 @@ def sweep_fabric(request):
     return request.param, TOPOLOGIES[request.param]()
 
 
+def _roundtrip_certificate(layered, paths, report, *, engine: str, where: str) -> None:
+    """Every run's certificate must survive JSON + the independent checker.
+
+    Emission succeeds exactly when the full verifier passes; the emitted
+    certificate must then be accepted both structurally (wire format
+    through :func:`check_certificate`, the dependency-free checker) and
+    bound against the routing it was emitted for.
+    """
+    try:
+        cert = emit_certificate(layered, paths, engine=engine)
+    except CertificateError as err:
+        assert not report.deadlock_free, (
+            f"{engine} certification failed but verification passed ({where}): {err}"
+        )
+        assert err.counterexample, f"cyclic layer without witness cycle ({where})"
+        return
+    assert report.deadlock_free, (
+        f"{engine} was certified but fails verification ({where}): "
+        f"{report.failure_summary()}"
+    )
+    wire = json.loads(cert.to_json())
+    structural = check_certificate(wire)
+    assert structural.ok, f"checker rejects own emission ({where}): {structural.summary()}"
+    bound = check_against_routing(
+        DeadlockFreedomCertificate.from_dict(wire), layered, paths
+    )
+    assert bound.ok, f"certificate does not bind to its routing ({where}): {bound.reason}"
+
+
 def _verify(result, *, engine: str, where: str) -> None:
     paths = extract_paths(result.tables)
     layered = result.layered or LayeredRouting.single_layer(result.tables)
     report = verify_deadlock_free(layered, paths)
+    _roundtrip_certificate(layered, paths, report, engine=engine, where=where)
     if engine in DEADLOCK_FREE_ENGINES:
         assert report.deadlock_free, (
             f"{engine} claims deadlock-freedom but failed verification "

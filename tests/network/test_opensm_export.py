@@ -44,3 +44,78 @@ def test_route_dump(dfsssp_random16, random16):
     hops = dfsssp_random16.tables.hops(src, dst)
     assert f"{hops} hops" in dump
     assert dump.count("->") == hops
+
+
+def test_lft_import_roundtrips_switch_rows(dfsssp_random16, random16):
+    import numpy as np
+
+    from repro.network.opensm_export import import_lft
+
+    tables = import_lft(export_lft(dfsssp_random16.tables), random16)
+    assert tables.engine == "dfsssp"
+    for sw in random16.switches:
+        np.testing.assert_array_equal(
+            tables.next_channel[int(sw)],
+            dfsssp_random16.tables.next_channel[int(sw)],
+        )
+
+
+def test_imported_routing_has_identical_paths(dfsssp_random16, random16):
+    """Synthesized injection rows do not disturb the switch-level paths."""
+    from repro.network.opensm_export import import_lft
+    from repro.routing import extract_paths
+
+    imported = import_lft(export_lft(dfsssp_random16.tables), random16)
+    ours = extract_paths(dfsssp_random16.tables)
+    theirs = extract_paths(imported)
+    import numpy as np
+
+    np.testing.assert_array_equal(ours.offsets, theirs.offsets)
+    np.testing.assert_array_equal(ours.chans, theirs.chans)
+
+
+def test_sl_import_roundtrips_layers(dfsssp_random16, random16):
+    import numpy as np
+
+    from repro.network.opensm_export import import_lft, import_sl_assignment
+
+    tables = import_lft(export_lft(dfsssp_random16.tables), random16)
+    layered = import_sl_assignment(
+        export_sl_assignment(dfsssp_random16.layered), tables
+    )
+    assert layered.num_layers == dfsssp_random16.layered.num_layers
+    np.testing.assert_array_equal(
+        layered.path_layers, dfsssp_random16.layered.path_layers
+    )
+
+
+def test_imported_routing_certifies(dfsssp_random16, random16):
+    """A foreign (imported) routing enters the certification pipeline."""
+    from repro.deadlock.certificate import check_against_routing, emit_certificate
+    from repro.network.opensm_export import import_lft, import_sl_assignment
+    from repro.routing import extract_paths
+
+    tables = import_lft(export_lft(dfsssp_random16.tables), random16)
+    layered = import_sl_assignment(
+        export_sl_assignment(dfsssp_random16.layered), tables
+    )
+    paths = extract_paths(tables)
+    cert = emit_certificate(layered, paths)
+    assert cert.check().ok
+    # ...and the certificate cross-binds to the original routing: the
+    # dependency structure is identical on both sides of the round-trip.
+    assert check_against_routing(
+        cert, dfsssp_random16.layered, extract_paths(dfsssp_random16.tables)
+    ).ok
+
+
+def test_import_rejects_foreign_dump(dfsssp_random16):
+    import pytest
+
+    from repro import topologies
+    from repro.exceptions import RoutingError
+    from repro.network.opensm_export import import_lft
+
+    other = topologies.ring(4, terminals_per_switch=1)
+    with pytest.raises(RoutingError):
+        import_lft(export_lft(dfsssp_random16.tables), other)

@@ -34,10 +34,13 @@ def test_miss_then_store_then_hit(tmp_path, fabric, result):
     key = cache.store(fabric, "dfsssp", {}, result)
     assert (tmp_path / f"{key}.npz").is_file()
     assert (tmp_path / f"{key}.meta.json").is_file()
+    assert (tmp_path / f"{key}.cert.json").is_file()
 
     hit = cache.load(fabric, "dfsssp", {})
     assert hit is not None
     assert hit.stats["cache"] == "hit"
+    assert hit.stats["certified"] is True
+    assert hit.certificate is not None and hit.certificate.check().ok
     assert hit.deadlock_free == result.deadlock_free
     np.testing.assert_array_equal(hit.tables.next_channel, result.tables.next_channel)
     np.testing.assert_array_equal(hit.layered.path_layers, result.layered.path_layers)
@@ -123,8 +126,45 @@ def test_entries_and_clear(tmp_path, fabric, result):
     assert meta["bytes"] > 0
     assert meta["stats"].get("engine") == "dfsssp"
     # meta file is valid standalone JSON (human-inspectable)
+    assert meta["certified"] is True
     raw = json.loads((tmp_path / f"{key}.meta.json").read_text())
     assert raw["key"] == key
-    assert cache.clear() == 2
+    assert cache.clear() == 3  # npz + meta + certificate
     assert cache.entries() == []
     assert cache.load(fabric, "dfsssp", {}) is None
+
+
+def test_missing_certificate_is_a_miss(tmp_path, fabric, result):
+    cache = RoutingCache(tmp_path)
+    key = cache.store(fabric, "dfsssp", {}, result)
+    (tmp_path / f"{key}.cert.json").unlink()
+    i0 = _counter_value("routing_cert_invalid_total")
+    assert cache.load(fabric, "dfsssp", {}) is None
+    assert _counter_value("routing_cert_invalid_total") == i0 + 1
+    # re-store recovers: the entry is re-certified on the way in
+    cache.store(fabric, "dfsssp", {}, make_engine("dfsssp").route(fabric))
+    assert cache.load(fabric, "dfsssp", {}) is not None
+
+
+def test_tampered_certificate_is_a_miss(tmp_path, fabric, result):
+    cache = RoutingCache(tmp_path)
+    key = cache.store(fabric, "dfsssp", {}, result)
+    cert_path = tmp_path / f"{key}.cert.json"
+    cert = json.loads(cert_path.read_text())
+    edged = next(layer for layer in cert["layers"] if layer["edges"])
+    edged["edges"][0] = list(reversed(edged["edges"][0]))
+    cert_path.write_text(json.dumps(cert))
+    i0 = _counter_value("routing_cert_invalid_total")
+    assert cache.load(fabric, "dfsssp", {}) is None
+    assert _counter_value("routing_cert_invalid_total") == i0 + 1
+
+
+def test_unlayered_results_need_no_certificate(tmp_path, fabric):
+    cache = RoutingCache(tmp_path)
+    result = make_engine("sssp").route(fabric)
+    assert result.layered is None
+    key = cache.store(fabric, "sssp", {}, result)
+    assert not (tmp_path / f"{key}.cert.json").exists()
+    hit = cache.load(fabric, "sssp", {})
+    assert hit is not None and hit.certificate is None
+    assert "certified" not in hit.stats

@@ -47,6 +47,13 @@ def test_restart_warm_starts_and_is_faster(tmp_path, fabric):
     ws = sink.find("cache.warm_start")
     assert len(ws) == 1 and ws[0].attrs["hit"] is True
 
+    # The warm result carried its cached certificate, so re-verification
+    # went through the O(V+E) certificate check, not a CDG rebuild.
+    assert warm.serving().result.certificate is not None
+    verifies = sink.find("service.verify")
+    assert verifies and verifies[-1].attrs["method"] == "certificate"
+    assert verifies[-1].attrs["ok"] is True
+
     # And identical: the cache replays the exact routing, verified anew.
     np.testing.assert_array_equal(
         warm.serving().result.tables.next_channel,
@@ -81,3 +88,47 @@ def test_no_cache_dir_means_no_cache_traffic(fabric):
     with use_sink(sink):
         RoutingSupervisor(fabric, engine="dfsssp", policy=FAST)
     assert sink.find("cache.warm_start") == []
+
+
+def test_restore_verifies_through_checkpointed_certificate(tmp_path, fabric):
+    sup = RoutingSupervisor(
+        fabric, engine="dfsssp", policy=FAST, checkpoint_dir=tmp_path / "ckpt"
+    )
+    assert sup.serving().result.certificate is not None  # certified at checkpoint
+
+    sink = InMemorySink()
+    with use_sink(sink):
+        restored = RoutingSupervisor.restore(tmp_path / "ckpt")
+    assert restored.serving().result.certificate is not None
+    verifies = sink.find("service.verify")
+    assert verifies and verifies[-1].attrs["method"] == "certificate"
+    assert verifies[-1].attrs["ok"] is True
+    np.testing.assert_array_equal(
+        restored.serving().result.tables.next_channel,
+        sup.serving().result.tables.next_channel,
+    )
+
+
+def test_tampered_checkpoint_certificate_rejected_on_restore(tmp_path, fabric):
+    import json
+
+    from repro.exceptions import RoutingError
+    from repro.obs.recorder import FlightRecorder, use_recorder
+
+    RoutingSupervisor(
+        fabric, engine="dfsssp", policy=FAST, checkpoint_dir=tmp_path / "ckpt"
+    )
+    cert_path = next((tmp_path / "ckpt").glob("ckpt-*/certificate.json"))
+    cert = json.loads(cert_path.read_text())
+    edged = next(layer for layer in cert["layers"] if layer["edges"])
+    edged["edges"][0] = list(reversed(edged["edges"][0]))
+    cert_path.write_text(json.dumps(cert))
+
+    recorder = FlightRecorder()
+    with use_recorder(recorder):
+        with pytest.raises(RoutingError, match="rejected"):
+            RoutingSupervisor.restore(tmp_path / "ckpt")
+    rejected = [e for e in recorder.snapshot() if e["kind"] == "certificate_rejected"]
+    assert rejected, "rejection must reach the flight recorder"
+    assert rejected[-1]["reason"]
+    assert rejected[-1]["witness_edge"] is not None

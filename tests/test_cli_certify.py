@@ -1,0 +1,157 @@
+"""``repro-route certify`` end to end, plus the standalone checker contract.
+
+The checker module is the trusted base of the certificate scheme, so its
+obligations are enforced here as tests: it must stay tiny (< 200 lines),
+import nothing heavier than the standard library (no numpy, no
+``repro.core``, no ``repro.deadlock.cdg``), and work as a standalone
+``python -m repro.deadlock.checker`` invocation — the form CI runs
+against cached routes.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+from repro.obs import get_registry
+
+XGFT = ["--family", "xgft", "--ms", "3,3", "--ws", "1,2"]
+CHECKER = Path(__file__).resolve().parents[1] / "src" / "repro" / "deadlock" / "checker.py"
+
+
+@pytest.fixture(autouse=True)
+def fresh_metrics():
+    get_registry().reset()
+    yield
+    get_registry().reset()
+
+
+@pytest.fixture()
+def cert_path(tmp_path):
+    out = tmp_path / "xgft.cert.json"
+    assert main(["certify", *XGFT, "--out", str(out)]) == 0
+    return out
+
+
+def test_certify_emits_and_prints_summary(tmp_path, capsys):
+    out = tmp_path / "fresh.cert.json"
+    assert main(["certify", *XGFT, "--out", str(out)]) == 0
+    assert out.is_file()
+    text = capsys.readouterr().out
+    assert "certificate OK" in text
+    cert = json.loads(out.read_text())
+    assert cert["kind"] == "deadlock-freedom-certificate"
+    assert cert["format"] == 1
+
+
+def test_certify_check_accepts_and_rejects(cert_path, tmp_path, capsys):
+    assert main(["certify", "--check", str(cert_path)]) == 0
+
+    mutated = json.loads(cert_path.read_text())
+    layer = next(l for l in mutated["layers"] if l["edges"])
+    layer["edges"][0] = list(reversed(layer["edges"][0]))
+    bad = tmp_path / "bad.cert.json"
+    bad.write_text(json.dumps(mutated))
+    capsys.readouterr()
+    assert main(["certify", "--check", str(bad)]) == 1
+    text = capsys.readouterr().out
+    assert "REJECTED" in text and "witness edge" in text
+
+
+def test_certify_binds_certificate_to_routing(cert_path, tmp_path, capsys):
+    # Structurally intact but remapped path→layer: only the bound check
+    # (given the topology) can catch it.
+    mutated = json.loads(cert_path.read_text())
+    pid = next(i for i, l in enumerate(mutated["path_layers"]) if l >= 0)
+    mutated["path_layers"][pid] = -1
+    bad = tmp_path / "remapped.cert.json"
+    bad.write_text(json.dumps(mutated))
+    assert main(["certify", "--check", str(bad)]) == 0  # standalone: fine
+    capsys.readouterr()
+    assert main(["certify", "--check", str(bad), "--bind", *XGFT]) == 1
+    assert "path" in capsys.readouterr().out
+
+
+def test_certify_lft_import_path(tmp_path, capsys):
+    from repro.network import topologies
+    from repro.network.opensm_export import export_lft, export_sl_assignment
+    from repro.routing import make_engine
+
+    fabric = topologies.xgft(2, (3, 3), (1, 2))
+    result = make_engine("dfsssp").route(fabric)
+    lft = tmp_path / "dump.lft"
+    sl = tmp_path / "dump.sl"
+    lft.write_text(export_lft(result.tables))
+    sl.write_text(export_sl_assignment(result.layered))
+    out = tmp_path / "imported.cert.json"
+    rc = main([
+        "certify", *XGFT, "--lft", str(lft), "--sl", str(sl),
+        "--out", str(out), "--json",
+    ])
+    assert rc == 0
+    info = json.loads(capsys.readouterr().out)
+    assert info["ok"] is True
+    assert info["layers"] == result.layered.num_layers
+
+
+def test_standalone_checker_subprocess(cert_path, tmp_path):
+    env_script = (
+        "import json, sys\n"
+        "from repro.deadlock import checker\n"
+        f"rc = checker.main([{str(cert_path)!r}])\n"
+        "heavy = [m for m in sys.modules if m.split('.')[0] == 'numpy'\n"
+        "         or m.startswith('repro.core')\n"
+        "         or m.startswith('repro.deadlock.cdg')\n"
+        "         or m.startswith('repro.network')\n"
+        "         or m.startswith('repro.routing')]\n"
+        "print(json.dumps({'rc': rc, 'heavy': heavy}))\n"
+    )
+    proc = subprocess.run(
+        [sys.executable, "-c", env_script],
+        capture_output=True,
+        text=True,
+        env={"PYTHONPATH": str(CHECKER.parents[2])},
+    )
+    assert proc.returncode == 0, proc.stderr
+    payload = json.loads(proc.stdout.splitlines()[-1])
+    assert payload["rc"] == 0
+    assert payload["heavy"] == [], (
+        f"checker dragged in heavyweight modules: {payload['heavy']}"
+    )
+
+
+def test_standalone_checker_rejects_with_counterexample(cert_path, tmp_path):
+    mutated = json.loads(cert_path.read_text())
+    layer = next(l for l in mutated["layers"] if l["edges"])
+    order = layer["topo_order"]
+    a, b = layer["edges"][0]
+    ia, ib = order.index(a), order.index(b)
+    order[ia], order[ib] = order[ib], order[ia]
+    bad = tmp_path / "swapped.cert.json"
+    bad.write_text(json.dumps(mutated))
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.deadlock.checker", str(bad)],
+        capture_output=True,
+        text=True,
+        env={"PYTHONPATH": str(CHECKER.parents[2])},
+    )
+    assert proc.returncode == 1
+    assert "REJECTED" in proc.stdout and "witness edge" in proc.stdout
+
+
+def test_checker_stays_tiny_and_dependency_free():
+    source = CHECKER.read_text()
+    assert len(source.splitlines()) < 200, "checker must stay under 200 lines"
+    imports = [
+        line.strip()
+        for line in source.splitlines()
+        if line.strip().startswith(("import ", "from "))
+    ]
+    for line in imports:
+        for needle in ("numpy", "scipy", "repro."):
+            assert needle not in line, f"forbidden checker import: {line}"
