@@ -13,6 +13,10 @@ Subcommands mirror the OpenSM-era workflow on the fabric model:
 * ``chaos``      — fault-injection soak (degrade/repair/verify loop);
 * ``serve``      — supervised service-mode soak (deadlines, backoff,
   last-known-good serving, checkpoint/restore; see ``docs/service.md``);
+* ``fleet-soak`` — fleet chaos soak: shard N fabrics across fault-isolated
+  worker processes, replay concurrent requests while SIGKILLing workers,
+  and assert zero unserved requests with certified respawns
+  (see ``docs/fleet.md``);
 * ``checkpoint`` — inspect and verify a service checkpoint directory;
 * ``certify``    — emit / validate deadlock-freedom certificates (per-layer
   topological orders over the CDG, checkable in O(V+E) by the
@@ -681,6 +685,94 @@ def cmd_serve(args) -> int:
     return 0 if report.survived else 1
 
 
+def cmd_fleet_soak(args) -> int:
+    """Fleet chaos soak: concurrent requests + worker SIGKILLs.
+
+    Builds ``--fabrics`` fabrics from the topology arguments (the
+    ``random`` family varies its seed per fabric, so the shards differ),
+    shards them across ``--workers`` fault-isolated worker processes and
+    replays ``--requests`` concurrent requests while SIGKILLing
+    ``--kills`` workers mid-run. Exit 0 iff the run passed: zero
+    unserved requests, every kill respawned, every respawned shard
+    restored from checkpoint and certificate-verified, full recovery,
+    and the fleet SLO set green.
+    """
+    from repro.fleet import FleetConfig, FleetManager, run_fleet_soak
+    from repro.obs import install_signal_dump
+
+    if args.flight_out:
+        install_signal_dump(args.flight_out)
+    fabrics = {}
+    base_seed = args.seed
+    try:
+        for i in range(args.fabrics):
+            args.seed = base_seed + i
+            fabrics[f"fab-{i:02d}"] = _build_topo(args)
+    finally:
+        args.seed = base_seed
+    root = args.root
+    if not root:
+        import tempfile
+
+        root = tempfile.mkdtemp(prefix="repro-fleet-")
+    config = FleetConfig(
+        workers=args.workers,
+        engine=args.engine,
+        request_timeout_s=args.request_timeout,
+        retries=args.retries,
+        heartbeat_timeout_s=args.heartbeat_timeout,
+        breaker_threshold=args.breaker_threshold,
+        breaker_cooldown_s=args.breaker_cooldown,
+        degraded_delay_s=args.degraded_delay,
+    )
+    with FleetManager(fabrics, root, config) as manager:
+        report = run_fleet_soak(
+            manager,
+            requests=args.requests,
+            kills=args.kills,
+            seed=args.soak_seed,
+            concurrency=args.concurrency,
+            fault_ratio=args.fault_ratio,
+            health_ratio=args.health_ratio,
+            tenants=args.tenants,
+        )
+    summary = report.summary()
+    if args.out:
+        report.save(args.out)
+    _write_telemetry_artifacts(args, mode="fleet")
+    if args.json:
+        print(json.dumps(summary, indent=2))
+    else:
+        table = Table(
+            ["field", "value"],
+            title=f"fleet soak: {len(fabrics)} fabrics / {args.workers} workers, "
+            f"seed {args.soak_seed}",
+        )
+        for key in (
+            "requests_sent", "served_ok", "served_degraded", "failed",
+            "retries", "stale_serves", "faults_applied", "faults_deferred",
+            "kills", "respawns", "respawned_shards_certified",
+            "recovered", "throughput_rps",
+        ):
+            value = summary[key]
+            if isinstance(value, float):
+                value = round(value, 3)
+            table.add_row([key, value])
+        lat = summary.get("latency") or {}
+        for key in ("p50_s", "p95_s", "p99_s"):
+            if key in lat:
+                table.add_row([f"latency[{key}]", round(lat[key], 6)])
+        table.add_row(["slo healthy", report.slo.get("healthy")])
+        table.add_row(["passed", summary["passed"]])
+        if summary["failure"]:
+            table.add_row(["failure", summary["failure"]])
+        print(table.render())
+        if args.out:
+            print(f"report saved to {args.out}")
+        print(f"fleet root: {root}")
+    return 0 if report.passed else 1
+
+
 def cmd_checkpoint(args) -> int:
     from repro.service import CheckpointStore
 
@@ -1010,6 +1102,52 @@ def main(argv: list[str] | None = None) -> int:
     )
     p.set_defaults(func=cmd_serve)
 
+    p = sub.add_parser(
+        "fleet-soak",
+        help="fleet chaos soak (sharded workers, SIGKILLs, degradation)",
+    )
+    _add_topo_args(p)
+    _add_obs_args(p)
+    p.add_argument(
+        "--fabrics", type=int, default=4,
+        help="number of fabrics to shard (random family varies seed per fabric)",
+    )
+    p.add_argument(
+        "--workers", type=int, default=2,
+        help="fault-isolated worker processes hosting the shards",
+    )
+    p.add_argument("--engine", default="dfsssp", help="routing engine per shard")
+    p.add_argument("--requests", type=int, default=1000, help="requests to replay")
+    p.add_argument(
+        "--kills", type=int, default=2,
+        help="workers to SIGKILL at evenly spaced points mid-run",
+    )
+    p.add_argument("--soak-seed", type=int, default=0, help="request-schedule seed")
+    p.add_argument("--concurrency", type=int, default=8, help="client threads")
+    p.add_argument("--fault-ratio", type=float, default=0.10, dest="fault_ratio")
+    p.add_argument("--health-ratio", type=float, default=0.05, dest="health_ratio")
+    p.add_argument("--tenants", type=int, default=4, help="tenant ids to rotate")
+    p.add_argument(
+        "--root",
+        help="fleet state dir (checkpoints/cache/flight dumps); default temp dir",
+    )
+    p.add_argument(
+        "--request-timeout", type=float, default=30.0, dest="request_timeout",
+        help="per-request deadline in seconds",
+    )
+    p.add_argument("--retries", type=int, default=2, help="retries after the first attempt")
+    p.add_argument("--heartbeat-timeout", type=float, default=2.0, dest="heartbeat_timeout")
+    p.add_argument("--breaker-threshold", type=int, default=3)
+    p.add_argument("--breaker-cooldown", type=float, default=1.0)
+    p.add_argument(
+        "--degraded-delay", type=float, default=0.1, dest="degraded_delay",
+        help="backpressure pacing per degraded serve in seconds",
+    )
+    p.add_argument("--out", help="write the full soak report as JSON")
+    p.add_argument("--json", action="store_true", help="print the summary as JSON")
+    _add_telemetry_args(p)
+    p.set_defaults(func=cmd_fleet_soak)
+
     p = sub.add_parser("checkpoint", help="inspect / verify a service checkpoint")
     p.add_argument("dir", help="checkpoint directory (as passed to serve)")
     p.add_argument(
@@ -1082,7 +1220,7 @@ def main(argv: list[str] | None = None) -> int:
     )
     p.add_argument("file", help="metrics JSON dump ('-' = stdin)")
     p.add_argument(
-        "--mode", choices=("service", "chaos"), default="service",
+        "--mode", choices=("service", "chaos", "fleet"), default="service",
         help="which default SLO set to evaluate",
     )
     p.add_argument(

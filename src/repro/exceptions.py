@@ -60,6 +60,12 @@ class ServiceError(ReproError):
     open and no last-known-good routing exists)."""
 
 
+class FleetError(ReproError):
+    """The fleet manager cannot be configured or operated as requested —
+    unknown fabric ids, invalid sharding, or per-worker engine options
+    that cannot run inside a daemonized worker process."""
+
+
 class UnsupportedTopologyError(RoutingError):
     """The selected routing engine does not support this topology.
 

@@ -1,0 +1,115 @@
+"""Admission control: bounded in-flight budgets per tenant and fabric.
+
+A fleet front-end that accepts every request melts down exactly when it
+matters — during a worker outage, when retries and degraded fallbacks
+already multiply the work per request. :class:`AdmissionController`
+keeps three concurrent-request budgets (per tenant, per fabric, whole
+fleet) and rejects at the door once a budget is exhausted. Rejection is
+cheap and *visible*: the ``fleet_admission_rejected_total{scope=...}``
+counter and an ``admission_rejected`` flight event name the budget that
+tripped, and the manager answers the rejected request from last-known-
+good state (degraded, stale) rather than erroring.
+
+The controller is a context manager per request::
+
+    with admission.admit(tenant, fabric_id) as admitted:
+        if not admitted:
+            ...  # degrade
+        ...
+
+so budgets are released on every exit path, including exceptions.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+
+from repro.obs import get_registry
+from repro.obs.recorder import record_event
+
+
+class AdmissionController:
+    """Concurrent in-flight request budgets (tenant / fabric / total).
+
+    ``None`` disables a budget. Thread-safe: the fleet front-end calls
+    this from every client thread.
+    """
+
+    def __init__(
+        self,
+        *,
+        per_tenant: int | None = 16,
+        per_fabric: int | None = 16,
+        total: int | None = 128,
+    ):
+        for name, limit in (("per_tenant", per_tenant), ("per_fabric", per_fabric),
+                            ("total", total)):
+            if limit is not None and limit < 1:
+                raise ValueError(f"{name} budget must be >= 1 or None, got {limit}")
+        self.per_tenant = per_tenant
+        self.per_fabric = per_fabric
+        self.total = total
+        self._lock = threading.Lock()
+        self._tenant_inflight: dict[str, int] = {}
+        self._fabric_inflight: dict[str, int] = {}
+        self._total_inflight = 0
+
+    # ------------------------------------------------------------------
+    def try_acquire(self, tenant: str, fabric_id: str) -> str | None:
+        """Claim one in-flight slot; returns the tripped scope on reject.
+
+        ``None`` means admitted (the caller must :meth:`release`).
+        """
+        with self._lock:
+            scope = None
+            if self.total is not None and self._total_inflight >= self.total:
+                scope = "total"
+            elif (
+                self.per_tenant is not None
+                and self._tenant_inflight.get(tenant, 0) >= self.per_tenant
+            ):
+                scope = "tenant"
+            elif (
+                self.per_fabric is not None
+                and self._fabric_inflight.get(fabric_id, 0) >= self.per_fabric
+            ):
+                scope = "fabric"
+            if scope is None:
+                self._total_inflight += 1
+                self._tenant_inflight[tenant] = self._tenant_inflight.get(tenant, 0) + 1
+                self._fabric_inflight[fabric_id] = self._fabric_inflight.get(fabric_id, 0) + 1
+                return None
+        record_event("admission_rejected", scope=scope, tenant=tenant, fabric=fabric_id)
+        get_registry().counter(
+            "fleet_admission_rejected_total",
+            "requests rejected at the door by an exhausted in-flight budget",
+            scope=scope,
+        ).inc()
+        return scope
+
+    def release(self, tenant: str, fabric_id: str) -> None:
+        with self._lock:
+            self._total_inflight = max(0, self._total_inflight - 1)
+            self._tenant_inflight[tenant] = max(0, self._tenant_inflight.get(tenant, 1) - 1)
+            self._fabric_inflight[fabric_id] = max(0, self._fabric_inflight.get(fabric_id, 1) - 1)
+
+    @contextmanager
+    def admit(self, tenant: str, fabric_id: str):
+        """``with admit(...) as rejected_scope`` — ``None`` means admitted."""
+        scope = self.try_acquire(tenant, fabric_id)
+        try:
+            yield scope
+        finally:
+            if scope is None:
+                self.release(tenant, fabric_id)
+
+    # ------------------------------------------------------------------
+    def inflight(self) -> dict:
+        """Current occupancy snapshot (for ``FleetManager.status``)."""
+        with self._lock:
+            return {
+                "total": self._total_inflight,
+                "tenants": {k: v for k, v in self._tenant_inflight.items() if v},
+                "fabrics": {k: v for k, v in self._fabric_inflight.items() if v},
+            }

@@ -45,6 +45,7 @@ from repro.obs.recorder import (
 )
 from repro.obs.slo import (
     DEFAULT_CHAOS_SLOS,
+    DEFAULT_FLEET_SLOS,
     DEFAULT_SERVICE_SLOS,
     SLO,
     HealthReport,
@@ -96,6 +97,7 @@ __all__ = [
     "HealthReport",
     "DEFAULT_SERVICE_SLOS",
     "DEFAULT_CHAOS_SLOS",
+    "DEFAULT_FLEET_SLOS",
     "evaluate_slos",
     "new_request_id",
     "request_scope",

@@ -281,13 +281,40 @@ DEFAULT_CHAOS_SLOS: tuple[SLO, ...] = (
 )
 
 
+#: Fleet-mode defaults — the front door may degrade, never drop.
+DEFAULT_FLEET_SLOS: tuple[SLO, ...] = (
+    SLO(
+        name="fleet_latency_p99", kind=QUANTILE,
+        description="p99 front-end request latency",
+        metric="fleet_request_seconds", q=0.99, threshold=5.0,
+    ),
+    SLO(
+        name="unserved_budget", kind=RATIO,
+        description="no request may go unserved (degraded answers are serves)",
+        bad_metric="fleet_requests_failed_total",
+        total_metric="fleet_requests_total",
+        max_ratio=0.0,
+    ),
+    SLO(
+        name="degraded_budget", kind=RATIO,
+        description="at most half of requests may be served degraded",
+        bad_metric="fleet_degraded_total", total_metric="fleet_requests_total",
+        max_ratio=0.50,
+    ),
+)
+
+
 def slos_for(mode: str) -> list[SLO]:
-    """Default SLO set by mode name (``service`` | ``chaos``)."""
+    """Default SLO set by mode name (``service`` | ``chaos`` | ``fleet``)."""
     if mode == "service":
         return list(DEFAULT_SERVICE_SLOS)
     if mode == "chaos":
         return list(DEFAULT_CHAOS_SLOS)
-    raise ValueError(f"unknown SLO mode {mode!r} (expected 'service' or 'chaos')")
+    if mode == "fleet":
+        return list(DEFAULT_FLEET_SLOS)
+    raise ValueError(
+        f"unknown SLO mode {mode!r} (expected 'service', 'chaos' or 'fleet')"
+    )
 
 
 # ----------------------------------------------------------------------

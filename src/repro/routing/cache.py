@@ -25,15 +25,22 @@ Each entry is up to three files in the cache directory:
   certificate turns the hit into a miss and bumps
   ``routing_cert_invalid_total``.
 
+The cache can be **bounded**: ``max_entries`` / ``max_bytes`` cap the
+entry count and total on-disk footprint, with least-recently-used
+entries pruned at store time (a hit refreshes the entry's recency via
+its ``mtime``, so long-running fleets keep their hot fabrics warm).
+Unbounded by default, matching the old behaviour.
+
 Counters: ``routing_cache_hit_total`` / ``routing_cache_miss_total`` /
-``routing_cache_store_total`` / ``routing_cert_invalid_total``, labelled
-by engine.
+``routing_cache_store_total`` / ``routing_cache_evicted_total`` /
+``routing_cert_invalid_total``, labelled by engine.
 """
 
 from __future__ import annotations
 
 import hashlib
 import json
+import os
 from pathlib import Path
 
 import numpy as np
@@ -77,10 +84,28 @@ class RoutingCache:
     >>> cache = RoutingCache(tmp_dir)            # doctest: +SKIP
     >>> hit = cache.load(fabric, "dfsssp", {})   # None on miss
     >>> cache.store(fabric, "dfsssp", {}, result)
+
+    ``max_entries`` / ``max_bytes`` (``None`` = unlimited) bound the
+    cache; :meth:`store` prunes least-recently-used entries past either
+    limit. The entry being stored is never its own eviction victim, so a
+    single oversized routing still caches (the bound then holds again at
+    the next store).
     """
 
-    def __init__(self, cache_dir: str | Path):
+    def __init__(
+        self,
+        cache_dir: str | Path,
+        *,
+        max_entries: int | None = None,
+        max_bytes: int | None = None,
+    ):
+        if max_entries is not None and max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+        if max_bytes is not None and max_bytes < 1:
+            raise ValueError(f"max_bytes must be >= 1, got {max_bytes}")
         self.dir = Path(cache_dir)
+        self.max_entries = max_entries
+        self.max_bytes = max_bytes
         self.dir.mkdir(parents=True, exist_ok=True)
 
     # ------------------------------------------------------------------
@@ -128,6 +153,7 @@ class RoutingCache:
                 self._counter("miss", engine, key).inc()
                 return None
         self._counter("hit", engine, key).inc()
+        self._touch(npz)
         stats = dict(meta.get("stats", {}))
         stats["cache"] = "hit"
         if cert is not None:
@@ -211,7 +237,59 @@ class RoutingCache:
         }
         atomic_write_text(meta_path, json.dumps(meta, indent=2, sort_keys=True) + "\n")
         self._counter("store", engine, key).inc()
+        self._prune(keep_key=key)
         return key
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _touch(npz: Path) -> None:
+        """Refresh an entry's LRU recency (mtime of its ``.npz``)."""
+        try:
+            os.utime(npz)
+        except OSError:  # pragma: no cover - read-only cache mount
+            pass
+
+    def _prune(self, keep_key: str) -> None:
+        """Evict least-recently-used entries past ``max_entries``/``max_bytes``.
+
+        An entry is the ``.npz`` + ``.meta.json`` + ``.cert.json`` triple;
+        its recency is the ``.npz`` mtime (touched on every hit) and its
+        size the triple's combined bytes. ``keep_key`` — the entry just
+        stored — is exempt from this round.
+        """
+        if self.max_entries is None and self.max_bytes is None:
+            return
+        entries = []  # (mtime, key, bytes)
+        total = 0
+        for npz in self.dir.glob("*.npz"):
+            key = npz.stem
+            try:
+                size = sum(p.stat().st_size for p in self._paths(key) if p.is_file())
+                mtime = npz.stat().st_mtime
+            except OSError:  # pragma: no cover - raced with clear()
+                continue
+            entries.append((mtime, key, size))
+            total += size
+        entries.sort()
+        count = len(entries)
+        for mtime, key, size in entries:
+            over_entries = self.max_entries is not None and count > self.max_entries
+            over_bytes = self.max_bytes is not None and total > self.max_bytes
+            if not (over_entries or over_bytes):
+                break
+            if key == keep_key:
+                continue
+            npz, meta_path, cert_path = self._paths(key)
+            engine = "?"
+            try:
+                engine = str(json.loads(meta_path.read_text()).get("engine", "?"))
+            except (OSError, ValueError):
+                pass
+            for p in (npz, meta_path, cert_path):
+                p.unlink(missing_ok=True)
+            count -= 1
+            total -= size
+            self._counter("evicted", engine, key).inc()
 
     # ------------------------------------------------------------------
     def entries(self) -> list[dict]:

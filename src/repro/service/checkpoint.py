@@ -42,6 +42,8 @@ from repro.exceptions import CheckpointError, FabricError, ReproError, RoutingEr
 from repro.network.fabric import Fabric
 from repro.network.faults import DegradedFabric, degrade
 from repro.network.io import load_fabric, save_fabric
+from repro.obs import get_registry
+from repro.obs.recorder import record_event
 from repro.routing.base import RoutingResult
 from repro.routing.io import load_routing_state, save_routing
 from repro.utils.atomicio import atomic_write_text
@@ -93,6 +95,19 @@ class CheckpointStore:
 
     def __contains__(self, version: int) -> bool:
         return (self.root / self._name(version) / "state.json").exists()
+
+    def complete_versions(self) -> list[int]:
+        """Versions whose directory is complete (published with its
+        ``state.json``), ascending. Staging dirs never qualify — a
+        checkpoint only becomes visible through its final ``rename``."""
+        out = []
+        for entry in self.root.iterdir():
+            if entry.name.startswith(_PREFIX) and (entry / "state.json").is_file():
+                try:
+                    out.append(int(entry.name[len(_PREFIX):]))
+                except ValueError:  # pragma: no cover - foreign dir
+                    continue
+        return sorted(out)
 
     @staticmethod
     def _name(version: int) -> str:
@@ -166,11 +181,45 @@ class CheckpointStore:
         dead sets to the baseline, then validates the routing against it
         (fingerprint check). Raises :class:`CheckpointError` naming the
         offending file on any corruption or mismatch.
+
+        When no explicit ``version`` is requested and the version named
+        by ``CURRENT`` is missing or corrupt — a disk fault or tampering,
+        never a normal crash, which the staged-rename protocol already
+        covers — the store falls back to the newest *older* complete
+        checkpoint instead of raising, recording a ``checkpoint_fallback``
+        flight event (and bumping ``checkpoint_fallbacks_total``) so the
+        post-mortem shows the service resumed from older state. An
+        explicit ``version`` is a precise request and never falls back.
         """
-        if version is None:
-            version = self.latest_version()
-            if version is None:
-                raise CheckpointError(f"{self.root}: no checkpoint found (missing {_CURRENT})")
+        if version is not None:
+            return self._load_version(version)
+        current = self.latest_version()
+        if current is None:
+            raise CheckpointError(f"{self.root}: no checkpoint found (missing {_CURRENT})")
+        try:
+            return self._load_version(current)
+        except CheckpointError as err:
+            for candidate in reversed([v for v in self.complete_versions() if v < current]):
+                try:
+                    ckpt = self._load_version(candidate)
+                except CheckpointError:
+                    continue  # also damaged; keep walking back
+                # Clear the damaged version so the resumed supervisor can
+                # reuse its number (checkpoint dirs are never overwritten).
+                shutil.rmtree(self.root / self._name(current), ignore_errors=True)
+                record_event(
+                    "checkpoint_fallback", root=str(self.root),
+                    failed_version=current, fallback_version=candidate,
+                    reason=str(err),
+                )
+                get_registry().counter(
+                    "checkpoint_fallbacks_total",
+                    "restores served by an older checkpoint after CURRENT's was damaged",
+                ).inc()
+                return ckpt
+            raise
+
+    def _load_version(self, version: int) -> Checkpoint:
         path = self.root / self._name(version)
         state_path = path / "state.json"
         try:

@@ -16,6 +16,7 @@ resume identically after a crash.
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import asdict, dataclass, field, replace
 
@@ -70,7 +71,12 @@ class CircuitBreaker:
 
     States: *closed* (normal operation), *open* (all attempts rejected
     until ``cooldown_s`` elapsed on the supplied monotonic clock),
-    *half-open* (one probe allowed; success closes, failure re-opens).
+    *half-open* (exactly one probe allowed; success closes, failure
+    re-opens). While the probe is in flight every other :meth:`allow`
+    returns ``False`` — interleaved request batches cannot stampede a
+    recovering dependency. All transitions are mutex-protected, so one
+    breaker may be shared across request threads (the fleet front-end
+    keeps one per fabric).
     """
 
     def __init__(self, threshold: int = 3, cooldown_s: float = 30.0, *,
@@ -83,40 +89,63 @@ class CircuitBreaker:
         self.state = CLOSED
         self.failures = 0
         self.opened_at: float | None = None
+        self._probing = False
+        self._lock = threading.Lock()
 
     @property
     def open(self) -> bool:
         return self.state == OPEN
 
+    @property
+    def probing(self) -> bool:
+        """True while a half-open probe is in flight (unresolved)."""
+        return self.state == HALF_OPEN and self._probing
+
     def allow(self) -> bool:
         """May the caller attempt work right now?
 
-        Transitions *open* → *half-open* once the cooldown has elapsed
-        (the caller owning that ``True`` is the single probe).
+        Transitions *open* → *half-open* once the cooldown has elapsed.
+        The caller owning that ``True`` is the single probe: until it
+        resolves via :meth:`record_success` / :meth:`record_failure`,
+        every other caller is rejected.
         """
-        if self.state == OPEN:
-            if self.opened_at is not None and self.clock() - self.opened_at >= self.cooldown_s:
-                self.state = HALF_OPEN
-                record_event("breaker_half_open", failures=self.failures)
+        with self._lock:
+            if self.state == OPEN:
+                if (
+                    self.opened_at is not None
+                    and self.clock() - self.opened_at >= self.cooldown_s
+                ):
+                    self.state = HALF_OPEN
+                    self._probing = True
+                    record_event("breaker_half_open", failures=self.failures)
+                    return True
+                return False
+            if self.state == HALF_OPEN:
+                if self._probing:
+                    return False  # probe already in flight; wait for its verdict
+                self._probing = True
                 return True
-            return False
-        return True
+            return True
 
     def record_success(self) -> None:
-        if self.state != CLOSED:
-            record_event("breaker_closed", failures=self.failures)
-        self.state = CLOSED
-        self.failures = 0
-        self.opened_at = None
+        with self._lock:
+            if self.state != CLOSED:
+                record_event("breaker_closed", failures=self.failures)
+            self.state = CLOSED
+            self.failures = 0
+            self.opened_at = None
+            self._probing = False
 
     def record_failure(self) -> None:
-        self.failures += 1
-        if self.state == HALF_OPEN or self.failures >= self.threshold:
-            if self.state != OPEN:
-                record_event("breaker_open", failures=self.failures,
-                             threshold=self.threshold)
-            self.state = OPEN
-            self.opened_at = self.clock()
+        with self._lock:
+            self.failures += 1
+            self._probing = False
+            if self.state == HALF_OPEN or self.failures >= self.threshold:
+                if self.state != OPEN:
+                    record_event("breaker_open", failures=self.failures,
+                                 threshold=self.threshold)
+                self.state = OPEN
+                self.opened_at = self.clock()
 
     def to_dict(self) -> dict:
         """Persistable state (relative cooldown remaining, not clock values —
@@ -137,6 +166,8 @@ class CircuitBreaker:
         breaker = cls(int(data["threshold"]), float(data["cooldown_s"]), clock=clock)
         breaker.state = data.get("state", CLOSED)
         breaker.failures = int(data.get("failures", 0))
+        # A probe in flight at checkpoint time died with its process: a
+        # restored half-open breaker grants one fresh probe immediately.
         if breaker.state == OPEN:
             remaining = float(data.get("cooldown_remaining_s") or 0.0)
             # Re-anchor so the restored breaker re-probes after the same

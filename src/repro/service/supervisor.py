@@ -133,7 +133,9 @@ class RoutingSupervisor:
     checkpoint_dir:
         Enables checkpointing; ``restore`` resumes from it.
     cache_dir:
-        Enables the :class:`~repro.routing.cache.RoutingCache`: full
+        Path or ready-made :class:`~repro.routing.cache.RoutingCache`
+        instance (a fleet worker shares one bounded cache across its
+        shards). Enables the cache: full
         routes (the initial route and the ladder's "full" rung) first
         probe the cache under the target fabric's fingerprint + engine
         config, and every freshly computed full route is stored back.
@@ -189,7 +191,11 @@ class RoutingSupervisor:
         if cache_dir is not None:
             from repro.routing.cache import RoutingCache
 
-            self._cache = RoutingCache(cache_dir)
+            # Accept a ready-made cache so fleets can share one bounded
+            # instance across all supervisors in a worker process.
+            self._cache = (
+                cache_dir if isinstance(cache_dir, RoutingCache) else RoutingCache(cache_dir)
+            )
         else:
             self._cache = None
         self._queue: deque[FaultEvent] = deque()

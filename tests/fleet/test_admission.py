@@ -1,0 +1,84 @@
+"""Admission controller: in-flight budgets per tenant / fabric / fleet."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fleet import AdmissionController
+from repro.obs import get_registry
+
+
+def test_budget_validation():
+    with pytest.raises(ValueError):
+        AdmissionController(per_tenant=0)
+    with pytest.raises(ValueError):
+        AdmissionController(per_fabric=-1)
+    with pytest.raises(ValueError):
+        AdmissionController(total=0)
+
+
+def test_total_budget_trips_first():
+    adm = AdmissionController(per_tenant=None, per_fabric=None, total=2)
+    assert adm.try_acquire("a", "f1") is None
+    assert adm.try_acquire("b", "f2") is None
+    assert adm.try_acquire("c", "f3") == "total"
+    adm.release("a", "f1")
+    assert adm.try_acquire("c", "f3") is None
+
+
+def test_tenant_budget_isolates_tenants():
+    adm = AdmissionController(per_tenant=1, per_fabric=None, total=None)
+    assert adm.try_acquire("a", "f1") is None
+    assert adm.try_acquire("a", "f2") == "tenant"  # same tenant, other fabric
+    assert adm.try_acquire("b", "f1") is None  # other tenant unaffected
+
+
+def test_fabric_budget_isolates_fabrics():
+    adm = AdmissionController(per_tenant=None, per_fabric=1, total=None)
+    assert adm.try_acquire("a", "f1") is None
+    assert adm.try_acquire("b", "f1") == "fabric"
+    assert adm.try_acquire("b", "f2") is None
+
+
+def test_release_restores_capacity_and_never_goes_negative():
+    adm = AdmissionController(per_tenant=1, per_fabric=1, total=1)
+    assert adm.try_acquire("a", "f1") is None
+    adm.release("a", "f1")
+    adm.release("a", "f1")  # double release is clamped, not corrupted
+    assert adm.inflight() == {"total": 0, "tenants": {}, "fabrics": {}}
+    assert adm.try_acquire("a", "f1") is None
+
+
+def test_admit_context_releases_on_exception():
+    adm = AdmissionController(per_tenant=1, per_fabric=5, total=5)
+    with pytest.raises(RuntimeError):
+        with adm.admit("a", "f1") as rejected:
+            assert rejected is None
+            raise RuntimeError("boom")
+    assert adm.inflight()["total"] == 0
+    # a rejected admit never decrements anything on exit
+    adm.try_acquire("a", "f1")
+    with adm.admit("a", "f1") as rejected:
+        assert rejected == "tenant"
+    assert adm.inflight()["total"] == 1
+
+
+def test_rejections_are_counted_by_scope():
+    reg = get_registry()
+    before = reg.counter("fleet_admission_rejected_total", scope="tenant").value
+    adm = AdmissionController(per_tenant=1, per_fabric=None, total=None)
+    adm.try_acquire("a", "f1")
+    adm.try_acquire("a", "f1")
+    after = reg.counter("fleet_admission_rejected_total", scope="tenant").value
+    assert after == before + 1
+
+
+def test_inflight_snapshot_reports_occupancy():
+    adm = AdmissionController()
+    adm.try_acquire("a", "f1")
+    adm.try_acquire("a", "f2")
+    adm.try_acquire("b", "f1")
+    snap = adm.inflight()
+    assert snap["total"] == 3
+    assert snap["tenants"] == {"a": 2, "b": 1}
+    assert snap["fabrics"] == {"f1": 2, "f2": 1}

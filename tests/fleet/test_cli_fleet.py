@@ -1,0 +1,54 @@
+"""The fleet-soak CLI subcommand and the fleet health gate."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.obs import get_registry
+
+
+@pytest.fixture(autouse=True)
+def fresh_metrics():
+    get_registry().reset()
+    yield
+    get_registry().reset()
+
+
+def test_fleet_soak_cli_end_to_end(tmp_path, capsys):
+    report_path = tmp_path / "soak.json"
+    metrics_path = tmp_path / "metrics.json"
+    rc = main([
+        "fleet-soak",
+        "--switches", "8", "--links", "18", "--terminals-per-switch", "2",
+        "--seed", "30",
+        "--fabrics", "4", "--workers", "2",
+        "--requests", "60", "--kills", "1", "--concurrency", "6",
+        "--root", str(tmp_path / "fleet"),
+        "--out", str(report_path),
+        "--metrics", str(metrics_path),
+        "--json",
+    ])
+    assert rc == 0  # exit 0 iff the soak passed
+    summary = json.loads(capsys.readouterr().out)
+    assert summary["passed"] is True
+    assert summary["failed"] == 0
+    assert summary["kills"] == 1 and summary["respawns"] >= 1
+    assert summary["respawned_shards_certified"] is True
+
+    data = json.loads(report_path.read_text())
+    assert data["summary"]["requests_sent"] == 60
+    assert data["slo"]["healthy"] is True
+
+    # the soak's metrics dump satisfies the fleet health gate
+    capsys.readouterr()
+    rc = main(["health", str(metrics_path), "--mode", "fleet"])
+    assert rc == 0
+    assert "fleet_latency_p99" in capsys.readouterr().out
+
+
+def test_health_rejects_unknown_mode(tmp_path):
+    with pytest.raises(SystemExit):
+        main(["health", str(tmp_path / "m.json"), "--mode", "nope"])

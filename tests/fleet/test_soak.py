@@ -1,0 +1,70 @@
+"""Fleet chaos soak: SIGKILLs mid-run, zero unserved requests."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import topologies
+from repro.fleet import FleetConfig, FleetManager, FleetSoakReport, run_fleet_soak
+from repro.service.policy import BackoffPolicy, ServicePolicy
+
+
+FAST_POLICY = ServicePolicy(
+    backoff=BackoffPolicy(base_s=0.0, jitter=0.0, max_attempts=2)
+)
+
+
+@pytest.fixture(scope="module")
+def report(tmp_path_factory):
+    fabrics = {
+        f"fab-{i}": topologies.random_topology(
+            8, 18, terminals_per_switch=2, seed=20 + i
+        )
+        for i in range(4)
+    }
+    cfg = FleetConfig(workers=2, heartbeat_timeout_s=3.0, policy=FAST_POLICY)
+    root = tmp_path_factory.mktemp("fleet-soak")
+    with FleetManager(fabrics, root, cfg) as manager:
+        return run_fleet_soak(manager, requests=120, kills=1, seed=7, concurrency=6)
+
+
+def test_soak_serves_every_request(report):
+    assert report.requests_sent == 120
+    assert report.failed == 0  # zero unserved requests, the hard guarantee
+    assert report.served_ok + report.served_degraded == 120
+    assert report.served_degraded == report.stale_serves
+
+
+def test_soak_killed_and_respawned(report):
+    assert len(report.kills) == 1
+    assert len(report.respawns) >= 1
+    assert report.respawned_shards_certified  # certificate-verified restores
+    assert report.recovered
+    assert report.recovery_seconds is not None
+
+
+def test_soak_passes_with_healthy_slos(report):
+    assert report.slo.get("healthy") is True
+    assert report.passed
+    assert report.failure is None
+
+
+def test_soak_report_round_trips_to_json(report, tmp_path):
+    path = tmp_path / "soak.json"
+    report.save(path)
+    data = json.loads(path.read_text())
+    assert data["summary"]["passed"] is True
+    assert data["summary"]["failed"] == 0
+    assert data["summary"]["kills"] == 1
+    assert len(data["kill_log"]) == 1
+    assert data["slo"]["healthy"] is True
+    lat = data["summary"]["latency"]
+    assert set(lat) >= {"p50_s", "p95_s", "p99_s"}
+
+
+def test_soak_report_defaults():
+    fresh = FleetSoakReport(fabrics=0, workers=0, requests=0, kills_requested=0, seed=0)
+    assert not fresh.passed  # an empty report never passes
+    assert fresh.summary()["requests_sent"] == 0

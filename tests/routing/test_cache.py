@@ -159,6 +159,77 @@ def test_tampered_certificate_is_a_miss(tmp_path, fabric, result):
     assert _counter_value("routing_cert_invalid_total") == i0 + 1
 
 
+def _age(cache_dir, key, seconds):
+    """Push an entry's recency ``seconds`` into the past."""
+    import os
+
+    npz = cache_dir / f"{key}.npz"
+    past = npz.stat().st_mtime - seconds
+    os.utime(npz, (past, past))
+
+
+def test_invalid_bounds_rejected(tmp_path):
+    with pytest.raises(ValueError):
+        RoutingCache(tmp_path, max_entries=0)
+    with pytest.raises(ValueError):
+        RoutingCache(tmp_path, max_bytes=0)
+
+
+def test_max_entries_evicts_least_recently_used(tmp_path, fabric, result):
+    cache = RoutingCache(tmp_path, max_entries=2)
+    e0 = _counter_value("routing_cache_evicted_total")
+    k1 = cache.store(fabric, "dfsssp", {"tag": 1}, result)
+    _age(tmp_path, k1, 60)
+    k2 = cache.store(fabric, "dfsssp", {"tag": 2}, result)
+    _age(tmp_path, k2, 30)
+    k3 = cache.store(fabric, "dfsssp", {"tag": 3}, result)
+    # oldest entry (tag=1) is evicted, all three sidecar files included
+    assert cache.load(fabric, "dfsssp", {"tag": 1}) is None
+    assert not (tmp_path / f"{k1}.npz").exists()
+    assert not (tmp_path / f"{k1}.meta.json").exists()
+    assert not (tmp_path / f"{k1}.cert.json").exists()
+    assert cache.load(fabric, "dfsssp", {"tag": 2}) is not None
+    assert cache.load(fabric, "dfsssp", {"tag": 3}) is not None
+    assert len(cache.entries()) == 2
+    assert _counter_value("routing_cache_evicted_total") == e0 + 1
+    assert k3 != k1
+
+
+def test_hit_refreshes_recency(tmp_path, fabric, result):
+    cache = RoutingCache(tmp_path, max_entries=2)
+    k1 = cache.store(fabric, "dfsssp", {"tag": 1}, result)
+    _age(tmp_path, k1, 60)
+    k2 = cache.store(fabric, "dfsssp", {"tag": 2}, result)
+    _age(tmp_path, k2, 30)
+    # a hit touches tag=1, making tag=2 the LRU entry
+    assert cache.load(fabric, "dfsssp", {"tag": 1}) is not None
+    cache.store(fabric, "dfsssp", {"tag": 3}, result)
+    assert cache.load(fabric, "dfsssp", {"tag": 1}) is not None
+    assert cache.load(fabric, "dfsssp", {"tag": 2}) is None
+    assert len(cache.entries()) == 2
+
+
+def test_max_bytes_never_evicts_just_stored_entry(tmp_path, fabric, result):
+    # a 1-byte budget is always exceeded, but the entry being stored is
+    # exempt from its own eviction round — the cache degrades to "keep
+    # only the newest entry" rather than thrashing to empty
+    cache = RoutingCache(tmp_path, max_bytes=1)
+    k1 = cache.store(fabric, "dfsssp", {"tag": 1}, result)
+    assert cache.load(fabric, "dfsssp", {"tag": 1}) is not None
+    _age(tmp_path, k1, 60)
+    cache.store(fabric, "dfsssp", {"tag": 2}, result)
+    assert cache.load(fabric, "dfsssp", {"tag": 1}) is None
+    assert cache.load(fabric, "dfsssp", {"tag": 2}) is not None
+    assert len(cache.entries()) == 1
+
+
+def test_unbounded_cache_never_evicts(tmp_path, fabric, result):
+    cache = RoutingCache(tmp_path)
+    for tag in range(5):
+        cache.store(fabric, "dfsssp", {"tag": tag}, result)
+    assert len(cache.entries()) == 5
+
+
 def test_unlayered_results_need_no_certificate(tmp_path, fabric):
     cache = RoutingCache(tmp_path)
     result = make_engine("sssp").route(fabric)

@@ -121,8 +121,9 @@ def test_load_missing_store_raises(tmp_path):
 
 
 def test_corrupt_state_json_names_file(tmp_path, fabric):
-    sup = RoutingSupervisor(fabric, policy=FAST, checkpoint_dir=tmp_path / "ckpt")
-    sup.checkpoint()
+    # Only one checkpoint exists (the constructor's), so there is no
+    # older version to fall back to: the original error propagates.
+    RoutingSupervisor(fabric, policy=FAST, checkpoint_dir=tmp_path / "ckpt")
     store = CheckpointStore(tmp_path / "ckpt")
     state_file = store.root / store._name(store.latest_version()) / "state.json"
     state_file.write_text("{ truncated")
@@ -139,8 +140,7 @@ def test_corrupt_current_pointer(tmp_path, fabric):
 
 
 def test_missing_state_keys_rejected(tmp_path, fabric):
-    sup = RoutingSupervisor(fabric, policy=FAST, checkpoint_dir=tmp_path / "ckpt")
-    sup.checkpoint()
+    RoutingSupervisor(fabric, policy=FAST, checkpoint_dir=tmp_path / "ckpt")
     store = CheckpointStore(tmp_path / "ckpt")
     state_file = store.root / store._name(store.latest_version()) / "state.json"
     data = json.loads(state_file.read_text())
@@ -155,3 +155,65 @@ def test_no_stale_staging_dirs_left(tmp_path, fabric):
     _run_events(sup, fabric, 3)
     leftovers = [p for p in (tmp_path / "ckpt").iterdir() if p.name.startswith(".")]
     assert leftovers == []
+
+
+# ----------------------------------------------------------------------
+# Fallback to an older checkpoint when CURRENT's version is damaged.
+
+
+def _two_checkpoints(tmp_path, fabric):
+    sup = RoutingSupervisor(fabric, policy=FAST, checkpoint_dir=tmp_path / "ckpt")
+    sup.checkpoint()
+    store = CheckpointStore(tmp_path / "ckpt")
+    return sup, store, store.latest_version()
+
+
+def test_fallback_to_older_on_corrupt_current(tmp_path, fabric):
+    from repro.obs.recorder import FlightRecorder, use_recorder
+
+    _, store, latest = _two_checkpoints(tmp_path, fabric)
+    assert len(store.complete_versions()) == 2
+    state_file = store.root / store._name(latest) / "state.json"
+    state_file.write_text("{ truncated")
+
+    flight = FlightRecorder()
+    with use_recorder(flight):
+        ckpt = store.load()
+    assert ckpt.version == latest - 1
+    # The damaged directory is gone so the version number can be reissued.
+    assert not (store.root / store._name(latest)).exists()
+    events = [e for e in flight.snapshot() if e["kind"] == "checkpoint_fallback"]
+    assert len(events) == 1
+    assert events[0]["failed_version"] == latest
+    assert events[0]["fallback_version"] == latest - 1
+
+
+def test_fallback_on_missing_current_dir(tmp_path, fabric):
+    import shutil
+
+    _, store, latest = _two_checkpoints(tmp_path, fabric)
+    shutil.rmtree(store.root / store._name(latest))
+    assert store.load().version == latest - 1
+
+
+def test_explicit_version_never_falls_back(tmp_path, fabric):
+    _, store, latest = _two_checkpoints(tmp_path, fabric)
+    state_file = store.root / store._name(latest) / "state.json"
+    state_file.write_text("{ truncated")
+    with pytest.raises(CheckpointError):
+        store.load(version=latest)
+
+
+def test_supervisor_restores_and_checkpoints_after_fallback(tmp_path, fabric):
+    """End-to-end: restore survives a damaged CURRENT checkpoint, and the
+    resumed supervisor can checkpoint again (the damaged version number is
+    reissued, not collided with)."""
+    import shutil
+
+    _, store, latest = _two_checkpoints(tmp_path, fabric)
+    shutil.rmtree(store.root / store._name(latest))
+
+    restored = RoutingSupervisor.restore(tmp_path / "ckpt")
+    assert restored.serving().version == latest - 1
+    restored.checkpoint()
+    assert store.latest_version() == latest

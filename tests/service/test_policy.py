@@ -103,6 +103,61 @@ def test_breaker_validation():
         CircuitBreaker(threshold=0)
 
 
+def test_breaker_half_open_admits_single_probe():
+    # Interleaved request batches must not stampede a recovering shard:
+    # only ONE request claims the half-open probe, the rest are rejected
+    # until the probe resolves.
+    clock = FakeClock()
+    br = CircuitBreaker(threshold=1, cooldown_s=10.0, clock=clock)
+    br.record_failure()
+    clock.advance(10.0)
+    assert br.allow()  # first caller claims the probe
+    assert br.state == HALF_OPEN and br.probing
+    assert not br.allow()  # concurrent callers rejected while it is in flight
+    assert not br.allow()
+    br.record_success()  # probe resolves: breaker closes, traffic resumes
+    assert br.state == CLOSED and not br.probing
+    assert br.allow() and br.allow()
+
+
+def test_breaker_half_open_probe_failure_releases_claim():
+    clock = FakeClock()
+    br = CircuitBreaker(threshold=1, cooldown_s=10.0, clock=clock)
+    br.record_failure()
+    clock.advance(10.0)
+    assert br.allow()
+    br.record_failure()  # probe failed: back to OPEN, claim released
+    assert br.state == OPEN and not br.probing
+    assert not br.allow()
+    clock.advance(10.0)
+    assert br.allow()  # next cooldown grants a fresh probe
+
+
+def test_breaker_half_open_single_probe_under_threads():
+    import threading
+
+    clock = FakeClock()
+    br = CircuitBreaker(threshold=1, cooldown_s=1.0, clock=clock)
+    br.record_failure()
+    clock.advance(1.0)
+    admitted = []
+    barrier = threading.Barrier(8)
+
+    def worker():
+        barrier.wait()
+        if br.allow():
+            admitted.append(threading.get_ident())
+
+    threads = [threading.Thread(target=worker) for _ in range(8)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert len(admitted) == 1  # exactly one probe across the whole batch
+    br.record_success()
+    assert br.state == CLOSED
+
+
 # ----------------------------------------------------------------------
 # service policy
 # ----------------------------------------------------------------------
