@@ -10,6 +10,10 @@ Subcommands mirror the OpenSM-era workflow on the fabric model:
 * ``throughput`` — open-loop saturation sweep (offered vs delivered load);
 * ``bisection``  — theoretical bisection width of the fabric;
 * ``orcs``       — ORCS-style named pattern / metric evaluation;
+* ``des``        — packet-level discrete-event scenario sweep: AI-collective
+  workloads (AllReduce, all-to-all, TP+PP, mice probes) over any engine set,
+  with FCT percentiles, queue-occupancy stats and optional mid-run fault
+  injection (see ``docs/des.md``);
 * ``chaos``      — fault-injection soak (degrade/repair/verify loop);
 * ``serve``      — supervised service-mode soak (deadlines, backoff,
   last-known-good serving, checkpoint/restore; see ``docs/service.md``);
@@ -47,6 +51,8 @@ Examples::
         --engine dfsssp --trace trace.jsonl --metrics metrics.json
     repro-route chaos --family random --switches 12 --links 26 --events 200 \
         --chaos-seed 42 --out chaos.json
+    repro-route des --scenario scenario.json --out report.json \
+        --trace des-trace.jsonl --metrics des-metrics.json
     repro-route serve --family random --switches 12 --links 26 --events 200 \
         --chaos-seed 7 --checkpoint-dir ckpt --out service.json
     repro-route serve --restore --checkpoint-dir ckpt --out service.json
@@ -483,6 +489,72 @@ def cmd_bisection(args) -> int:
     print(f"terminal split    : {est.terminals_a} | {est.terminals_b}")
     print(f"per-pair bandwidth: {est.per_pair_bandwidth:.3f} of link speed")
     return 0
+
+
+def cmd_des(args) -> int:
+    from repro.des import run_scenario
+
+    if args.scenario == "-":
+        raw = json.load(sys.stdin)
+    else:
+        with open(args.scenario) as fh:
+            raw = json.load(fh)
+    scenarios = raw if isinstance(raw, list) else [raw]
+    reports = [run_scenario(spec) for spec in scenarios]
+    payload = [r.to_dict() for r in reports]
+    out_doc = payload[0] if not isinstance(raw, list) else payload
+    if args.out:
+        atomic_write_text(args.out, json.dumps(out_doc, indent=2) + "\n")
+    if args.events_out:
+        events = {
+            r.scenario["name"]: {
+                name: outcome.log
+                for name, outcome in r.outcomes.items()
+                if outcome.log is not None
+            }
+            for r in reports
+        }
+        atomic_write_text(args.events_out, json.dumps(events, indent=1) + "\n")
+    if args.json:
+        print(json.dumps(out_doc, indent=2))
+    else:
+        for report in reports:
+            spec = report.scenario
+            table = Table(
+                ["engine", "status", "flows", "fct p50 [us]", "fct p99 [us]",
+                 "Gbytes/s", "drops", "lost", "max queue", "layers"],
+                title=f"des: {spec['name']} ({spec['workload']['kind']}, "
+                f"{report.fabric_summary['terminals']} terminals)",
+            )
+            for name in spec["engines"]:
+                res = report.results[name]
+                if "error" in res:
+                    table.add_row([name, "error", res["error"], "", "", "", "", "", "", ""])
+                    continue
+                fct = res["fct"]
+                table.add_row([
+                    name,
+                    res["status"],
+                    f"{res['flows_completed']}/{res['flows_released']}",
+                    round(fct["p50"] * 1e6, 3) if fct["p50"] is not None else "-",
+                    round(fct["p99"] * 1e6, 3) if fct["p99"] is not None else "-",
+                    round(res["throughput_bytes_per_s"] / 1e9, 3),
+                    res["dropped"],
+                    res["lost"],
+                    res["queues"]["max_occupancy"],
+                    res["layers"],
+                ])
+            print(table.render())
+            for name in spec["engines"]:
+                for note in report.results[name].get("faults", []):
+                    print(f"  fault[{name}]: {note}")
+            if args.out:
+                print(f"report saved to {args.out}")
+    ok = all(
+        any("error" not in res for res in report.results.values())
+        for report in reports
+    )
+    return 0 if ok else 1
 
 
 def cmd_chaos(args) -> int:
@@ -1016,6 +1088,24 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--packets", type=int, default=8)
     p.add_argument("--packet-length", type=int, default=1, dest="packet_length")
     p.set_defaults(func=cmd_deadlock)
+
+    p = sub.add_parser(
+        "des",
+        help="packet-level DES scenario sweep (FCT percentiles, queue "
+        "occupancy, faults mid-collective; see docs/des.md)",
+    )
+    p.add_argument(
+        "--scenario", required=True, metavar="FILE",
+        help="scenario JSON: one dict or a list of dicts ('-' = stdin)",
+    )
+    p.add_argument("--out", metavar="FILE", help="write the JSON report here")
+    p.add_argument(
+        "--events-out", metavar="FILE",
+        help="write recorded event logs here (needs \"record_events\": true)",
+    )
+    p.add_argument("--json", action="store_true", help="print the JSON report")
+    _add_obs_args(p)
+    p.set_defaults(func=cmd_des)
 
     p = sub.add_parser("chaos", help="fault-injection soak (degrade/repair/verify)")
     _add_topo_args(p)

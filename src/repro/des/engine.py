@@ -1,0 +1,756 @@
+"""Deterministic packet-level discrete-event engine.
+
+Model
+-----
+* **Event queue** — a binary heap of ``(time, seq)``-ordered events where
+  ``seq`` is a monotonically increasing insertion counter. Ties in time
+  are therefore broken by insertion order, which is itself a pure
+  function of the (seeded) inputs: the same scenario and seed replay the
+  exact same event sequence, bit for bit (``DesOutcome.log_hash`` pins
+  it).
+* **Forwarding** — hop-by-hop against the *current* forwarding tables,
+  exactly like a switch consulting its LFT: the next output channel is
+  looked up when a packet reaches the head of a queue, so a mid-run
+  reroute redirects every packet that has not yet crossed the repaired
+  region. Virtual lanes follow InfiniBand SL→VL semantics: a packet's
+  lane is fixed at injection from the routing's layer assignment.
+* **Queues and backpressure** — every directed channel has one output
+  FIFO per virtual lane. Switch queues hold at most ``buffer_packets``
+  packets (``None`` = infinite); a packet may only start serializing
+  when a slot in its *next* queue has been reserved (credit-style
+  backpressure), so finite buffers propagate congestion upstream and a
+  cyclic buffer dependency wedges — observable as ``status ==
+  "deadlock"``. Terminal (NIC) queues are unbounded.
+* **Links** — serializing a packet occupies its channel for
+  ``bytes / bandwidth`` seconds; arrival happens one ``propagation``
+  later. Both come from :class:`LinkParams`.
+* **Faults** — each :class:`FaultSpec` fires a seeded
+  :class:`repro.resilience.FaultInjector` step at a DES timestamp and
+  reroutes through the engine's repair path
+  (:meth:`~repro.routing.base.RoutingEngine.reroute`). Packets stored
+  in, or in flight on, a dead element are dropped and retransmitted
+  from the source after ``retransmit_delay_s``.
+
+The engine emits its counters, FCT/latency histograms and queue
+occupancy into :mod:`repro.obs` under ``des_*`` names, inside a
+``des.run`` tracing span — see ``docs/observability.md``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import heapq
+import math
+from collections import deque
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.exceptions import ReproError, SimulationError
+from repro.obs import COUNT_BUCKETS, DURATION_BUCKETS, get_registry, span
+from repro.routing.base import RoutingEngine, RoutingResult
+from repro.utils.prng import spawn_rngs
+
+# NOTE: repro.resilience is imported lazily inside the fault handler —
+# importing it at module level would enter the deadlock/network/routing
+# import cycle through the wrong door when repro.des is imported first.
+
+# Event kinds (heap payload discriminators; never compared by heapq —
+# the (time, seq) prefix is always unique).
+_E_FLOW = "flow"
+_E_TRY = "try"
+_E_ARRIVE = "arrive"
+_E_FAULT = "fault"
+_E_RETX = "retx"
+_E_FREE = "free"  # a channel's serializer went idle
+
+
+@dataclass(frozen=True)
+class LinkParams:
+    """Physical link model shared by every channel."""
+
+    bandwidth_bytes_per_s: float = 12.5e9  # 100 Gb/s
+    propagation_s: float = 0.5e-6
+    mtu_bytes: int = 4096
+
+    def __post_init__(self):
+        if self.bandwidth_bytes_per_s <= 0:
+            raise SimulationError("link bandwidth must be positive")
+        if self.propagation_s < 0:
+            raise SimulationError("propagation delay cannot be negative")
+        if self.mtu_bytes < 1:
+            raise SimulationError("mtu must be >= 1 byte")
+
+    def serialization_s(self, nbytes: int) -> float:
+        return nbytes / self.bandwidth_bytes_per_s
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """Inject ``count`` seeded fault events at DES time ``at_s``."""
+
+    at_s: float
+    count: int = 1
+
+
+@dataclass
+class _Packet:
+    pid: int
+    fid: int
+    src: int
+    dst: int
+    nbytes: int
+    vc: int
+    born: float
+    attempts: int = 0
+    hops: int = 0
+
+
+@dataclass
+class QueueStats:
+    """Occupancy statistics of one ``(channel, vc)`` output queue."""
+
+    channel: int
+    vc: int
+    max_occupancy: int = 0
+    _integral: float = 0.0
+    _last_t: float = 0.0
+    _occ: int = 0
+
+    def change(self, delta: int, t: float) -> None:
+        self._integral += self._occ * (t - self._last_t)
+        self._last_t = t
+        self._occ += delta
+        if self._occ > self.max_occupancy:
+            self.max_occupancy = self._occ
+
+    def finalize(self, t: float) -> None:
+        self.change(0, t)
+
+    @property
+    def occupancy(self) -> int:
+        return self._occ
+
+    def mean_occupancy(self, duration: float) -> float:
+        return self._integral / duration if duration > 0 else 0.0
+
+
+@dataclass
+class _FlowState:
+    flow: object  # repro.des.workloads.Flow
+    released_at: float
+    packets_total: int
+    delivered: int = 0
+    lost: int = 0
+    completed_at: float | None = None
+
+
+@dataclass
+class DesOutcome:
+    """Everything one :meth:`PacketDES.run` learned."""
+
+    status: str  # "completed" | "incomplete" | "deadlock" | "horizon"
+    time: float
+    events_processed: int
+    injected: int
+    delivered: int
+    dropped: int
+    retransmitted: int
+    lost: int
+    in_network: int
+    flows_released: int
+    flows_completed: int
+    bytes_delivered: int
+    makespan_s: float
+    fct_seconds: dict[int, float]
+    packet_latency_s: list[float]
+    link_packets: np.ndarray
+    queue_stats: list[QueueStats]
+    faults: list[str] = field(default_factory=list)
+    reroutes: list[str] = field(default_factory=list)
+    log: list[tuple] | None = None
+    log_hash: str = ""
+    timelines: dict[tuple[int, int], list[tuple[float, int]]] | None = None
+
+    @property
+    def throughput_bytes_per_s(self) -> float:
+        return self.bytes_delivered / self.makespan_s if self.makespan_s > 0 else 0.0
+
+    def fct_percentiles(self, qs=(50, 90, 99, 100)) -> dict[str, float]:
+        values = sorted(self.fct_seconds.values())
+        if not values:
+            return {f"p{q}": float("nan") for q in qs}
+        arr = np.array(values)
+        return {f"p{q}": float(np.percentile(arr, q)) for q in qs}
+
+    def queue_summary(self, top: int = 5) -> dict:
+        duration = max(self.makespan_s, 1e-30)
+        occupied = [q for q in self.queue_stats if q.max_occupancy > 0]
+        hot = sorted(occupied, key=lambda q: (-q.max_occupancy, q.channel, q.vc))
+        return {
+            "queues_used": len(occupied),
+            "max_occupancy": max((q.max_occupancy for q in occupied), default=0),
+            "mean_occupancy": (
+                float(np.mean([q.mean_occupancy(duration) for q in occupied]))
+                if occupied
+                else 0.0
+            ),
+            "hottest": [
+                {
+                    "channel": q.channel,
+                    "vc": q.vc,
+                    "max": q.max_occupancy,
+                    "mean": round(q.mean_occupancy(duration), 6),
+                }
+                for q in hot[:top]
+            ],
+        }
+
+    def summary(self) -> dict:
+        fct = self.fct_percentiles()
+        return {
+            "status": self.status,
+            "time_s": self.time,
+            "events": self.events_processed,
+            "injected": self.injected,
+            "delivered": self.delivered,
+            "dropped": self.dropped,
+            "retransmitted": self.retransmitted,
+            "lost": self.lost,
+            "in_network": self.in_network,
+            "flows_released": self.flows_released,
+            "flows_completed": self.flows_completed,
+            "bytes_delivered": self.bytes_delivered,
+            "makespan_s": self.makespan_s,
+            "throughput_bytes_per_s": self.throughput_bytes_per_s,
+            "fct": {k: (None if math.isnan(v) else v) for k, v in fct.items()},
+            "queues": self.queue_summary(),
+            "faults": list(self.faults),
+            "reroutes": list(self.reroutes),
+            "log_hash": self.log_hash,
+        }
+
+
+class PacketDES:
+    """Packet-level DES over one routing result.
+
+    Parameters
+    ----------
+    result:
+        The :class:`~repro.routing.base.RoutingResult` to forward with
+        (tables + optional layer assignment for virtual lanes).
+    engine:
+        The :class:`~repro.routing.base.RoutingEngine` that produced it;
+        required only when ``faults`` are injected (it drives the repair
+        path). ``None`` forbids faults.
+    link:
+        :class:`LinkParams`; defaults to 100 Gb/s, 0.5 µs, 4 KiB MTU.
+    buffer_packets:
+        Per-``(channel, vc)`` switch-queue capacity in packets;
+        ``None`` = infinite buffers (used by the differential tests).
+    seed:
+        Seeds the fault injector stream (and nothing else — the engine
+        itself is deterministic).
+    """
+
+    def __init__(
+        self,
+        result: RoutingResult,
+        *,
+        engine: RoutingEngine | None = None,
+        link: LinkParams | None = None,
+        buffer_packets: int | None = 16,
+        seed=None,
+        retransmit_delay_s: float | None = None,
+        max_retransmits: int = 16,
+        p_switch_down: float = 0.0,
+        record_events: bool = False,
+        record_timelines: bool = False,
+    ):
+        if buffer_packets is not None and buffer_packets < 1:
+            raise SimulationError("buffer_packets must be >= 1 (or None for infinite)")
+        self.result = result
+        self.engine = engine
+        self.fabric = result.tables.fabric
+        self.link = link if link is not None else LinkParams()
+        self.buffer_packets = buffer_packets
+        self.seed = seed
+        self.retransmit_delay_s = (
+            retransmit_delay_s
+            if retransmit_delay_s is not None
+            else 8 * self.link.propagation_s + self.link.serialization_s(self.link.mtu_bytes)
+        )
+        self.max_retransmits = max_retransmits
+        self.p_switch_down = p_switch_down
+        self.record_events = record_events
+        self.record_timelines = record_timelines
+
+    # ------------------------------------------------------------------
+    # Routing view (healthy-fabric ids throughout; translated after faults)
+    # ------------------------------------------------------------------
+    def _reset_routing_view(self) -> None:
+        self._cur_result = self.result
+        self._cur_state = None  # DegradedFabric once a fault fired
+        self._node_h2c: np.ndarray | None = None  # healthy node -> current node
+        self._chan_c2h: np.ndarray | None = None  # current channel -> healthy channel
+        self._alive = np.ones(self.fabric.num_channels, dtype=bool)
+
+    def _adopt_state(self, state) -> None:
+        """Install a cumulative degradation as the current routing frame."""
+        self._cur_state = state
+        self._node_h2c = state.node_map
+        cur = state.fabric
+        c2h = np.full(cur.num_channels, -1, dtype=np.int64)
+        healthy_alive = np.flatnonzero(state.channel_map >= 0)
+        c2h[state.channel_map[healthy_alive]] = healthy_alive
+        self._chan_c2h = c2h
+        alive = np.zeros(self.fabric.num_channels, dtype=bool)
+        alive[healthy_alive] = True
+        self._alive = alive
+
+    def _next_hop(self, node: int, dst: int) -> int:
+        """Current output channel (healthy id) at ``node`` toward ``dst``."""
+        if self._cur_state is None:
+            c = int(self.result.tables.next_hop(node, dst))
+        else:
+            cn = int(self._node_h2c[node])
+            cd = int(self._node_h2c[dst])
+            if cn < 0 or cd < 0:
+                raise SimulationError(
+                    f"node {node if cn < 0 else dst} no longer exists after faults"
+                )
+            c = int(self._cur_result.tables.next_hop(cn, cd))
+            if c >= 0:
+                c = int(self._chan_c2h[c])
+        if c < 0:
+            raise SimulationError(f"no route from node {node} to terminal {dst}")
+        return c
+
+    def _vc_for(self, src: int, dst: int) -> int:
+        layered = self._cur_result.layered
+        if layered is None:
+            return 0
+        if self._cur_state is None:
+            return int(layered.layer_for(src, dst))
+        return int(layered.layer_for(int(self._node_h2c[src]), int(self._node_h2c[dst])))
+
+    # ------------------------------------------------------------------
+    # Run
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        workload,
+        horizon_s: float | None = None,
+        faults: tuple[FaultSpec, ...] | list[FaultSpec] = (),
+        max_events: int = 5_000_000,
+    ) -> DesOutcome:
+        """Simulate ``workload`` until it drains, wedges, or ``horizon_s``."""
+        if faults and self.engine is None:
+            raise SimulationError("fault injection requires the routing engine")
+        self._reset_routing_view()
+
+        fab = self.fabric
+        chan_dst = fab.channels.dst
+        link = self.link
+        cap = self.buffer_packets
+
+        # Mutable run state.
+        heap: list[tuple] = []
+        self._heap = heap
+        self._seq = 0
+        queues: dict[tuple[int, int], deque] = {}
+        occ: dict[tuple[int, int], int] = {}
+        waiters: dict[tuple[int, int], set] = {}
+        busy: dict[int, float] = {}
+        busy_blocked: dict[int, set] = {}  # channel -> vc-queues waiting for it
+        qstats: dict[tuple[int, int], QueueStats] = {}
+        timelines: dict[tuple[int, int], list] = {} if self.record_timelines else None
+        link_packets = np.zeros(fab.num_channels, dtype=np.int64)
+        flows: dict[int, _FlowState] = {}
+        log: list[tuple] | None = [] if self.record_events else None
+        digest = hashlib.sha256()
+        fault_notes: list[str] = []
+        reroute_notes: list[str] = []
+
+        stats = {
+            "injected": 0, "delivered": 0, "dropped": 0, "retx": 0, "lost": 0,
+            "in_network": 0, "flows_released": 0, "flows_completed": 0,
+            "bytes_delivered": 0, "first_inject": None, "last_delivery": 0.0,
+            "latencies": [],
+        }
+
+        reg = get_registry()
+        m_inj = reg.counter("des_packets_injected", "packets entering the DES network")
+        m_del = reg.counter("des_packets_delivered", "packets reaching their terminal")
+        m_drop = reg.counter("des_packets_dropped", "packets lost to dead links/buffers")
+        m_retx = reg.counter("des_packets_retransmitted", "source retransmissions after drops")
+        m_flows = reg.counter("des_flows_completed", "flows fully delivered")
+        m_events = reg.counter("des_events_processed", "DES events handled")
+        m_faults = reg.counter("des_faults_injected", "fault events fired inside the DES")
+        m_reroutes = reg.counter("des_reroutes", "routing recomputations triggered mid-run")
+        h_fct = reg.histogram(
+            "des_fct_seconds", "flow completion times", buckets=DURATION_BUCKETS
+        )
+        h_lat = reg.histogram(
+            "des_packet_latency_seconds", "injection-to-delivery packet latency",
+            buckets=DURATION_BUCKETS,
+        )
+        h_occ = reg.histogram(
+            "des_queue_occupancy", "queue occupancy sampled at each reservation",
+            buckets=COUNT_BUCKETS,
+        )
+
+        pid_counter = [0]
+
+        def record(t: float, kind: str, *args) -> None:
+            entry = (round(t, 12), kind, *args)
+            digest.update(repr(entry).encode())
+            if log is not None:
+                log.append(entry)
+
+        def push(t: float, kind: str, payload) -> None:
+            self._seq += 1
+            heapq.heappush(heap, (t, self._seq, kind, payload))
+
+        def stat_for(key) -> QueueStats:
+            st = qstats.get(key)
+            if st is None:
+                st = qstats[key] = QueueStats(channel=key[0], vc=key[1])
+            return st
+
+        def occ_change(key, delta: int, t: float) -> None:
+            occ[key] = occ.get(key, 0) + delta
+            stat_for(key).change(delta, t)
+            if timelines is not None:
+                timelines.setdefault(key, []).append((t, occ[key]))
+            if delta < 0:
+                for w in sorted(waiters.pop(key, ())):
+                    push(t, _E_TRY, w)
+
+        def space(key) -> bool:
+            if cap is None:
+                return True
+            return occ.get(key, 0) < cap
+
+        # -------------------------- handlers --------------------------
+        def release_flow(t: float, flow) -> None:
+            if fab.term_index[flow.src] < 0 or fab.term_index[flow.dst] < 0:
+                raise SimulationError(
+                    f"flow {flow.fid}: ({flow.src}, {flow.dst}) references a non-terminal"
+                )
+            if flow.src == flow.dst:
+                raise SimulationError(f"flow {flow.fid} is a self-flow")
+            state = _FlowState(
+                flow=flow,
+                released_at=t,
+                packets_total=max(1, math.ceil(flow.size_bytes / link.mtu_bytes)),
+            )
+            flows[flow.fid] = state
+            stats["flows_released"] += 1
+            record(t, "start", flow.fid, flow.src, flow.dst, flow.size_bytes)
+            vc = self._vc_for(flow.src, flow.dst)
+            c0 = self._next_hop(flow.src, flow.dst)
+            key = (c0, vc)
+            remaining = flow.size_bytes
+            q = queues.setdefault(key, deque())
+            for _ in range(state.packets_total):
+                nbytes = min(link.mtu_bytes, remaining) or link.mtu_bytes
+                remaining -= nbytes
+                pid_counter[0] += 1
+                pkt = _Packet(
+                    pid=pid_counter[0], fid=flow.fid, src=flow.src, dst=flow.dst,
+                    nbytes=nbytes, vc=vc, born=t,
+                )
+                q.append(pkt)
+                occ_change(key, +1, t)
+                stats["injected"] += 1
+                stats["in_network"] += 1
+                m_inj.inc()
+            if stats["first_inject"] is None:
+                stats["first_inject"] = t
+            push(t, _E_TRY, key)
+
+        def inject_retx(t: float, payload) -> None:
+            flow, nbytes, attempts = payload
+            vc = self._vc_for(flow.src, flow.dst)
+            c0 = self._next_hop(flow.src, flow.dst)
+            key = (c0, vc)
+            pid_counter[0] += 1
+            pkt = _Packet(
+                pid=pid_counter[0], fid=flow.fid, src=flow.src, dst=flow.dst,
+                nbytes=nbytes, vc=vc, born=t, attempts=attempts,
+            )
+            queues.setdefault(key, deque()).append(pkt)
+            occ_change(key, +1, t)
+            stats["injected"] += 1
+            stats["in_network"] += 1
+            m_inj.inc()
+            record(t, "retx", pkt.pid, flow.fid, attempts)
+            push(t, _E_TRY, key)
+
+        def drop_packet(t: float, pkt: _Packet, where: int, reason: str) -> None:
+            stats["dropped"] += 1
+            stats["in_network"] -= 1
+            m_drop.inc()
+            record(t, "drop", pkt.pid, where, reason)
+            state = flows[pkt.fid]
+            if pkt.attempts < self.max_retransmits:
+                stats["retx"] += 1
+                m_retx.inc()
+                push(
+                    t + self.retransmit_delay_s, _E_RETX,
+                    (state.flow, pkt.nbytes, pkt.attempts + 1),
+                )
+            else:
+                state.lost += 1
+                stats["lost"] += 1
+
+        def deliver(t: float, pkt: _Packet) -> None:
+            stats["delivered"] += 1
+            stats["in_network"] -= 1
+            stats["bytes_delivered"] += pkt.nbytes
+            stats["last_delivery"] = t
+            stats["latencies"].append(t - pkt.born)
+            m_del.inc()
+            h_lat.observe(t - pkt.born)
+            record(t, "deliver", pkt.pid, pkt.fid)
+            state = flows[pkt.fid]
+            state.delivered += 1
+            if state.delivered == state.packets_total:
+                state.completed_at = t
+                stats["flows_completed"] += 1
+                m_flows.inc()
+                h_fct.observe(t - state.released_at)
+                record(t, "flow_done", pkt.fid)
+                for new_flow in workload.on_complete(state.flow, t):
+                    push(max(t, new_flow.start), _E_FLOW, new_flow)
+
+        def try_send(t: float, key) -> None:
+            q = queues.get(key)
+            if not q:
+                return
+            c, _vc = key
+            if busy.get(c, 0.0) > t:
+                # The serializer is taken; a FREE event at busy-end will
+                # re-schedule every vc-queue registered here.
+                busy_blocked.setdefault(c, set()).add(key)
+                return
+            pkt = q[0]
+            node_after = int(chan_dst[c])
+            if node_after == pkt.dst:
+                next_key = None
+            else:
+                nxt = self._next_hop(node_after, pkt.dst)
+                next_key = (nxt, pkt.vc)
+                if not space(next_key):
+                    waiters.setdefault(next_key, set()).add(key)
+                    return
+                occ_change(next_key, +1, t)
+                h_occ.observe(occ[next_key])
+            q.popleft()
+            occ_change(key, -1, t)
+            pkt.hops += 1
+            if pkt.hops > fab.num_nodes:
+                raise SimulationError(
+                    f"packet {pkt.pid} exceeded {fab.num_nodes} hops toward terminal "
+                    f"{pkt.dst}: cyclic forwarding tables"
+                )
+            ser = link.serialization_s(pkt.nbytes)
+            busy[c] = t + ser
+            link_packets[c] += 1
+            record(t, "send", pkt.pid, c)
+            push(t + ser + link.propagation_s, _E_ARRIVE, (pkt, c, next_key))
+            busy_blocked.setdefault(c, set()).add(key)
+            push(t + ser, _E_FREE, c)
+
+        def channel_free(t: float, c: int) -> None:
+            # Wake every vc-queue that found the serializer busy. The wake
+            # order rotates with the channel's send count so no virtual
+            # lane starves under saturation (same trick as flitsim's
+            # rotated service order).
+            blocked = sorted(busy_blocked.pop(c, ()))
+            if not blocked:
+                return
+            rot = int(link_packets[c]) % len(blocked)
+            for w in blocked[rot:] + blocked[:rot]:
+                push(t, _E_TRY, w)
+
+        def arrive(t: float, payload) -> None:
+            pkt, crossed, next_key = payload
+            if not self._alive[crossed]:
+                # The wire died while the packet was on it.
+                if next_key is not None and self._alive[next_key[0]]:
+                    occ_change(next_key, -1, t)  # release the reserved slot
+                drop_packet(t, pkt, crossed, "link_died_in_flight")
+                return
+            record(t, "arrive", pkt.pid, crossed)
+            if next_key is None:
+                deliver(t, pkt)
+                return
+            if not self._alive[next_key[0]]:
+                # The reserved next hop died after the send decision:
+                # re-resolve against the repaired tables.
+                node = int(chan_dst[crossed])
+                try:
+                    nxt = self._next_hop(node, pkt.dst)
+                except SimulationError:
+                    drop_packet(t, pkt, next_key[0], "no_route_after_fault")
+                    return
+                next_key = (nxt, pkt.vc)
+                if not space(next_key):
+                    drop_packet(t, pkt, nxt, "no_buffer_after_reroute")
+                    return
+                occ_change(next_key, +1, t)
+            queues.setdefault(next_key, deque()).append(pkt)
+            push(t, _E_TRY, next_key)
+
+        def inject_fault(t: float, spec: FaultSpec) -> None:
+            from repro.resilience.events import (
+                LINK_UP,
+                FaultInjector,
+                relative_degradation,
+            )
+
+            if self._injector is None:
+                rng = spawn_rngs(self.seed, 1)[0]
+                self._injector = FaultInjector(
+                    fab, seed=rng,
+                    p_switch_down=self.p_switch_down, p_link_up=0.0,
+                )
+            injector = self._injector
+            for _ in range(max(1, spec.count)):
+                prev = injector.current
+                stepped = injector.step()
+                if stepped is None:
+                    fault_notes.append("exhausted: no viable fault left")
+                    return
+                event, cur = stepped
+                detail = event.describe(fab)
+                fault_notes.append(detail)
+                m_faults.inc()
+                record(t, "fault", detail)
+                with span("des.fault", kind=event.kind, at=t):
+                    if event.kind == LINK_UP:
+                        new_result = self.engine.route(cur.fabric)
+                        action = "full"
+                    else:
+                        rel = relative_degradation(prev, cur)
+                        new_result = self.engine.reroute(self._cur_result, rel)
+                        action = "repair" if new_result.stats.get("repair") else "full"
+                self._cur_result = new_result
+                self._adopt_state(cur)
+                m_reroutes.inc()
+                reroute_notes.append(action)
+                record(t, "reroute", action)
+                self._purge_dead(t, queues, occ, waiters, qstats, drop_packet, push)
+
+        handlers = {
+            _E_FLOW: release_flow,
+            _E_TRY: try_send,
+            _E_ARRIVE: arrive,
+            _E_FAULT: inject_fault,
+            _E_RETX: inject_retx,
+            _E_FREE: channel_free,
+        }
+
+        # -------------------------- main loop --------------------------
+        self._injector = None
+        try:
+            for flow in workload.initial():
+                push(float(flow.start), _E_FLOW, flow)
+        except ReproError as err:
+            raise SimulationError(f"workload refused to start: {err}") from err
+        for spec in sorted(faults, key=lambda s: s.at_s):
+            push(float(spec.at_s), _E_FAULT, spec)
+
+        events = 0
+        now = 0.0
+        status = "completed"
+        with span(
+            "des.run", engine=self.result.tables.engine,
+            workload=getattr(workload, "name", type(workload).__name__),
+            buffers=cap if cap is not None else "inf",
+        ) as sp:
+            while heap:
+                t, _seq, kind, payload = heapq.heappop(heap)
+                if horizon_s is not None and t > horizon_s:
+                    status = "horizon"
+                    now = horizon_s
+                    break
+                now = t
+                events += 1
+                if events > max_events:
+                    raise SimulationError(
+                        f"DES exceeded {max_events} events (runaway scenario?)"
+                    )
+                handlers[kind](t, payload)
+            else:
+                if stats["in_network"] > 0:
+                    status = "deadlock"
+                elif stats["flows_completed"] < stats["flows_released"]:
+                    status = "incomplete"
+            sp.set_attr("status", status)
+            sp.set_attr("events", events)
+        m_events.inc(events)
+
+        for st in qstats.values():
+            st.finalize(now)
+        first = stats["first_inject"]
+        makespan = (
+            stats["last_delivery"] - first
+            if first is not None and stats["last_delivery"] > first
+            else 0.0
+        )
+        return DesOutcome(
+            status=status,
+            time=now,
+            events_processed=events,
+            injected=stats["injected"],
+            delivered=stats["delivered"],
+            dropped=stats["dropped"],
+            retransmitted=stats["retx"],
+            lost=stats["lost"],
+            in_network=stats["in_network"],
+            flows_released=stats["flows_released"],
+            flows_completed=stats["flows_completed"],
+            bytes_delivered=stats["bytes_delivered"],
+            makespan_s=makespan,
+            fct_seconds={
+                fid: st.completed_at - st.released_at
+                for fid, st in flows.items()
+                if st.completed_at is not None
+            },
+            packet_latency_s=stats["latencies"],
+            link_packets=link_packets,
+            queue_stats=sorted(qstats.values(), key=lambda q: (q.channel, q.vc)),
+            faults=fault_notes,
+            reroutes=reroute_notes,
+            log=log,
+            log_hash=digest.hexdigest(),
+            timelines=timelines,
+        )
+
+    # ------------------------------------------------------------------
+    def _purge_dead(self, t, queues, occ, waiters, qstats, drop_packet, push) -> None:
+        """Drop packets buffered on dead channels; wake blocked senders.
+
+        Queues on dead channels vanish with their link: their packets are
+        dropped (and retransmitted from the source), their occupancy and
+        waiter registrations are discarded, and every upstream queue that
+        was waiting for a credit from a dead queue is re-scheduled so its
+        head packet re-resolves against the repaired tables.
+        """
+        dead_keys = [key for key in queues if not self._alive[key[0]]]
+        for key in dead_keys:
+            for w in sorted(waiters.pop(key, ())):
+                push(t, _E_TRY, w)
+            for pkt in list(queues.pop(key)):
+                occ[key] = occ.get(key, 0) - 1
+                qstats[key].change(-1, t)
+                drop_packet(t, pkt, key[0], "queued_on_dead_link")
+        # Waiter sets may also reference dead queues among the *waiting*
+        # side; those keys were just purged above. Remaining waiters on
+        # live queues keep their registration.
+        for key in [k for k in waiters if not self._alive[k[0]]]:
+            for w in sorted(waiters.pop(key, ())):
+                push(t, _E_TRY, w)

@@ -40,6 +40,7 @@ from repro.obs import get_registry, span
 from repro.routing.base import LayeredRouting, RoutingTables
 from repro.routing.paths import PathSet, extract_paths
 from repro.simulator.patterns import Pattern, validate_pattern
+from repro.simulator.stepping import SteppingCore, build_route, waitfor_cycle
 
 
 def record_flit_metrics(
@@ -131,22 +132,10 @@ class FlitSimulator:
 
     # ------------------------------------------------------------------
     def _build_packets(self, pattern: Pattern, packets_per_flow: int) -> list[deque]:
-        fab = self.fabric
-        S = fab.num_switches
-        nc = self.tables.next_channel
-        chan_dst = fab.channels.dst
         sources: dict[int, deque] = {}
         pid = 0
         for src, dst in pattern:
-            t_idx = int(fab.term_index[dst])
-            inject = int(nc[src, t_idx])
-            if inject < 0:
-                raise SimulationError(f"no route from {src} to {dst}")
-            first_switch = int(chan_dst[inject])
-            rest = self.paths.path(t_idx * S + int(fab.switch_index[first_switch]))
-            route = np.empty(len(rest) + 1, dtype=np.int32)
-            route[0] = inject
-            route[1:] = rest
+            route = build_route(self.tables, self.paths, src, dst)
             vc = self.layered.layer_for(src, dst) if self.layered is not None else 0
             q = sources.setdefault(src, deque())
             for _ in range(packets_per_flow):
@@ -179,100 +168,44 @@ class FlitSimulator:
     def _simulate(
         self, source_queues: list[deque], total: int, max_cycles: int
     ) -> FlitSimOutcome:
-        chan_dst = self.fabric.channels.dst
-
-        # buffers[(channel, vc)] -> deque of packets, created on demand.
-        buffers: dict[tuple[int, int], deque] = {}
+        core = SteppingCore(
+            self.fabric.channels.dst, self.buffer_depth, self.packet_length
+        )
         delivered = 0
-        in_flight = 0
         injected = 0
-        stalls = 0
-
-        def space(key: tuple[int, int]) -> int:
-            q = buffers.get(key)
-            return self.buffer_depth - (len(q) if q else 0)
+        L = self.packet_length
 
         def finish(outcome: FlitSimOutcome) -> FlitSimOutcome:
-            record_flit_metrics(injected, delivered, stalls, outcome.deadlocked, L)
+            record_flit_metrics(injected, delivered, core.stalls, outcome.deadlocked, L)
             return outcome
 
-        busy_until: dict[int, int] = {}  # channel -> first free cycle
-        L = self.packet_length
         cycle = 0
         while cycle < max_cycles:
             cycle += 1
-            moved = 0
-
-            def channel_free(c: int) -> bool:
-                return busy_until.get(c, 0) <= cycle
 
             # 1. Deliveries: heads whose current channel ends at their dst.
-            for key in list(buffers):
-                q = buffers[key]
-                while q and int(chan_dst[q[0].channels[q[0].pos]]) == q[0].dst:
-                    q.popleft()
-                    delivered += 1
-                    in_flight -= 1
-                    moved += 1
-                if not q:
-                    del buffers[key]
+            moved = core.drain_deliveries(cycle)
+            delivered += moved
 
             # 2. Advancement, round-robin rotated service order.
-            keys = list(buffers)
-            if keys:
-                rot = cycle % len(keys)
-                keys = keys[rot:] + keys[:rot]
-            for key in keys:
-                q = buffers.get(key)
-                if not q:
-                    continue
-                p = q[0]
-                nxt = p.next_channel
-                assert nxt is not None, "non-final packet without next hop"
-                if not channel_free(nxt):
-                    stalls += 1
-                    continue
-                tgt = (nxt, p.vc)
-                if space(tgt) <= 0:
-                    stalls += 1
-                    continue
-                q.popleft()
-                if not q:
-                    del buffers[key]
-                p.pos += 1
-                buffers.setdefault(tgt, deque()).append(p)
-                busy_until[nxt] = cycle + L
-                moved += 1
+            moved += core.advance(cycle)
 
             # 3. Injection.
             for q in source_queues:
-                if not q:
-                    continue
-                p = q[0]
-                c0 = int(p.channels[0])
-                if not channel_free(c0):
-                    stalls += 1
-                    continue
-                tgt = (c0, p.vc)
-                if space(tgt) <= 0:
-                    stalls += 1
-                    continue
-                q.popleft()
-                p.pos = 0
-                buffers.setdefault(tgt, deque()).append(p)
-                busy_until[c0] = cycle + L
-                in_flight += 1
-                injected += 1
-                moved += 1
+                if q and core.try_inject(q[0], cycle):
+                    q.popleft()
+                    injected += 1
+                    moved += 1
 
             pending = sum(len(q) for q in source_queues)
+            in_flight = core.in_flight()
             if delivered == total:
                 return finish(FlitSimOutcome("delivered", cycle, delivered, 0, 0))
             if moved == 0 and in_flight > 0:
                 # Zero movement can be a transient serialisation stall
                 # (L > 1); only a circular wait among FULL buffers proves
                 # a deadlock.
-                witness = self._waitfor_cycle(buffers, self.buffer_depth)
+                witness = core.waitfor_cycle()
                 if witness:
                     return finish(
                         FlitSimOutcome(
@@ -284,7 +217,7 @@ class FlitSimulator:
                 "cycle_limit",
                 cycle,
                 delivered,
-                in_flight,
+                core.in_flight(),
                 sum(len(q) for q in source_queues),
             )
         )
@@ -294,36 +227,7 @@ class FlitSimulator:
     def _waitfor_cycle(
         buffers: dict[tuple[int, int], deque], buffer_depth: int
     ) -> list[tuple[int, int]]:
-        """Cycle in the head-packet wait-for graph (the deadlock witness).
-
-        Each occupied buffer's head waits for its next buffer; only waits
-        on *full* buffers count — a circular wait among full buffers can
-        never make progress (condition 4 of §III), while a wait on a
-        merely busy channel resolves once serialisation finishes.
-        """
-        waits: dict[tuple[int, int], tuple[int, int]] = {}
-        for key, q in buffers.items():
-            if not q:
-                continue
-            nxt = q[0].next_channel
-            if nxt is None:
-                continue
-            tgt = (nxt, q[0].vc)
-            if len(buffers.get(tgt, ())) >= buffer_depth:
-                waits[key] = tgt
-        # Functional-graph cycle walk.
-        seen_global: set[tuple[int, int]] = set()
-        for start in waits:
-            if start in seen_global:
-                continue
-            trail: list[tuple[int, int]] = []
-            index: dict[tuple[int, int], int] = {}
-            node = start
-            while node in waits and node not in seen_global:
-                if node in index:
-                    return trail[index[node] :]
-                index[node] = len(trail)
-                trail.append(node)
-                node = waits[node]
-            seen_global.update(trail)
-        return []
+        """Deadlock witness over explicit buffers — kept as an entry point
+        for callers that maintain their own buffer maps; the shared
+        implementation lives in :func:`repro.simulator.stepping.waitfor_cycle`."""
+        return waitfor_cycle(buffers, buffer_depth)

@@ -1,0 +1,207 @@
+"""Shared stepping core for the cycle-based finite-buffer simulators.
+
+:class:`FlitSimulator` (closed-loop drain) and
+:mod:`repro.simulator.throughput` (open-loop Bernoulli injection) step
+the same store-and-forward network: per-``(channel, vc)`` FIFO buffers
+of ``buffer_depth`` packets, channels busy for ``packet_length`` cycles
+per accepted packet, rotating round-robin service order, and the
+full-buffer wait-for-graph deadlock witness. Historically each module
+carried its own copy of that loop; :class:`SteppingCore` is the single
+implementation both now drive, so the deadlock-detection semantics can
+never drift apart.
+
+A caller owns the per-cycle schedule (generate / deliver / advance /
+inject) and any measurement windows; the core owns buffer occupancy,
+channel serialization state and the stall counter.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Callable
+
+import numpy as np
+
+from repro.exceptions import SimulationError
+from repro.routing.base import RoutingTables
+from repro.routing.paths import PathSet
+
+
+def build_route(
+    tables: RoutingTables, paths: PathSet, src: int, dst: int
+) -> np.ndarray:
+    """Full channel route of the ``src → dst`` flow as one array.
+
+    The injection channel comes from the terminal's forwarding row; the
+    switch-level remainder is the precomputed
+    ``pid = t_idx * S + s_idx`` path (unique per destination-based
+    routing — see :mod:`repro.routing.base`).
+    """
+    fab = tables.fabric
+    t_idx = int(fab.term_index[dst])
+    inject = int(tables.next_channel[src, t_idx])
+    if inject < 0:
+        raise SimulationError(f"no route from {src} to {dst}")
+    first_switch = int(fab.channels.dst[inject])
+    rest = paths.path(t_idx * fab.num_switches + int(fab.switch_index[first_switch]))
+    route = np.empty(len(rest) + 1, dtype=np.int32)
+    route[0] = inject
+    route[1:] = rest
+    return route
+
+
+class SteppingCore:
+    """Finite-buffer store-and-forward stepping state.
+
+    Packets must expose the :class:`repro.simulator.flitsim.Packet`
+    protocol: ``channels`` (route array), ``pos`` (index of the channel
+    whose buffer holds the packet, -1 while queued at the source),
+    ``vc``, ``dst`` and ``next_channel``.
+    """
+
+    def __init__(self, chan_dst: np.ndarray, buffer_depth: int, packet_length: int):
+        if buffer_depth < 1:
+            raise SimulationError("buffer_depth must be >= 1")
+        if packet_length < 1:
+            raise SimulationError("packet_length must be >= 1")
+        self.chan_dst = chan_dst
+        self.buffer_depth = buffer_depth
+        self.packet_length = packet_length
+        #: buffers[(channel, vc)] -> deque of packets, created on demand
+        self.buffers: dict[tuple[int, int], deque] = {}
+        self.busy_until: dict[int, int] = {}  # channel -> first free cycle
+        self.stalls = 0
+
+    # ------------------------------------------------------------------
+    def space(self, key: tuple[int, int]) -> int:
+        q = self.buffers.get(key)
+        return self.buffer_depth - (len(q) if q else 0)
+
+    def channel_free(self, c: int, cycle: int) -> bool:
+        return self.busy_until.get(c, 0) <= cycle
+
+    def in_flight(self) -> int:
+        return sum(len(q) for q in self.buffers.values())
+
+    # ------------------------------------------------------------------
+    def drain_deliveries(
+        self, cycle: int, on_delivered: Callable | None = None
+    ) -> int:
+        """Pop every buffer head sitting on its destination's channel.
+
+        Terminals consume any number of packets per cycle (sinks are not
+        the bottleneck). Returns the number of deliveries; each delivered
+        packet is passed to ``on_delivered``.
+        """
+        chan_dst = self.chan_dst
+        delivered = 0
+        for key in list(self.buffers):
+            q = self.buffers[key]
+            while q and int(chan_dst[q[0].channels[q[0].pos]]) == q[0].dst:
+                p = q.popleft()
+                delivered += 1
+                if on_delivered is not None:
+                    on_delivered(p)
+            if not q:
+                del self.buffers[key]
+        return delivered
+
+    def advance(self, cycle: int) -> int:
+        """One hop attempt per occupied buffer, rotating service order.
+
+        The rotation (``cycle % len(keys)`` over dict insertion order)
+        keeps any single buffer from monopolising contended channels.
+        Returns the number of packets that moved; blocked attempts (busy
+        channel or full target buffer) increment :attr:`stalls`.
+        """
+        buffers = self.buffers
+        keys = list(buffers)
+        if keys:
+            rot = cycle % len(keys)
+            keys = keys[rot:] + keys[:rot]
+        moved = 0
+        for key in keys:
+            q = buffers.get(key)
+            if not q:
+                continue
+            p = q[0]
+            nxt = p.next_channel
+            if nxt is None or not self.channel_free(nxt, cycle):
+                self.stalls += 1
+                continue
+            tgt = (nxt, p.vc)
+            if self.space(tgt) <= 0:
+                self.stalls += 1
+                continue
+            q.popleft()
+            if not q:
+                del buffers[key]
+            p.pos += 1
+            buffers.setdefault(tgt, deque()).append(p)
+            self.busy_until[nxt] = cycle + self.packet_length
+            moved += 1
+        return moved
+
+    def try_inject(self, p, cycle: int) -> bool:
+        """Admit a source-queued packet onto its first channel.
+
+        Returns True (packet now owned by the network) or False (busy
+        channel / full buffer; counted as a stall, caller retries next
+        cycle).
+        """
+        c0 = int(p.channels[0])
+        if not self.channel_free(c0, cycle):
+            self.stalls += 1
+            return False
+        tgt = (c0, p.vc)
+        if self.space(tgt) <= 0:
+            self.stalls += 1
+            return False
+        p.pos = 0
+        self.buffers.setdefault(tgt, deque()).append(p)
+        self.busy_until[c0] = cycle + self.packet_length
+        return True
+
+    # ------------------------------------------------------------------
+    def waitfor_cycle(self) -> list[tuple[int, int]]:
+        """Cycle in the head-packet wait-for graph (the deadlock witness).
+
+        Each occupied buffer's head waits for its next buffer; only waits
+        on *full* buffers count — a circular wait among full buffers can
+        never make progress (condition 4 of §III of the paper), while a
+        wait on a merely busy channel resolves once serialisation
+        finishes.
+        """
+        return waitfor_cycle(self.buffers, self.buffer_depth)
+
+
+def waitfor_cycle(
+    buffers: dict[tuple[int, int], deque], buffer_depth: int
+) -> list[tuple[int, int]]:
+    """Functional-graph cycle walk over full-buffer waits (see
+    :meth:`SteppingCore.waitfor_cycle`)."""
+    waits: dict[tuple[int, int], tuple[int, int]] = {}
+    for key, q in buffers.items():
+        if not q:
+            continue
+        nxt = q[0].next_channel
+        if nxt is None:
+            continue
+        tgt = (nxt, q[0].vc)
+        if len(buffers.get(tgt, ())) >= buffer_depth:
+            waits[key] = tgt
+    seen_global: set[tuple[int, int]] = set()
+    for start in waits:
+        if start in seen_global:
+            continue
+        trail: list[tuple[int, int]] = []
+        index: dict[tuple[int, int], int] = {}
+        node = start
+        while node in waits and node not in seen_global:
+            if node in index:
+                return trail[index[node] :]
+            index[node] = len(trail)
+            trail.append(node)
+            node = waits[node]
+        seen_global.update(trail)
+    return []

@@ -25,6 +25,7 @@ from repro.exceptions import SimulationError
 from repro.obs import span
 from repro.simulator.flitsim import FlitSimulator, Packet, record_flit_metrics
 from repro.simulator.patterns import Pattern, validate_pattern
+from repro.simulator.stepping import SteppingCore, build_route
 from repro.utils.prng import make_rng
 
 
@@ -60,6 +61,13 @@ def run_open_loop(
     validate_pattern(sim.fabric, pattern)
     if not (0 < rate <= 1):
         raise SimulationError(f"rate must be in (0, 1], got {rate}")
+    if not pattern:
+        # Zero demand: nothing to inject, nothing to measure — the sweep
+        # degenerates gracefully instead of dividing by zero sources.
+        return OpenLoopResult(
+            offered_rate=rate, delivered_rate=0.0, mean_latency=0.0,
+            deadlocked=False, cycles=0,
+        )
     with span(
         "throughput.open_loop", engine=sim.tables.engine, rate=rate, warmup=warmup,
         measure=measure,
@@ -78,23 +86,11 @@ def _run_open_loop(
     seed,
 ) -> OpenLoopResult:
     rng = make_rng(seed)
-    fab = sim.fabric
-    chan_dst = fab.channels.dst
 
     # Precompute one route per flow, grouped by source.
     by_source: dict[int, list[tuple[np.ndarray, int, int]]] = {}
-    nc = sim.tables.next_channel
-    S = fab.num_switches
     for src, dst in pattern:
-        t_idx = int(fab.term_index[dst])
-        inject = int(nc[src, t_idx])
-        if inject < 0:
-            raise SimulationError(f"no route from {src} to {dst}")
-        first_switch = int(chan_dst[inject])
-        rest = sim.paths.path(t_idx * S + int(fab.switch_index[first_switch]))
-        route = np.empty(len(rest) + 1, dtype=np.int32)
-        route[0] = inject
-        route[1:] = rest
+        route = build_route(sim.tables, sim.paths, src, dst)
         vc = sim.layered.layer_for(src, dst) if sim.layered is not None else 0
         by_source.setdefault(src, []).append((route, vc, dst))
 
@@ -102,24 +98,16 @@ def _run_open_loop(
     rr = {src: 0 for src, _ in sources}
     inject_queues: dict[int, deque] = {src: deque() for src, _ in sources}
 
-    buffers: dict[tuple[int, int], deque] = {}
-    busy_until: dict[int, int] = {}
+    core = SteppingCore(sim.fabric.channels.dst, sim.buffer_depth, sim.packet_length)
     L = sim.packet_length
     delivered_window = 0
     delivered_total = 0
     injected = 0
-    stalls = 0
     latencies: list[int] = []
     pid = 0
     total_cycles = warmup + measure
 
-    def space(key):
-        q = buffers.get(key)
-        return sim.buffer_depth - (len(q) if q else 0)
-
     for cycle in range(1, total_cycles + 1):
-        moved = 0
-
         # Generation.
         draws = rng.random(len(sources))
         for (src, flows), u in zip(sources, draws):
@@ -132,72 +120,32 @@ def _run_open_loop(
                 pid += 1
 
         # Deliveries.
-        for key in list(buffers):
-            q = buffers[key]
-            while q and int(chan_dst[q[0].channels[q[0].pos]]) == q[0].dst:
-                p = q.popleft()
-                moved += 1
-                delivered_total += 1
-                if cycle > warmup:
-                    delivered_window += 1
-                    latencies.append(cycle - p.born)
-            if not q:
-                del buffers[key]
+        def on_delivered(p, cycle=cycle):
+            nonlocal delivered_total, delivered_window
+            delivered_total += 1
+            if cycle > warmup:
+                delivered_window += 1
+                latencies.append(cycle - p.born)
+
+        moved = core.drain_deliveries(cycle, on_delivered)
 
         # Advancement (rotating service order).
-        keys = list(buffers)
-        if keys:
-            rot = cycle % len(keys)
-            keys = keys[rot:] + keys[:rot]
-        for key in keys:
-            q = buffers.get(key)
-            if not q:
-                continue
-            p = q[0]
-            nxt = p.next_channel
-            if nxt is None or busy_until.get(nxt, 0) > cycle:
-                stalls += 1
-                continue
-            tgt = (nxt, p.vc)
-            if space(tgt) <= 0:
-                stalls += 1
-                continue
-            q.popleft()
-            if not q:
-                del buffers[key]
-            p.pos += 1
-            buffers.setdefault(tgt, deque()).append(p)
-            busy_until[nxt] = cycle + L
-            moved += 1
+        moved += core.advance(cycle)
 
         # Injection.
         for src, _flows in sources:
             q = inject_queues[src]
-            if not q:
-                continue
-            p = q[0]
-            c0 = int(p.channels[0])
-            if busy_until.get(c0, 0) > cycle:
-                stalls += 1
-                continue
-            tgt = (c0, p.vc)
-            if space(tgt) <= 0:
-                stalls += 1
-                continue
-            q.popleft()
-            p.pos = 0
-            buffers.setdefault(tgt, deque()).append(p)
-            busy_until[c0] = cycle + L
-            injected += 1
-            moved += 1
+            if q and core.try_inject(q[0], cycle):
+                q.popleft()
+                injected += 1
+                moved += 1
 
-        in_flight = sum(len(q) for q in buffers.values())
-        if moved == 0 and in_flight > 0:
+        if moved == 0 and core.in_flight() > 0:
             # Only a circular wait among FULL buffers proves a wedge;
             # serialisation stalls (packet_length > 1) are transient.
-            witness = FlitSimulator._waitfor_cycle(buffers, sim.buffer_depth)
+            witness = core.waitfor_cycle()
             if witness:
-                record_flit_metrics(injected, delivered_total, stalls, True, L)
+                record_flit_metrics(injected, delivered_total, core.stalls, True, L)
                 return OpenLoopResult(
                     offered_rate=rate,
                     delivered_rate=delivered_window / max(1, (cycle - warmup)) / len(sources)
@@ -208,7 +156,7 @@ def _run_open_loop(
                     cycles=cycle,
                 )
 
-    record_flit_metrics(injected, delivered_total, stalls, False, L)
+    record_flit_metrics(injected, delivered_total, core.stalls, False, L)
     return OpenLoopResult(
         offered_rate=rate,
         delivered_rate=delivered_window / measure / len(sources),

@@ -7,7 +7,12 @@ them on every run and fails with a readable diff when any bit drifts —
 the backstop that catches unintended behaviour changes that the
 invariant-style tests (minimality, deadlock-freedom) cannot see.
 
-Regenerate *only* after an intentional routing change::
+``tests/data/golden/des_*.json`` extend the same idea to the packet
+level: they pin the full event log (sends, arrivals, deliveries, drops,
+faults, reroutes — with timestamps) of two small DES scenarios, checked
+by ``tests/des/test_golden_traces.py``.
+
+Regenerate *only* after an intentional routing or DES change::
 
     PYTHONPATH=src python -m tests.data.golden_gen
 
@@ -69,12 +74,61 @@ def golden_path(name: str) -> Path:
     return GOLDEN_DIR / f"{name}.json"
 
 
+#: name -> DES scenario pinned at event level (record_events is forced on)
+DES_SCENARIOS = {
+    "des_ring": {
+        "name": "des_ring",
+        "topology": {"family": "ring", "switches": 5, "terminals_per_switch": 2},
+        "engines": ["sssp", "dfsssp"],
+        "workload": {"kind": "ring_allreduce", "size_bytes": 40960},
+        "buffer_packets": 4,
+        "seed": 11,
+    },
+    "des_xgft": {
+        "name": "des_xgft",
+        "topology": {"family": "xgft", "ms": [4, 4], "ws": [1, 2]},
+        "engines": ["sssp", "dfsssp"],
+        "workload": {"kind": "mice", "count": 40, "size_bytes": 2048,
+                     "window_s": 2e-5},
+        "buffer_packets": 4,
+        "seed": 11,
+        "faults": [{"at_s": 1e-5}],
+    },
+}
+
+
+def compute_des_golden(name: str) -> dict:
+    """The golden record for one DES scenario: per-engine event logs."""
+    from repro.des import run_scenario
+
+    spec = {**DES_SCENARIOS[name], "record_events": True}
+    report = run_scenario(spec)
+    record: dict = {"scenario": report.scenario, "engines": {}}
+    for engine_name, outcome in report.outcomes.items():
+        record["engines"][engine_name] = {
+            "log_hash": outcome.log_hash,
+            "status": outcome.status,
+            "injected": outcome.injected,
+            "delivered": outcome.delivered,
+            "dropped": outcome.dropped,
+            "flows_completed": outcome.flows_completed,
+            # tuples -> lists so the recomputed log compares equal to the
+            # JSON-loaded fixture
+            "events": json.loads(json.dumps(outcome.log)),
+        }
+    return record
+
+
 def regenerate() -> list[Path]:
     GOLDEN_DIR.mkdir(parents=True, exist_ok=True)
     written = []
     for name in FABRICS:
         path = golden_path(name)
         path.write_text(json.dumps(compute_golden(name), indent=1) + "\n")
+        written.append(path)
+    for name in DES_SCENARIOS:
+        path = golden_path(name)
+        path.write_text(json.dumps(compute_des_golden(name), indent=1) + "\n")
         written.append(path)
     return written
 

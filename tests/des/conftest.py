@@ -1,0 +1,47 @@
+"""Shared fixtures for the DES test suite.
+
+The three reference fabrics deliberately mirror the golden-route
+fixtures (ring, XGFT, 3x3 torus) so the differential tests exercise
+exactly the topologies whose forwarding tables are pinned bit-for-bit
+by ``tests/routing/test_golden_routes.py``.
+"""
+
+import pytest
+
+from repro import topologies
+from repro.routing.registry import ENGINES
+
+
+@pytest.fixture(scope="session")
+def ring52():
+    return topologies.ring(5, terminals_per_switch=2)
+
+
+@pytest.fixture(scope="session")
+def xgft442():
+    return topologies.xgft(2, (4, 4), (1, 2))
+
+
+@pytest.fixture(scope="session")
+def torus33():
+    return topologies.torus((3, 3), terminals_per_switch=1)
+
+
+@pytest.fixture(scope="session")
+def routed(ring52, xgft442, torus33):
+    """``(fabric_name, engine_name) -> (fabric, RoutingResult)``, cached.
+
+    Routing the reference fabrics once per session keeps the matrix of
+    differential/engine tests fast; results are never mutated.
+    """
+    fabrics = {"ring52": ring52, "xgft442": xgft442, "torus33": torus33}
+    cache = {}
+
+    def get(fab_name, engine):
+        key = (fab_name, engine)
+        if key not in cache:
+            fab = fabrics[fab_name]
+            cache[key] = (fab, ENGINES[engine]().route(fab))
+        return cache[key]
+
+    return get

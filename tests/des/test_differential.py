@@ -1,0 +1,72 @@
+"""Differential validation: the DES agrees with the static congestion model.
+
+Under uniform all-pairs traffic with *infinite* buffers there is no
+backpressure and no drop path: every packet follows its static route
+and each link carries exactly ``packets_per_flow`` packets per crossing
+flow. The per-link packet counters of the DES must therefore converge
+to the static channel loads of :mod:`repro.simulator.congestion` — the
+same counts the paper's edge-forwarding-index estimator is built on.
+
+The acceptance bound is 5% per loaded link; in this regime the match is
+in fact *exact*, which the stricter final assertion documents.
+"""
+
+import numpy as np
+import pytest
+
+from repro.des import LinkParams, PacketDES, UniformPairsWorkload
+from repro.simulator.congestion import CongestionSimulator
+
+#: packets per flow — flow size is K full MTUs, so the static load
+#: scales by exactly K.
+K = 3
+
+TOLERANCE = 0.05
+
+
+@pytest.mark.parametrize("engine", ["sssp", "dfsssp"])
+@pytest.mark.parametrize("fab_name", ["ring52", "xgft442", "torus33"])
+def test_link_counts_match_static_model(routed, fab_name, engine):
+    fabric, result = routed(fab_name, engine)
+    link = LinkParams()
+    des = PacketDES(result, link=link, buffer_packets=None)
+    out = des.run(UniformPairsWorkload(fabric, size_bytes=K * link.mtu_bytes))
+
+    assert out.status == "completed"
+    assert out.dropped == 0
+    assert out.lost == 0
+    assert out.in_network == 0
+
+    pairs = [
+        (int(s), int(d)) for s in fabric.terminals for d in fabric.terminals if s != d
+    ]
+    static = CongestionSimulator(result.tables).evaluate(pairs)
+    expected = K * static.channel_load
+
+    # The DES never sends a packet over a link the static route misses.
+    loaded = expected > 0
+    assert not np.any(out.link_packets[~loaded])
+
+    # Acceptance bound: every loaded link within 5% of the static count.
+    rel = np.abs(out.link_packets[loaded] - expected[loaded]) / expected[loaded]
+    assert float(rel.max()) <= TOLERANCE
+
+    # ... and with infinite buffers the agreement is exact: same routes,
+    # no adaptivity, no drops — only timing differs from the model.
+    np.testing.assert_array_equal(out.link_packets, expected)
+
+
+@pytest.mark.parametrize("fab_name", ["ring52", "xgft442"])
+def test_finite_buffers_preserve_counts_when_completed(routed, fab_name):
+    """Backpressure delays packets but must not reroute or lose them."""
+    fabric, result = routed(fab_name, "dfsssp")
+    link = LinkParams()
+    out = PacketDES(result, link=link, buffer_packets=2).run(
+        UniformPairsWorkload(fabric, size_bytes=K * link.mtu_bytes)
+    )
+    assert out.status == "completed"
+    pairs = [
+        (int(s), int(d)) for s in fabric.terminals for d in fabric.terminals if s != d
+    ]
+    static = CongestionSimulator(result.tables).evaluate(pairs)
+    np.testing.assert_array_equal(out.link_packets, K * static.channel_load)

@@ -1,0 +1,239 @@
+"""PacketDES engine behaviour: parameters, conservation, deadlock, faults.
+
+The headline test is the paper's Figure 2 scenario replayed at packet
+level: the clockwise 2-hop-shift pattern on a 5-switch ring wedges into
+a circular credit wait under SSSP (single lane) and always drains under
+DFSSSP (two virtual lanes) — the DES reports ``"deadlock"`` for one and
+``"completed"`` for the other on identical traffic.
+"""
+
+import pytest
+
+from repro import topologies
+from repro.des import FaultSpec, LinkParams, PacketDES, UniformPairsWorkload, make_workload
+from repro.des.workloads import Workload
+from repro.exceptions import SimulationError
+from repro.routing.registry import ENGINES
+
+
+class ShiftWorkload(Workload):
+    """Rank *i* sends one large flow to rank *i+shift* (mod P)."""
+
+    name = "shift"
+
+    def __init__(self, fabric, shift=2, size_bytes=1 << 20):
+        super().__init__()
+        self.terms = [int(t) for t in fabric.terminals]
+        self.shift = shift
+        self.size_bytes = size_bytes
+
+    def initial(self):
+        n = len(self.terms)
+        return [
+            self._flow(
+                self.terms[i], self.terms[(i + self.shift) % n],
+                self.size_bytes, 0.0, "shift",
+            )
+            for i in range(n)
+        ]
+
+
+class OneFlow(Workload):
+    name = "one_flow"
+
+    def __init__(self, src, dst, size_bytes=1024):
+        super().__init__()
+        self.src, self.dst, self.size_bytes = src, dst, size_bytes
+
+    def initial(self):
+        return [self._flow(self.src, self.dst, self.size_bytes, 0.0)]
+
+
+# ---------------------------------------------------------------------------
+# Parameter validation
+# ---------------------------------------------------------------------------
+def test_link_params_serialization():
+    link = LinkParams(bandwidth_bytes_per_s=1e9, propagation_s=1e-6, mtu_bytes=1000)
+    assert link.serialization_s(1000) == pytest.approx(1e-6)
+    assert link.serialization_s(500) == pytest.approx(5e-7)
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"bandwidth_bytes_per_s": 0.0},
+        {"bandwidth_bytes_per_s": -1.0},
+        {"propagation_s": -1e-9},
+        {"mtu_bytes": 0},
+    ],
+)
+def test_link_params_rejects_nonsense(kwargs):
+    with pytest.raises(SimulationError):
+        LinkParams(**kwargs)
+
+
+def test_buffer_packets_must_be_positive(routed):
+    _, result = routed("ring52", "dfsssp")
+    with pytest.raises(SimulationError, match="buffer_packets"):
+        PacketDES(result, buffer_packets=0)
+
+
+# ---------------------------------------------------------------------------
+# Basic runs: completion, conservation, accounting
+# ---------------------------------------------------------------------------
+def test_completed_run_conserves_packets_and_bytes(routed):
+    fabric, result = routed("ring52", "dfsssp")
+    link = LinkParams()
+    size = 3 * link.mtu_bytes
+    out = PacketDES(result, link=link, buffer_packets=4).run(
+        UniformPairsWorkload(fabric, size_bytes=size)
+    )
+    pairs = len(fabric.terminals) * (len(fabric.terminals) - 1)
+    assert out.status == "completed"
+    assert out.flows_released == out.flows_completed == pairs
+    assert out.injected == out.delivered == 3 * pairs
+    assert out.dropped == out.lost == out.in_network == 0
+    assert out.bytes_delivered == size * pairs
+    assert out.makespan_s > 0
+    assert out.throughput_bytes_per_s > 0
+    assert len(out.fct_seconds) == pairs
+    fct = out.fct_percentiles()
+    assert 0 < fct["p50"] <= fct["p99"] <= fct["p100"]
+
+
+def test_finite_buffers_never_exceed_capacity_on_switch_queues(routed):
+    fabric, result = routed("ring52", "dfsssp")
+    cap = 2
+    out = PacketDES(result, buffer_packets=cap).run(
+        UniformPairsWorkload(fabric, size_bytes=8 * LinkParams().mtu_bytes)
+    )
+    assert out.status == "completed"
+    for q in out.queue_stats:
+        src_node = int(fabric.channels.src[q.channel])
+        if fabric.term_index[src_node] < 0:  # switch output queue
+            assert q.max_occupancy <= cap
+    summary = out.queue_summary()
+    assert summary["queues_used"] > 0
+    assert summary["hottest"]
+
+
+def test_horizon_cuts_the_run_short(routed):
+    fabric, result = routed("ring52", "dfsssp")
+    out = PacketDES(result, buffer_packets=4).run(
+        UniformPairsWorkload(fabric, size_bytes=1 << 16), horizon_s=1e-9
+    )
+    assert out.status == "horizon"
+    assert out.flows_completed < out.flows_released
+    assert out.injected == out.delivered + out.dropped + out.in_network
+
+
+def test_max_events_is_a_hard_stop(routed):
+    fabric, result = routed("ring52", "dfsssp")
+    with pytest.raises(SimulationError, match="event"):
+        PacketDES(result, buffer_packets=4).run(
+            UniformPairsWorkload(fabric, size_bytes=1 << 16), max_events=10
+        )
+
+
+# ---------------------------------------------------------------------------
+# Figure 2 at packet level
+# ---------------------------------------------------------------------------
+@pytest.mark.parametrize("buffers", [1, 4])
+def test_ring_shift_deadlocks_sssp_but_not_dfsssp(buffers):
+    fabric = topologies.ring(5, terminals_per_switch=1)
+    sssp = ENGINES["sssp"]().route(fabric)
+    dfsssp = ENGINES["dfsssp"]().route(fabric)
+
+    wedged = PacketDES(sssp, buffer_packets=buffers).run(ShiftWorkload(fabric))
+    assert wedged.status == "deadlock"
+    assert wedged.in_network > 0
+    # Conservation holds even mid-wedge.
+    assert wedged.injected == wedged.delivered + wedged.dropped + wedged.in_network
+
+    drained = PacketDES(dfsssp, buffer_packets=buffers).run(ShiftWorkload(fabric))
+    assert drained.status == "completed"
+    assert drained.delivered == drained.injected
+
+
+# ---------------------------------------------------------------------------
+# Faults
+# ---------------------------------------------------------------------------
+def test_faults_require_the_routing_engine(routed):
+    fabric, result = routed("xgft442", "dfsssp")
+    with pytest.raises(SimulationError, match="engine"):
+        PacketDES(result).run(
+            UniformPairsWorkload(fabric), faults=[FaultSpec(at_s=1e-6)]
+        )
+
+
+def test_link_fault_mid_collective_reroutes_and_completes(routed):
+    fabric, result = routed("xgft442", "dfsssp")
+    des = PacketDES(result, engine=ENGINES["dfsssp"](), buffer_packets=16, seed=7)
+    out = des.run(
+        make_workload("ring_allreduce", fabric, size_bytes=1 << 20),
+        faults=[FaultSpec(at_s=2e-5)],
+    )
+    assert out.status == "completed"
+    assert out.faults and "link_down" in out.faults[0]
+    assert out.reroutes
+    assert out.lost == 0
+    assert out.flows_completed == out.flows_released
+    assert out.in_network == 0
+    assert out.injected == out.delivered + out.dropped
+    # Any packet caught on the dead wire was retransmitted, not lost.
+    assert out.retransmitted == out.dropped
+
+
+def test_switch_fault_keeps_conservation(routed):
+    fabric, result = routed("xgft442", "dfsssp")
+    des = PacketDES(
+        result, engine=ENGINES["dfsssp"](), buffer_packets=16, seed=3,
+        p_switch_down=1.0,
+    )
+    out = des.run(
+        make_workload("mice", fabric, count=40, size_bytes=2048, window_s=2e-5),
+        faults=[FaultSpec(at_s=1e-5)],
+    )
+    assert out.faults
+    assert out.status in {"completed", "incomplete"}
+    assert out.in_network == 0
+    assert out.injected == out.delivered + out.dropped
+
+
+# ---------------------------------------------------------------------------
+# Workload sanity enforced at release time
+# ---------------------------------------------------------------------------
+def test_self_flow_is_rejected(routed):
+    fabric, result = routed("ring52", "dfsssp")
+    t0 = int(fabric.terminals[0])
+    with pytest.raises(SimulationError, match="self-flow"):
+        PacketDES(result).run(OneFlow(t0, t0))
+
+
+def test_non_terminal_endpoint_is_rejected(routed):
+    fabric, result = routed("ring52", "dfsssp")
+    t0 = int(fabric.terminals[0])
+    switch = int(fabric.channels.src[0]) if fabric.term_index[0] < 0 else 0
+    assert fabric.term_index[switch] < 0
+    with pytest.raises(SimulationError, match="non-terminal"):
+        PacketDES(result).run(OneFlow(t0, switch))
+
+
+# ---------------------------------------------------------------------------
+# Event log
+# ---------------------------------------------------------------------------
+def test_event_log_recording_is_optional_but_hash_is_not(routed):
+    fabric, result = routed("ring52", "dfsssp")
+    wl = lambda: UniformPairsWorkload(fabric, size_bytes=4096)  # noqa: E731
+
+    bare = PacketDES(result, buffer_packets=4).run(wl())
+    assert bare.log is None
+    assert bare.log_hash
+
+    full = PacketDES(result, buffer_packets=4, record_events=True).run(wl())
+    assert full.log
+    assert full.log[0][1] == "start"
+    kinds = {entry[1] for entry in full.log}
+    assert {"start", "send", "arrive", "deliver", "flow_done"} <= kinds
+    # Recording must not perturb the simulation.
+    assert full.log_hash == bare.log_hash

@@ -1,0 +1,92 @@
+"""Golden-trace drift tests for the packet-level DES.
+
+The fixtures under ``tests/data/golden/des_*.json`` pin the *complete
+event log* — every send, arrival, delivery, fault and reroute with its
+timestamp — of two small scenarios, for every engine. Recomputing them
+on each run catches any unintended behaviour change in the simulator,
+the workload generators or the routing engines underneath, down to
+event ordering and timing.
+
+A mismatch fails with the first differing events spelled out. If the
+change is *intentional*, regenerate the fixtures::
+
+    PYTHONPATH=src python -m tests.data.golden_gen
+
+and commit the JSON diff alongside the code change.
+"""
+
+import json
+
+import pytest
+
+from tests.data.golden_gen import DES_SCENARIOS, compute_des_golden, golden_path
+
+MAX_DIFFS_SHOWN = 8
+
+_REGEN = (
+    "if this change is intentional, regenerate with "
+    "`PYTHONPATH=src python -m tests.data.golden_gen` and commit the fixture diff"
+)
+
+
+def _diff_events(name: str, engine: str, got: list, want: list) -> list[str]:
+    lines: list[str] = []
+    if len(got) != len(want):
+        lines.append(
+            f"{name}/{engine}: event log has {len(got)} entries, golden has {len(want)}"
+        )
+    shown = 0
+    for i, (g, w) in enumerate(zip(got, want)):
+        if g == w:
+            continue
+        lines.append(f"{name}/{engine}: event[{i}] = {g!r}, golden has {w!r}")
+        shown += 1
+        if shown >= MAX_DIFFS_SHOWN:
+            lines.append(f"{name}/{engine}: ... further diffs suppressed")
+            break
+    return lines
+
+
+@pytest.mark.parametrize("name", sorted(DES_SCENARIOS))
+def test_des_trace_matches_golden(name):
+    path = golden_path(name)
+    assert path.exists(), f"missing golden fixture {path}; {_REGEN}"
+    stored = json.loads(path.read_text())
+    fresh = compute_des_golden(name)
+
+    assert fresh["scenario"] == stored["scenario"], (
+        f"{name}: normalized scenario drifted from the fixture; {_REGEN}"
+    )
+    assert sorted(fresh["engines"]) == sorted(stored["engines"])
+
+    problems: list[str] = []
+    for engine, want in stored["engines"].items():
+        got = fresh["engines"][engine]
+        for key in ("status", "injected", "delivered", "dropped", "flows_completed"):
+            if got[key] != want[key]:
+                problems.append(
+                    f"{name}/{engine}: {key} = {got[key]}, golden has {want[key]}"
+                )
+        if got["log_hash"] != want["log_hash"]:
+            problems.extend(_diff_events(name, engine, got["events"], want["events"]))
+        else:
+            # The rolling hash must be a faithful digest of the log.
+            assert got["events"] == want["events"]
+    if problems:
+        pytest.fail(
+            "DES golden-trace drift:\n  "
+            + "\n  ".join(problems[: 4 * MAX_DIFFS_SHOWN])
+            + f"\n{_REGEN}"
+        )
+
+
+def test_fault_fixture_actually_exercises_the_repair_path():
+    """Guard the fixture itself: des_xgft must contain a mid-run fault
+    and a reroute for every engine, or the golden test stops covering
+    the resilience path without anyone noticing."""
+    stored = json.loads(golden_path("des_xgft").read_text())
+    for engine, rec in stored["engines"].items():
+        kinds = {entry[1] for entry in rec["events"]}
+        assert "fault" in kinds, f"{engine}: no fault event in des_xgft fixture"
+        assert "reroute" in kinds, f"{engine}: no reroute event in des_xgft fixture"
+        assert rec["status"] == "completed"

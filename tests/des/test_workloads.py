@@ -1,0 +1,194 @@
+"""Workload generators: flow counts, barrier sequencing, composition.
+
+These drive the generators directly through their ``initial`` /
+``on_complete`` protocol — no simulator involved — so the collective
+schedules (round counts, chunk sizes, barrier semantics) are pinned
+independently of DES timing.
+"""
+
+import math
+
+import pytest
+
+from repro.des import make_workload
+from repro.des.workloads import (
+    _FID_STRIDE,
+    AllToAllWorkload,
+    MiceProbeWorkload,
+    RingAllReduceWorkload,
+    TreeAllReduceWorkload,
+    UniformPairsWorkload,
+    Workload,
+)
+from repro.exceptions import SimulationError
+
+
+def drain_rounds(wl: Workload) -> list[list]:
+    """Play the barrier protocol to exhaustion, collecting each round."""
+    rounds = [wl.initial()]
+    t = 0.0
+    while rounds[-1]:
+        t += 1.0
+        released = []
+        for flow in rounds[-1]:
+            released.extend(wl.on_complete(flow, t))
+        rounds.append(released)
+    return rounds[:-1]
+
+
+# ---------------------------------------------------------------------------
+# Uniform pairs
+# ---------------------------------------------------------------------------
+def test_uniform_pairs_covers_every_ordered_pair(ring52):
+    wl = UniformPairsWorkload(ring52, size_bytes=100, stagger_s=1e-6)
+    flows = wl.initial()
+    p = len(ring52.terminals)
+    assert len(flows) == p * (p - 1)
+    assert len({(f.src, f.dst) for f in flows}) == len(flows)
+    assert all(f.src != f.dst for f in flows)
+    starts = [f.start for f in flows]
+    assert starts == sorted(starts)
+    assert starts[1] - starts[0] == pytest.approx(1e-6)
+    assert wl.on_complete(flows[0], 1.0) == []
+
+
+# ---------------------------------------------------------------------------
+# Barrier collectives
+# ---------------------------------------------------------------------------
+def test_ring_allreduce_schedule(ring52):
+    p = len(ring52.terminals)
+    wl = RingAllReduceWorkload(ring52, size_bytes=1000 * p)
+    rounds = drain_rounds(wl)
+    assert len(rounds) == 2 * (p - 1)
+    for r, flows in enumerate(rounds):
+        assert len(flows) == p  # every rank sends each step
+        phase = "rs" if r < p - 1 else "ag"
+        assert {f.tag for f in flows} == {f"{phase}:{r}"}
+        assert all(f.size_bytes == 1000 for f in flows)  # size/P chunks
+
+
+def test_ring_allreduce_barrier_waits_for_the_whole_round(ring52):
+    wl = RingAllReduceWorkload(ring52)
+    flows = wl.initial()
+    # Completing all but one flow releases nothing.
+    for f in flows[:-1]:
+        assert wl.on_complete(f, 1.0) == []
+    nxt = wl.on_complete(flows[-1], 2.0)
+    assert len(nxt) == len(flows)
+    assert all(f.start == 2.0 for f in nxt)
+
+
+def test_tree_allreduce_schedule(xgft442):
+    wl = TreeAllReduceWorkload(xgft442, size_bytes=4096)
+    p = len(wl.ranks)
+    depth = math.ceil(math.log2(p))
+    rounds = drain_rounds(wl)
+    assert len(rounds) == 2 * depth
+    # Reduce halves the senders each round; broadcast mirrors it.
+    reduce_counts = [len(r) for r in rounds[:depth]]
+    bcast_counts = [len(r) for r in rounds[depth:]]
+    assert reduce_counts == list(reversed(bcast_counts))
+    assert sum(reduce_counts) == p - 1  # a tree has P-1 edges
+    root = wl.ranks[0]
+    assert rounds[depth - 1][0].dst == root  # reduce converges on rank 0
+    assert rounds[depth][0].src == root  # broadcast starts there
+
+
+def test_alltoall_schedule(ring52):
+    p = len(ring52.terminals)
+    wl = AllToAllWorkload(ring52, size_bytes=512)
+    rounds = drain_rounds(wl)
+    assert len(rounds) == p - 1
+    sent = {(f.src, f.dst) for r in rounds for f in r}
+    assert len(sent) == p * (p - 1)  # every pair exactly once overall
+    for flows in rounds:
+        assert len(flows) == p
+        assert len({f.src for f in flows}) == p  # a shift permutation
+
+
+def test_tp_pp_pipelines_microbatches(xgft442):
+    wl = make_workload("tp_pp", xgft442, tp_size=2, microbatches=3)
+    rounds = drain_rounds(wl)
+    flows = [f for r in rounds for f in r]
+    tp = [f for f in flows if f.tag.startswith("tp:")]
+    pp = [f for f in flows if f.tag.startswith("pp:")]
+    assert len(tp) == wl.num_stages * wl.tp_size * wl.microbatches
+    assert len(pp) == (wl.num_stages - 1) * wl.microbatches
+    # Activations always go head-of-stage to head-of-next-stage.
+    heads = {s[0] for s in wl.stages}
+    assert all(f.src in heads and f.dst in heads for f in pp)
+
+
+# ---------------------------------------------------------------------------
+# Mice probes
+# ---------------------------------------------------------------------------
+def test_mice_probes_are_seeded_and_windowed(ring52):
+    a = MiceProbeWorkload(ring52, count=30, size_bytes=256, window_s=1e-4, seed=9)
+    b = MiceProbeWorkload(ring52, count=30, size_bytes=256, window_s=1e-4, seed=9)
+    fa, fb = a.initial(), b.initial()
+    assert fa == fb  # same seed, same probes
+    assert len(fa) == 30
+    assert all(0.0 <= f.start < 1e-4 for f in fa)
+    assert all(f.src != f.dst for f in fa)
+    other = MiceProbeWorkload(ring52, count=30, seed=10).initial()
+    assert other != fa
+
+
+# ---------------------------------------------------------------------------
+# Composition
+# ---------------------------------------------------------------------------
+def test_composite_dispatches_completions_to_the_owning_part(ring52):
+    wl = make_workload(
+        "composite", ring52,
+        parts=[
+            {"kind": "ring_allreduce", "size_bytes": 10000},
+            {"kind": "mice", "count": 5, "seed": 1},
+        ],
+    )
+    flows = wl.initial()
+    p = len(ring52.terminals)
+    assert len(flows) == p + 5
+    fids = [f.fid for f in flows]
+    assert len(set(fids)) == len(fids)
+    # Parts live in disjoint fid ranges.
+    assert {f.fid // _FID_STRIDE for f in flows} == {0, 1}
+    # Finishing a mouse never advances the allreduce barrier.
+    mouse = next(f for f in flows if f.tag == "mouse")
+    assert wl.on_complete(mouse, 1.0) == []
+    ar = [f for f in flows if f.tag != "mouse"]
+    released = []
+    for f in ar:
+        released.extend(wl.on_complete(f, 2.0))
+    assert len(released) == p  # allreduce round 1, from its own part
+
+
+# ---------------------------------------------------------------------------
+# Registry and validation errors
+# ---------------------------------------------------------------------------
+def test_make_workload_rejects_unknown_kind(ring52):
+    with pytest.raises(SimulationError, match="unknown workload kind"):
+        make_workload("elephants", ring52)
+
+
+def test_make_workload_wraps_bad_options(ring52):
+    with pytest.raises(SimulationError, match="bad options"):
+        make_workload("mice", ring52, flavour="cheddar")
+
+
+def test_composite_rejects_nesting_and_empty_parts(ring52):
+    with pytest.raises(SimulationError, match="nest"):
+        make_workload("composite", ring52, parts=[{"kind": "composite", "parts": []}])
+    with pytest.raises(SimulationError, match="non-empty"):
+        make_workload("composite", ring52, parts=[])
+
+
+def test_participant_validation(ring52):
+    t = [int(x) for x in ring52.terminals]
+    with pytest.raises(SimulationError, match="not a terminal"):
+        UniformPairsWorkload(ring52, participants=[t[0], 0])
+    with pytest.raises(SimulationError, match="duplicates"):
+        UniformPairsWorkload(ring52, participants=[t[0], t[0]])
+    with pytest.raises(SimulationError, match=">= 2"):
+        UniformPairsWorkload(ring52, participants=[t[0]])
+    with pytest.raises(SimulationError, match="tp_size"):
+        make_workload("tp_pp", ring52, tp_size=1)
