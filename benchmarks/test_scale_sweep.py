@@ -1,0 +1,308 @@
+"""Scale-sweep benchmark: 1k / 10k / 100k-endpoint XGFTs.
+
+The perf-regression gate (``test_perf_regression.py``) pins the hot path
+on a 384-terminal reference fabric; this sweep shows the fast path
+(shared-memory fan-out + numpy kernel + vectorized weight update) holds
+up at three orders of magnitude:
+
+========  ==========================  =========  ==========
+tier      fabric                      terminals  channels
+========  ==========================  =========  ==========
+``1k``    ``xgft(3,(10,10,10),(1,4,4))``   1 000     4 200
+``10k``   ``xgft(3,(22,22,21),(1,6,6))``  10 164    27 384
+``100k``  ``xgft(3,(50,50,40),(1,8,8))`` 100 000   237 120
+========  ==========================  =========  ==========
+
+Per tier we record fast-path wall time, peak RSS
+(``resource.getrusage``), and a *sampled* pure-python serial estimate:
+the reference heap Dijkstra + farthest-first weight update is timed on a
+handful of evenly spaced destinations and extrapolated by the terminal
+count. Full pure-python runs at 10k+ take tens of minutes — exactly the
+wall this sweep documents breaking — so sampling keeps the gate cheap
+while staying honest (the per-destination cost is flat across
+destinations of one fabric).
+
+The ``1k``/``10k`` tiers run everywhere (the CI smoke step); results
+land in ``benchmarks/results/BENCH_scale.json``. The ``100k`` tier needs
+a ~64 GB box and minutes of wall time, so it only runs with
+``REPRO_SCALE_100K=1`` (the nightly leg): it allocates the full dense
+forwarding table (~41 GB), routes sampled destinations through the numpy
+kernel at true scale, and gates peak RSS under the ceiling.
+
+Gates:
+
+* **speedup** — the 10k fast path must be ≥ 5× the extrapolated python
+  serial time (currently ~12×);
+* **memory** — peak RSS per tier stays under its ceiling (the 100k
+  ceiling, 64 GB, is the headline: dense tables at 100k endpoints fit);
+* **regression** — fast-path time per calibration unit must not exceed
+  the committed ``benchmarks/baselines/BENCH_scale_baseline.json`` by
+  more than 30% (scale runs are noisier than the reference fabric, hence
+  the wider band than test_perf_regression's 20%).
+
+After an *intentional* perf change, refresh the baseline::
+
+    PYTHONPATH=src python benchmarks/test_scale_sweep.py --rebaseline
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import resource
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core import SSSPEngine
+from repro.core.sssp import (
+    dijkstra_to_dest,
+    update_weights_for_dest,
+    update_weights_for_dest_fast,
+)
+from repro.network.topologies import xgft
+from repro.parallel.kernel import dijkstra_to_dest_numpy
+from repro.utils.reporting import Table
+
+from conftest import RESULTS_DIR, emit
+from test_perf_regression import _calibrate
+
+BASELINE_PATH = Path(__file__).parent / "baselines" / "BENCH_scale_baseline.json"
+SCALE_JSON = RESULTS_DIR / "BENCH_scale.json"
+
+#: tier name -> xgft parameters, python-sample size, peak-RSS ceiling
+TIERS = {
+    "1k": {"xgft": (3, (10, 10, 10), (1, 4, 4)), "sample": 8, "rss_ceiling_mb": 4_096},
+    "10k": {"xgft": (3, (22, 22, 21), (1, 6, 6)), "sample": 6, "rss_ceiling_mb": 16_384},
+    "100k": {"xgft": (3, (50, 50, 40), (1, 8, 8)), "sample": 3, "rss_ceiling_mb": 65_536},
+}
+
+#: tiers the smoke test (and CI) runs; 100k is env-gated (see module docstring)
+SMOKE_TIERS = ("1k", "10k")
+
+#: required fast-path speedup over the extrapolated python serial at 10k
+MIN_SPEEDUP_10K = 5.0
+
+#: fast-path regression tolerance vs the committed baseline
+REGRESSION_FACTOR = 1.3
+
+#: fast-path configuration: shared-memory fan-out + numpy kernel
+FAST_WORKERS = 2
+
+RUN_100K = os.environ.get("REPRO_SCALE_100K") == "1"
+
+
+def _peak_rss_mb() -> float:
+    """Process high-water RSS in MB (Linux ru_maxrss is in KB)."""
+    return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0
+
+
+def _sample_dests(fabric, k: int) -> list[int]:
+    terms = np.asarray(fabric.terminals)
+    step = max(1, len(terms) // k)
+    return [int(d) for d in terms[::step][:k]]
+
+
+def _python_per_dest_s(fabric, k: int) -> float:
+    """Pure-python serial cost per destination, sampled over k dests."""
+    is_term = np.zeros(fabric.num_nodes, dtype=bool)
+    is_term[np.asarray(fabric.terminals)] = True
+    weights = np.ones(fabric.num_channels, dtype=np.int64)
+    dests = _sample_dests(fabric, k)
+    start = time.perf_counter()
+    for dest in dests:
+        dist, parent = dijkstra_to_dest(fabric, dest, weights)
+        update_weights_for_dest(fabric, dest, dist, parent, weights, is_term)
+    return (time.perf_counter() - start) / len(dests)
+
+
+def measure_tier(name: str) -> dict:
+    """Full fast-path route + sampled python estimate for one smoke tier."""
+    cfg = TIERS[name]
+    fabric = xgft(*cfg["xgft"])
+    calib = _calibrate()
+
+    per_dest = _python_per_dest_s(fabric, cfg["sample"])
+    est_python_s = per_dest * fabric.num_terminals
+
+    engine = SSSPEngine(workers=FAST_WORKERS, kernel="numpy")
+    start = time.perf_counter()
+    result = engine.route(fabric)
+    fast_s = time.perf_counter() - start
+    assert result.tables.next_channel.shape[0] == fabric.num_nodes
+
+    return {
+        "fabric": f"xgft{cfg['xgft']}",
+        "nodes": fabric.num_nodes,
+        "terminals": fabric.num_terminals,
+        "channels": fabric.num_channels,
+        "calibration_s": calib,
+        "python_sample_dests": cfg["sample"],
+        "python_per_dest_s": per_dest,
+        "python_serial_est_s": est_python_s,
+        "fast_s": fast_s,
+        "fast_workers": FAST_WORKERS,
+        "fast_kernel": "numpy",
+        "speedup_vs_python_est": est_python_s / fast_s,
+        "fast_per_calib": fast_s / calib,
+        "peak_rss_mb": _peak_rss_mb(),
+        "rss_ceiling_mb": cfg["rss_ceiling_mb"],
+    }
+
+
+def measure_100k() -> dict:
+    """Memory-ceiling probe at 100k endpoints.
+
+    Allocates the full dense forwarding table (the dominant allocation of
+    a real route: ``num_nodes x num_terminals`` int32, ~41 GB here), then
+    routes sampled destinations through the numpy kernel + vectorized
+    weight update at true scale, filling their columns. Peak RSS is the
+    gate; wall time per destination is extrapolated for the record.
+    """
+    cfg = TIERS["100k"]
+    fabric = xgft(*cfg["xgft"])
+    calib = _calibrate()
+    is_term = np.zeros(fabric.num_nodes, dtype=bool)
+    is_term[np.asarray(fabric.terminals)] = True
+    weights = np.ones(fabric.num_channels, dtype=np.int64)
+    dests = _sample_dests(fabric, cfg["sample"])
+
+    # -1 (not np.empty) so every page is touched and counted in RSS.
+    table = np.full((fabric.num_nodes, fabric.num_terminals), -1, dtype=np.int32)
+
+    start = time.perf_counter()
+    for i, dest in enumerate(dests):
+        dist, parent = dijkstra_to_dest_numpy(fabric, dest, weights)
+        update_weights_for_dest_fast(fabric, dest, dist, parent, weights, is_term)
+        table[:, i] = parent
+    per_dest = (time.perf_counter() - start) / len(dests)
+
+    py_per_dest = _python_per_dest_s(fabric, 2)
+    record = {
+        "fabric": f"xgft{cfg['xgft']}",
+        "nodes": fabric.num_nodes,
+        "terminals": fabric.num_terminals,
+        "channels": fabric.num_channels,
+        "calibration_s": calib,
+        "table_gb": table.nbytes / 1e9,
+        "sampled_dests": len(dests),
+        "fast_per_dest_s": per_dest,
+        "fast_est_full_route_min": per_dest * fabric.num_terminals / 60,
+        "python_per_dest_s": py_per_dest,
+        "python_serial_est_min": py_per_dest * fabric.num_terminals / 60,
+        "speedup_vs_python_est": py_per_dest / per_dest,
+        "peak_rss_mb": _peak_rss_mb(),
+        "rss_ceiling_mb": cfg["rss_ceiling_mb"],
+    }
+    del table
+    return record
+
+
+def _emit_scale(tiers: dict) -> None:
+    """Merge tier records into BENCH_scale.json and render the table."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    record = {"tiers": {}}
+    if SCALE_JSON.is_file():
+        record = json.loads(SCALE_JSON.read_text())
+    record["tiers"].update(tiers)
+    SCALE_JSON.write_text(json.dumps(record, indent=1) + "\n")
+
+    table = Table(
+        ["tier", "terminals", "fast [s]", "python est [s]", "speedup", "peak RSS [MB]"],
+        title=f"scale sweep: shared-memory fan-out + numpy kernel "
+        f"(workers={FAST_WORKERS}) vs sampled pure-python serial estimate",
+    )
+    for name in ("1k", "10k", "100k"):
+        t = record["tiers"].get(name)
+        if t is None:
+            continue
+        fast = t.get("fast_s", t.get("fast_per_dest_s", 0) * t["terminals"])
+        table.add_row([
+            name, t["terminals"], round(fast, 1),
+            round(t.get("python_serial_est_s",
+                        t.get("python_serial_est_min", 0) * 60), 1),
+            round(t["speedup_vs_python_est"], 1),
+            round(t["peak_rss_mb"], 0),
+        ])
+    emit("scale_sweep", table.render(), table)
+
+
+def test_scale_sweep_smoke():
+    tiers = {name: measure_tier(name) for name in SMOKE_TIERS}
+    _emit_scale(tiers)
+
+    t10k = tiers["10k"]
+    assert t10k["speedup_vs_python_est"] >= MIN_SPEEDUP_10K, (
+        f"10k fast path is only {t10k['speedup_vs_python_est']:.1f}x the "
+        f"extrapolated python serial (fast {t10k['fast_s']:.1f}s, python est "
+        f"{t10k['python_serial_est_s']:.1f}s); gate requires {MIN_SPEEDUP_10K}x"
+    )
+    for name, t in tiers.items():
+        assert t["peak_rss_mb"] <= t["rss_ceiling_mb"], (
+            f"{name} tier peaked at {t['peak_rss_mb']:.0f} MB RSS, over the "
+            f"{t['rss_ceiling_mb']} MB ceiling"
+        )
+
+    assert BASELINE_PATH.is_file(), (
+        f"missing committed baseline {BASELINE_PATH}; create it with "
+        "`PYTHONPATH=src python benchmarks/test_scale_sweep.py --rebaseline`"
+    )
+    baseline = json.loads(BASELINE_PATH.read_text())
+    for name, base in baseline["fast_per_calib"].items():
+        got = tiers[name]["fast_per_calib"]
+        assert got <= base * REGRESSION_FACTOR, (
+            f"{name} fast path regressed: {got:.2f} calibration units vs "
+            f"baseline {base:.2f} (gate: {REGRESSION_FACTOR:.1f}x). If "
+            "intentional, rebaseline with `PYTHONPATH=src python "
+            "benchmarks/test_scale_sweep.py --rebaseline`"
+        )
+
+
+@pytest.mark.skipif(
+    not RUN_100K, reason="100k tier needs ~64 GB RAM; set REPRO_SCALE_100K=1"
+)
+def test_scale_100k_under_memory_ceiling():
+    record = measure_100k()
+    _emit_scale({"100k": record})
+    assert record["peak_rss_mb"] <= record["rss_ceiling_mb"], (
+        f"100k tier peaked at {record['peak_rss_mb']:.0f} MB RSS, over the "
+        f"{record['rss_ceiling_mb']} MB ceiling"
+    )
+    # A full dense table really was resident — the probe means something.
+    assert record["table_gb"] >= 40.0
+    assert record["peak_rss_mb"] >= record["table_gb"] * 1e3 / 1.048576 * 0.95
+
+
+def _rebaseline() -> None:
+    tiers = {name: measure_tier(name) for name in SMOKE_TIERS}
+    _emit_scale(tiers)
+    BASELINE_PATH.parent.mkdir(parents=True, exist_ok=True)
+    BASELINE_PATH.write_text(
+        json.dumps(
+            {
+                "fast_per_calib": {
+                    name: t["fast_per_calib"] for name, t in tiers.items()
+                },
+                "note": "fast-path route time divided by the calibration "
+                "primitive; gate allows 1.3x",
+            },
+            indent=1,
+        )
+        + "\n"
+    )
+    print(f"baseline written to {BASELINE_PATH}")
+    print(json.dumps(tiers, indent=1))
+
+
+if __name__ == "__main__":
+    import sys
+
+    if "--rebaseline" in sys.argv:
+        _rebaseline()
+    else:
+        test_scale_sweep_smoke()
+        if RUN_100K:
+            test_scale_100k_under_memory_ceiling()
+        print(SCALE_JSON.read_text())

@@ -153,9 +153,11 @@ def _add_parallel_args(p: argparse.ArgumentParser) -> None:
         "kernel is bit-identical to the reference 'python' heap)",
     )
     p.add_argument(
-        "--cdg", choices=("incremental", "rebuild"), default="incremental",
+        "--cdg", choices=("incremental", "sharded", "rebuild"),
+        default="incremental",
         help="DFSSSP cycle-breaking engine (the vectorized 'incremental' "
-        "CSR engine is bit-identical to the 'rebuild' reference)",
+        "CSR engine, the 'sharded' independent-SCC batcher and the "
+        "'rebuild' reference are all bit-identical)",
     )
 
 
@@ -500,6 +502,20 @@ def cmd_des(args) -> int:
         with open(args.scenario) as fh:
             raw = json.load(fh)
     scenarios = raw if isinstance(raw, list) else [raw]
+    # CLI-pinned engine options win over per-scenario ones so a sweep can
+    # run every scenario under one kernel/worker configuration.
+    cli_opts: dict = {}
+    if getattr(args, "workers", 0):
+        cli_opts["workers"] = args.workers
+    if getattr(args, "kernel", "python") != "python":
+        cli_opts["kernel"] = args.kernel
+    if getattr(args, "cdg", "incremental") != "incremental":
+        cli_opts["cdg"] = args.cdg
+    if cli_opts:
+        scenarios = [
+            {**spec, "engine_opts": {**spec.get("engine_opts", {}), **cli_opts}}
+            for spec in scenarios
+        ]
     reports = [run_scenario(spec) for spec in scenarios]
     payload = [r.to_dict() for r in reports]
     out_doc = payload[0] if not isinstance(raw, list) else payload
@@ -1105,6 +1121,7 @@ def main(argv: list[str] | None = None) -> int:
     )
     p.add_argument("--json", action="store_true", help="print the JSON report")
     _add_obs_args(p)
+    _add_parallel_args(p)
     p.set_defaults(func=cmd_des)
 
     p = sub.add_parser("chaos", help="fault-injection soak (degrade/repair/verify)")

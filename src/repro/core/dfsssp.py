@@ -45,10 +45,13 @@ class DFSSSPEngine(RoutingEngine):
     cdg:
         Cycle-breaking engine for offline mode: ``"incremental"``
         (default — the vectorized CSR engine of
-        :mod:`repro.deadlock.incremental`) or ``"rebuild"`` (the
-        dict-backed reference). Both produce bit-identical layer
-        assignments; the benchmark suite gates the former at ≥3× the
-        latter's speed.
+        :mod:`repro.deadlock.incremental`), ``"sharded"`` (batches
+        eviction across independent SCC shards per layer, optionally
+        fanning them out over ``workers`` processes — see
+        :mod:`repro.deadlock.sharded`) or ``"rebuild"`` (the dict-backed
+        reference). All produce bit-identical layer assignments; the
+        benchmark suite gates the incremental engine at ≥3× the
+        rebuild's speed.
     balance:
         Spread paths over unused layers after cycle breaking (Algorithm
         2's final step).
@@ -76,11 +79,14 @@ class DFSSSPEngine(RoutingEngine):
         workers: int = 0,
         kernel: str = "python",
         batch: int | None = None,
+        shm: bool = True,
     ):
         if mode not in ("offline", "online"):
             raise ValueError(f"mode must be 'offline' or 'online', got {mode!r}")
-        if cdg not in ("incremental", "rebuild"):
-            raise ValueError(f"cdg must be 'incremental' or 'rebuild', got {cdg!r}")
+        if cdg not in ("incremental", "sharded", "rebuild"):
+            raise ValueError(
+                f"cdg must be 'incremental', 'sharded' or 'rebuild', got {cdg!r}"
+            )
         self.max_layers = max_layers
         self.heuristic = heuristic
         self.mode = mode
@@ -93,6 +99,7 @@ class DFSSSPEngine(RoutingEngine):
             workers=workers,
             kernel=kernel,
             batch=batch,
+            shm=shm,
         )
 
     def reroute(self, prior, degraded) -> RoutingResult:
@@ -142,6 +149,14 @@ class DFSSSPEngine(RoutingEngine):
                     from repro.deadlock.incremental import assign_layers_incremental
 
                     assign = assign_layers_incremental
+                elif self.cdg == "sharded":
+                    from functools import partial
+
+                    from repro.deadlock.sharded import assign_layers_sharded
+
+                    assign = partial(
+                        assign_layers_sharded, workers=self._sssp.workers
+                    )
                 else:
                     assign = assign_layers_offline
                 assignment = assign(

@@ -36,7 +36,7 @@ from repro.service.budget import check_budget
 from repro.utils.prng import make_rng, stable_fabric_seed
 
 #: per-destination shortest-path kernels (see :mod:`repro.parallel.kernel`).
-KERNELS = ("python", "numpy")
+KERNELS = ("python", "numpy", "native")
 
 
 class SSSPEngine(RoutingEngine):
@@ -62,13 +62,20 @@ class SSSPEngine(RoutingEngine):
         (:mod:`repro.parallel.executor`); the result is bit-identical to
         the serial run.
     kernel:
-        ``"python"`` (reference heap Dijkstra, default) or ``"numpy"``
-        (vectorized masked-argmin kernel). Both are bit-identical; see
-        :mod:`repro.parallel.kernel`.
+        ``"python"`` (reference heap Dijkstra, default), ``"numpy"``
+        (vectorized masked-argmin kernel) or ``"native"`` (numba-jit CSR
+        kernel, degrading to ``"python"`` with a warning when numba is
+        absent). All are bit-identical; see :mod:`repro.parallel.kernel`
+        and :mod:`repro.parallel.native`.
     batch:
         Hop columns per parallel batch (default ``4 * workers``). Only
         used when ``workers >= 1``; batching affects scheduling and span
         granularity, never results.
+    shm:
+        Parallel transport (``workers >= 1`` only): True (default) maps
+        the fabric and the result columns into shared memory, False
+        ships them through pickling. Bit-identical either way; see
+        :mod:`repro.parallel.shm`.
     """
 
     name = "sssp"
@@ -82,6 +89,7 @@ class SSSPEngine(RoutingEngine):
         workers: int = 0,
         kernel: str = "python",
         batch: int | None = None,
+        shm: bool = True,
     ):
         if dest_order not in ("index", "random"):
             raise ValueError(f"dest_order must be 'index' or 'random', got {dest_order!r}")
@@ -97,6 +105,7 @@ class SSSPEngine(RoutingEngine):
         self.workers = workers
         self.kernel = kernel
         self.batch = batch
+        self.shm = shm
 
     # ------------------------------------------------------------------
     def _route(self, fabric: Fabric) -> RoutingResult:
@@ -165,16 +174,16 @@ class SSSPEngine(RoutingEngine):
                 batch=self.batch,
                 count_switch_sources=self.count_switch_sources,
                 engine_name=self.name,
+                use_shm=self.shm,
             )
             total = int(weights.sum() - w0 * fabric.num_channels)
             return RoutingTables(fabric, next_channel, engine=self.name), total, weights
 
         weights = np.full(fabric.num_channels, w0, dtype=np.int64)
         next_channel = np.full((fabric.num_nodes, T), -1, dtype=np.int32)
-        if self.kernel == "numpy":
-            from repro.parallel.kernel import dijkstra_to_dest_numpy as dijkstra
-        else:
-            dijkstra = dijkstra_to_dest
+        from repro.parallel.kernel import resolve_kernel
+
+        dijkstra = resolve_kernel(self.kernel)
 
         reg = get_registry()
         m_sources = reg.counter(
@@ -220,7 +229,20 @@ class SSSPEngine(RoutingEngine):
 
     # ------------------------------------------------------------------
     def _update_weights(self, fabric, dest, dist, parent, weights, is_term, chan_src) -> None:
-        update_weights_for_dest(
+        if self.kernel == "numpy":
+            # Same kernel family as the Dijkstra: stays vectorized.
+            update = update_weights_for_dest_fast
+        elif self.kernel == "native":
+            from repro.parallel import native
+
+            update = (
+                update_weights_for_dest_native
+                if native.numba_available()
+                else update_weights_for_dest  # degraded to "python" wholesale
+            )
+        else:
+            update = update_weights_for_dest
+        update(
             fabric, dest, dist, parent, weights, is_term,
             count_switch_sources=self.count_switch_sources,
         )
@@ -253,6 +275,98 @@ def update_weights_for_dest(
         # through u's parent channel next.
         u = fabric.channels.dst[c]
         cnt[u] += cnt[v]
+
+
+def update_weights_for_dest_fast(
+    fabric: Fabric,
+    dest: int,
+    dist: np.ndarray,
+    parent: np.ndarray,
+    weights: np.ndarray,
+    is_term: np.ndarray,
+    count_switch_sources: bool = False,
+) -> None:
+    """Vectorized :func:`update_weights_for_dest` — exact, not approximate.
+
+    The reference walks nodes farthest-first; exactness only needs a
+    *topological* order of the shortest-path tree (the increments are
+    integer adds, which commute, and each node's count must be final
+    before its parent consumes it). This version levels the tree by
+    parent-pointer depth and applies one whole level per numpy operation,
+    deepest level first. Within a level the parent channels are distinct
+    (one per source node), so the fancy-indexed ``+=`` on ``weights`` is
+    exact; the node counts funnel through ``np.add.at``. Bit-identical to
+    the reference on every input — the differential suite asserts it.
+    """
+    n = fabric.num_nodes
+    chan_dst = fabric.channels.dst
+    if count_switch_sources:
+        cnt = np.ones(n, dtype=np.int64)
+    else:
+        cnt = is_term.astype(np.int64)
+    cnt[dest] = 0
+    have = np.flatnonzero(parent >= 0)  # nodes that route via a parent channel
+    if not len(have):
+        return
+    pchan = parent[have].astype(np.int64)
+    pnode = chan_dst[pchan]
+    # Depth of every routing node in the parent-pointer tree. Parent
+    # chains end at `dest`, whose depth is 0; one pass resolves one level.
+    pos = np.full(n, -1, dtype=np.int64)
+    pos[have] = np.arange(len(have))
+    pidx = pos[pnode]  # index of the parent within `have`; -1 => parent is dest
+    depth = np.where(pidx < 0, 1, -1).astype(np.int64)
+    todo = np.flatnonzero(depth < 0)
+    while len(todo):
+        pd = depth[pidx[todo]]
+        ready = pd > 0
+        if not ready.any():  # pragma: no cover - impossible for tree parents
+            raise ValueError("parent pointers contain a cycle")
+        depth[todo[ready]] = pd[ready] + 1
+        todo = todo[~ready]
+    # Deepest level first: every child's count is final before the parent
+    # level reads it, the same invariant the farthest-first loop keeps.
+    for d in range(int(depth.max()), 0, -1):
+        sel = np.flatnonzero(depth == d)
+        contrib = cnt[have[sel]]
+        weights[pchan[sel]] += contrib  # pchan unique per source node
+        np.add.at(cnt, pnode[sel], contrib)
+
+
+def update_weights_for_dest_native(
+    fabric: Fabric,
+    dest: int,
+    dist: np.ndarray,
+    parent: np.ndarray,
+    weights: np.ndarray,
+    is_term: np.ndarray,
+    count_switch_sources: bool = False,
+) -> None:
+    """Jitted :func:`update_weights_for_dest` (numba path only).
+
+    Runs the reference farthest-first loop in machine code; the caller
+    (:meth:`SSSPEngine._update_weights`) already fell back to the
+    reference when numba is absent.
+    """
+    from repro.parallel import native
+
+    impl = native.load_native()
+    if impl is None:  # pragma: no cover - callers gate on numba_available
+        update_weights_for_dest(
+            fabric, dest, dist, parent, weights, is_term,
+            count_switch_sources=count_switch_sources,
+        )
+        return
+    if count_switch_sources:
+        cnt = np.ones(fabric.num_nodes, dtype=np.int64)
+    else:
+        cnt = is_term.astype(np.int64)
+    cnt[dest] = 0
+    finite = np.flatnonzero(dist < np.iinfo(np.int64).max)
+    order = finite[np.argsort(dist[finite])[::-1]]  # farthest first
+    impl.update_weights_csr(
+        dest, dist, parent, weights, cnt, fabric.channels.dst, order
+    )
 
 
 def dijkstra_to_dest(fabric: Fabric, dest: int, weights: np.ndarray):

@@ -19,6 +19,15 @@ scheduling can change timing only, never output. Batch ``b+1`` is
 dispatched before batch ``b`` is reduced, so workers stay busy while the
 parent reduces.
 
+Two transports move the fabric out and the hop columns back
+(``use_shm``, default on): the **shared-memory** path maps the fabric
+CSR arrays and two rotating per-batch column blocks into every process
+(:mod:`repro.parallel.shm` — zero pickling per batch, workers write
+result rows in place), while the **pickling** path ships columns through
+the pool's result queue. They are observationally identical — the
+differential suite runs both against serial — the shm path is simply the
+one that survives 100k-endpoint fabrics.
+
 Compute budgets (:mod:`repro.service.budget`) are context-local and do
 not cross process boundaries, so the parent snapshots the active
 budget's remaining seconds into every task; workers re-arm an equivalent
@@ -61,13 +70,39 @@ BATCH_COLUMNS_PER_WORKER = 4
 # ----------------------------------------------------------------------
 # worker side
 # ----------------------------------------------------------------------
-_worker_state: dict = {"fabric": None, "kernel": "numpy"}
+_worker_state: dict = {"fabric": None, "kernel": "numpy", "columns": None, "pins": ()}
 
 
-def _init_worker(fabric: Fabric, kernel: str) -> None:
-    """Pool initializer: pin the (immutable) fabric and kernel choice."""
+def _init_worker(fabric: Fabric | None, kernel: str,
+                 fabric_spec: dict | None = None,
+                 column_specs: Sequence[dict] | None = None) -> None:
+    """Pool initializer: pin the (immutable) fabric and kernel choice.
+
+    The shm transport passes ``fabric=None`` plus segment specs; the
+    worker maps the shared fabric arena into a
+    :class:`~repro.parallel.shm.FabricView` and the rotating column
+    blocks into writable row arrays, pinning the mappings for the
+    process lifetime (``pins`` keeps the SharedMemory objects alive).
+    """
+    pins = []
+    if fabric_spec is not None:
+        from repro.parallel.shm import attach_fabric
+
+        fabric, shm = attach_fabric(fabric_spec)
+        pins.append(shm)
     _worker_state["fabric"] = fabric
     _worker_state["kernel"] = kernel
+    columns = None
+    if column_specs is not None:
+        from repro.parallel.shm import attach_columns
+
+        columns = []
+        for spec in column_specs:
+            arr, shm = attach_columns(spec)
+            columns.append(arr)
+            pins.append(shm)
+    _worker_state["columns"] = columns
+    _worker_state["pins"] = tuple(pins)
 
 
 def _hop_column(dest: int) -> np.ndarray:
@@ -75,11 +110,17 @@ def _hop_column(dest: int) -> np.ndarray:
 
     The ``python`` kernel literally fans out
     :func:`repro.core.sssp.dijkstra_to_dest` on uniform unit weights
-    (whose distances *are* hop counts); ``numpy`` runs the BFS kernel.
-    Both return identical columns.
+    (whose distances *are* hop counts); ``numpy`` runs the BFS kernel and
+    ``native`` the jitted one (degrading to ``python`` without numba).
+    All return identical columns.
     """
     fabric = _worker_state["fabric"]
-    if _worker_state["kernel"] == "python":
+    kernel = _worker_state["kernel"]
+    if kernel == "native":
+        from repro.parallel.native import hops_to_dest_native
+
+        return hops_to_dest_native(fabric, dest)
+    if kernel == "python":
         from repro.core.sssp import dijkstra_to_dest
 
         ones = np.ones(fabric.num_channels, dtype=np.int64)
@@ -128,6 +169,47 @@ def _hop_columns_task(dests: Sequence[int], budget_s, budget_label: str,
             return ("timeout", (str(err), err.label, err.limit_s, err.elapsed_s), records)
 
 
+def _hop_columns_shm_task(dest_rows: Sequence[tuple[int, int]], block: int,
+                          budget_s, budget_label: str,
+                          carrier: dict | None = None):
+    """Shared-memory variant of :func:`_hop_columns_task`.
+
+    ``dest_rows`` pairs each destination with its row in column block
+    ``block`` (an index into the initializer's ``column_specs``); the
+    column lands in shared memory, so the return payload is just the
+    completed-row count. Timeout/trace semantics are identical to the
+    pickling task — a timed-out chunk may have written some rows, but the
+    parent discards the whole batch by re-raising, so partial rows are
+    never consumed.
+    """
+    capture = bool(carrier and carrier.get("capture"))
+    ctx = capture_spans(carrier) if capture else nullcontext()
+    records: list[dict] = []
+    out = _worker_state["columns"][block]
+
+    def fill() -> int:
+        done = 0
+        for dest, row in dest_rows:
+            if capture:
+                with span("parallel.hop_column", dest=int(dest), pid=os.getpid()):
+                    out[row, :] = _hop_column(int(dest))
+            else:
+                out[row, :] = _hop_column(int(dest))
+            done += 1
+        return done
+
+    with ctx as sink:
+        if capture:
+            records = sink.records
+        try:
+            if budget_s is not None:
+                with compute_budget(budget_s, label=budget_label):
+                    return ("ok", fill(), records)
+            return ("ok", fill(), records)
+        except ComputeTimeoutError as err:
+            return ("timeout", (str(err), err.label, err.limit_s, err.elapsed_s), records)
+
+
 # ----------------------------------------------------------------------
 # parent side
 # ----------------------------------------------------------------------
@@ -169,14 +251,16 @@ def run_parallel_sssp(
     batch: int | None = None,
     count_switch_sources: bool = False,
     engine_name: str = "sssp",
+    use_shm: bool = True,
 ):
     """Parallel SSSP: fan out hop columns, reduce exactly in ``order``.
 
     Returns ``(next_channel, weights)`` bit-identical to
     :meth:`repro.core.sssp.SSSPEngine._run` on the same fabric and
-    destination order.
+    destination order. ``use_shm`` selects the shared-memory transport
+    (module docstring); both transports produce the same arrays.
     """
-    from repro.core.sssp import update_weights_for_dest
+    from repro.core.sssp import update_weights_for_dest_fast
 
     if workers < 1:
         raise ValueError(f"workers must be >= 1, got {workers}")
@@ -233,63 +317,101 @@ def run_parallel_sssp(
         kernel=kernel,
         destinations=int(T),
         batches=len(batches),
+        transport="shm" if use_shm else "pickle",
     ):
         if not batches:
             return next_channel, weights
+        arena = None
+        blocks: list = []
+        if use_shm:
+            from repro.parallel.shm import ColumnBlock, FabricArena
+
+            arena = FabricArena(fabric)
+            # Two rotating blocks: the parent reduces batch b (block b%2)
+            # only after all of b's chunks returned, while workers fill
+            # batch b+1 into the other block — never the same rows.
+            blocks = [ColumnBlock(batch_size, fabric.num_nodes) for _ in range(2)]
+            initargs = (None, kernel, arena.spec, [b.spec for b in blocks])
+        else:
+            initargs = (fabric, kernel)
         ctx = _mp_context()
-        with ctx.Pool(workers, initializer=_init_worker, initargs=(fabric, kernel)) as pool:
-            handles: list = [None] * len(batches)
+        try:
+            with ctx.Pool(workers, initializer=_init_worker, initargs=initargs) as pool:
+                handles: list = [None] * len(batches)
 
-            def dispatch(index: int) -> None:
-                if index >= len(batches):
-                    return
-                budget_s, label = _budget_snapshot()
-                carrier = export_context()
-                handles[index] = [
-                    pool.apply_async(
-                        _hop_columns_task,
-                        ([dest for _, dest in chunk], budget_s, label, carrier),
-                    )
-                    for chunk in _chunks(batches[index], workers)
-                ]
-
-            dispatch(0)
-            for index, batch_jobs in enumerate(batches):
-                dispatch(index + 1)  # keep workers busy while reducing
-                with span(
-                    "parallel.batch", engine=engine_name, batch=index,
-                    columns=len(batch_jobs),
-                ) as sp:
-                    columns: list[np.ndarray] = []
-                    for handle in handles[index]:
-                        status, payload, records = handle.get()
-                        # Re-parent the worker's captured spans under this
-                        # batch span (even for a timed-out chunk — its
-                        # error span is the explanation).
-                        replay_spans(records)
-                        if status == "timeout":
-                            message, label, limit_s, elapsed_s = payload
-                            m_timeouts.inc()
-                            raise ComputeTimeoutError(
-                                f"parallel worker: {message}",
-                                label=label, limit_s=limit_s, elapsed_s=elapsed_s,
+                def dispatch(index: int) -> None:
+                    if index >= len(batches):
+                        return
+                    budget_s, label = _budget_snapshot()
+                    carrier = export_context()
+                    if use_shm:
+                        rows = [
+                            (dest, row)
+                            for row, (_, dest) in enumerate(batches[index])
+                        ]
+                        handles[index] = [
+                            pool.apply_async(
+                                _hop_columns_shm_task,
+                                (chunk, index % 2, budget_s, label, carrier),
                             )
-                        columns.extend(payload)
-                    handles[index] = None  # free the batch's column memory
-                    for (t_idx, dest), hops in zip(batch_jobs, columns):
-                        check_budget()  # parent-side deadline between columns
-                        dist, parent = reduction.refine(dest, hops, weights)
-                        if not reduction.validate(dest, dist, parent, weights):
-                            m_fallbacks.inc()
-                            dist, parent = fallback_dijkstra(fabric, dest, weights)
-                        next_channel[:, t_idx] = parent
-                        update_weights_for_dest(
-                            fabric, dest, dist, parent, weights, is_term,
-                            count_switch_sources=count_switch_sources,
-                        )
-                        m_sources.inc()
-                        m_updates.inc(int(np.count_nonzero(parent >= 0)))
-                m_batches.inc()
-                m_columns.inc(len(batch_jobs))
-                m_seconds.observe(sp.duration)
+                            for chunk in _chunks(rows, workers)
+                        ]
+                    else:
+                        handles[index] = [
+                            pool.apply_async(
+                                _hop_columns_task,
+                                ([dest for _, dest in chunk], budget_s, label, carrier),
+                            )
+                            for chunk in _chunks(batches[index], workers)
+                        ]
+
+                dispatch(0)
+                for index, batch_jobs in enumerate(batches):
+                    dispatch(index + 1)  # keep workers busy while reducing
+                    with span(
+                        "parallel.batch", engine=engine_name, batch=index,
+                        columns=len(batch_jobs),
+                    ) as sp:
+                        columns: list[np.ndarray] | None = None if use_shm else []
+                        for handle in handles[index]:
+                            status, payload, records = handle.get()
+                            # Re-parent the worker's captured spans under this
+                            # batch span (even for a timed-out chunk — its
+                            # error span is the explanation).
+                            replay_spans(records)
+                            if status == "timeout":
+                                message, label, limit_s, elapsed_s = payload
+                                m_timeouts.inc()
+                                raise ComputeTimeoutError(
+                                    f"parallel worker: {message}",
+                                    label=label, limit_s=limit_s, elapsed_s=elapsed_s,
+                                )
+                            if not use_shm:
+                                columns.extend(payload)
+                        handles[index] = None  # free the batch's column memory
+                        block = blocks[index % 2].array if use_shm else None
+                        for row, (t_idx, dest) in enumerate(batch_jobs):
+                            check_budget()  # parent-side deadline between columns
+                            hops = block[row] if use_shm else columns[row]
+                            dist, parent = reduction.refine(dest, hops, weights)
+                            if not reduction.validate(dest, dist, parent, weights):
+                                m_fallbacks.inc()
+                                dist, parent = fallback_dijkstra(fabric, dest, weights)
+                            next_channel[:, t_idx] = parent
+                            update_weights_for_dest_fast(
+                                fabric, dest, dist, parent, weights, is_term,
+                                count_switch_sources=count_switch_sources,
+                            )
+                            m_sources.inc()
+                            m_updates.inc(int(np.count_nonzero(parent >= 0)))
+                    m_batches.inc()
+                    m_columns.inc(len(batch_jobs))
+                    m_seconds.observe(sp.duration)
+        finally:
+            # Parent owns every segment: unlink as soon as the pool is
+            # gone (workers hold plain mappings, closed at process exit).
+            for b in blocks:
+                b.destroy()
+            if arena is not None:
+                arena.destroy()
     return next_channel, weights

@@ -63,10 +63,21 @@ def stable_fabric_seed(fabric) -> int:
     requested without an explicit seed, so that a routing recomputed in
     a worker, a restarted service, or a differential test is still
     bit-reproducible.
+
+    The CRC is cached on the fabric after the first call — fabrics are
+    immutable, and re-hashing three full-length arrays on every
+    ``resolved_seed`` lookup is measurable at 100k nodes.
     """
+    cached = getattr(fabric, "_stable_seed_cache", None)
+    if cached is not None:
+        return cached
     crc = zlib.crc32(np.ascontiguousarray(fabric.kinds, dtype=np.int8).tobytes())
     crc = zlib.crc32(np.ascontiguousarray(fabric.channels.src, dtype=np.int64).tobytes(), crc)
     crc = zlib.crc32(np.ascontiguousarray(fabric.channels.dst, dtype=np.int64).tobytes(), crc)
+    try:
+        fabric._stable_seed_cache = crc
+    except AttributeError:  # pragma: no cover - slotted/frozen stand-ins
+        pass
     return crc
 
 

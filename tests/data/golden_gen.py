@@ -7,6 +7,18 @@ them on every run and fails with a readable diff when any bit drifts —
 the backstop that catches unintended behaviour changes that the
 invariant-style tests (minimality, deadlock-freedom) cannot see.
 
+``DIGEST_FABRICS`` extend the same pin to a ~1k-endpoint XGFT — the
+smallest tier of the scale sweep — where literal arrays would bloat the
+repo: the fixture stores sha256 digests of the canonical array bytes
+(dtype-pinned, C-order) instead. A digest can't show *which* entry
+drifted, but at this size the small fixtures above always drift too and
+carry the readable diff; the 1k pin is there to catch scale-dependent
+drift (batching, sharding, kernel dispatch) that tiny fabrics can't see.
+The recompute uses the fast path (``kernel="numpy"``) to keep tier-1
+time in budget — bit-identity of kernels is proven separately by
+``tests/parallel/test_differential.py``, so the digest pins the shared
+answer, not one kernel's.
+
 ``tests/data/golden/des_*.json`` extend the same idea to the packet
 level: they pin the full event log (sends, arrivals, deliveries, drops,
 faults, reroutes — with timestamps) of two small DES scenarios, checked
@@ -21,8 +33,11 @@ and commit the JSON diff alongside the code change.
 
 from __future__ import annotations
 
+import hashlib
 import json
 from pathlib import Path
+
+import numpy as np
 
 from repro import topologies
 from repro.core import DFSSSPEngine, SSSPEngine
@@ -43,6 +58,50 @@ ENGINES = {
     "sssp": SSSPEngine,
     "dfsssp": DFSSSPEngine,
 }
+
+#: name -> (builder expression, factory) pinned by digest, not literal
+#: arrays (see module docstring); the 1k tier of the scale sweep
+DIGEST_FABRICS = {
+    "xgft1k": (
+        "xgft(3, (10, 10, 10), (1, 4, 4))",
+        lambda: topologies.xgft(3, (10, 10, 10), (1, 4, 4)),
+    ),
+}
+
+
+def _digest(arr, dtype) -> str:
+    """sha256 of an array's canonical bytes (pinned dtype, C order)."""
+    a = np.ascontiguousarray(np.asarray(arr, dtype=dtype))
+    return hashlib.sha256(a.tobytes()).hexdigest()
+
+
+def compute_golden_digest(name: str) -> dict:
+    """The digest record for one large topology: shapes + array hashes."""
+    builder_expr, factory = DIGEST_FABRICS[name]
+    fabric = factory()
+    record: dict = {
+        "topology": name,
+        "builder": builder_expr,
+        "digest": "sha256",
+        "num_nodes": fabric.num_nodes,
+        "num_terminals": fabric.num_terminals,
+        "num_channels": fabric.num_channels,
+        "engines": {},
+    }
+    for engine_name, engine_cls in ENGINES.items():
+        result = engine_cls(kernel="numpy").route(fabric)
+        entry = {
+            "next_channel_sha256": _digest(result.tables.next_channel, np.int32),
+            "channel_weights_sha256": _digest(result.channel_weights, np.int64),
+        }
+        if result.layered is not None:
+            entry["path_layers_sha256"] = _digest(
+                result.layered.path_layers, np.int16
+            )
+            entry["layers_used"] = int(result.layered.layers_used)
+            entry["cycles_broken"] = int(result.stats["cycles_broken"])
+        record["engines"][engine_name] = entry
+    return record
 
 
 def compute_golden(name: str) -> dict:
@@ -125,6 +184,10 @@ def regenerate() -> list[Path]:
     for name in FABRICS:
         path = golden_path(name)
         path.write_text(json.dumps(compute_golden(name), indent=1) + "\n")
+        written.append(path)
+    for name in DIGEST_FABRICS:
+        path = golden_path(name)
+        path.write_text(json.dumps(compute_golden_digest(name), indent=1) + "\n")
         written.append(path)
     for name in DES_SCENARIOS:
         path = golden_path(name)

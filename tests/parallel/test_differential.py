@@ -4,9 +4,14 @@ The determinism contract of :mod:`repro.parallel` is *exact* equality —
 forwarding tables, layer assignments and balancing weights — between the
 serial reference engine and
 
-* the process-pool executor (``workers=2`` and ``workers=4``),
+* the process-pool executor (``workers`` ∈ {1, 2, 4}), over **both**
+  result transports — the shared-memory column blocks (``shm=True``,
+  the default) and the legacy pickling queue (``shm=False``),
 * the vectorized numpy Dijkstra kernel (``kernel="numpy"``),
-* any combination of the two,
+* the native kernel selection (``kernel="native"`` — jitted when numba
+  is importable, degraded to the python reference otherwise; identical
+  either way, so this config is meaningful on every CI leg),
+* any combination of the above,
 
 on every topology family. ``assert_same_routing`` compares arrays with
 ``np.array_equal`` (no tolerance: weights and channel ids are integers),
@@ -16,13 +21,19 @@ irregular fabrics.
 
 from __future__ import annotations
 
+import warnings
+
 import numpy as np
 import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
 
 from repro import topologies
 from repro.core import DFSSSPEngine, SSSPEngine
-from repro.core.sssp import dijkstra_to_dest, update_weights_for_dest
+from repro.core.sssp import (
+    dijkstra_to_dest,
+    update_weights_for_dest,
+    update_weights_for_dest_fast,
+)
 from repro.parallel import dijkstra_to_dest_numpy
 
 # ≥ 5 topology families, as the acceptance criteria require; sizes are
@@ -39,9 +50,14 @@ FAMILIES = {
 
 PARALLEL_CONFIGS = [
     pytest.param(dict(kernel="numpy"), id="serial-numpy"),
+    pytest.param(dict(kernel="native"), id="serial-native"),
+    pytest.param(dict(workers=1, kernel="numpy"), id="workers1-numpy-shm"),
+    pytest.param(dict(workers=1, shm=False), id="workers1-python-pickle"),
     pytest.param(dict(workers=2), id="workers2-python"),
     pytest.param(dict(workers=2, kernel="numpy"), id="workers2-numpy"),
-    pytest.param(dict(workers=4, kernel="numpy"), id="workers4-numpy"),
+    pytest.param(dict(workers=4, kernel="numpy"), id="workers4-numpy-shm"),
+    pytest.param(dict(workers=4, kernel="numpy", shm=False), id="workers4-numpy-pickle"),
+    pytest.param(dict(workers=4, kernel="native"), id="workers4-native"),
 ]
 
 
@@ -78,7 +94,11 @@ def assert_same_routing(base, other, *, layers: bool = False) -> None:
 @pytest.mark.parametrize("config", PARALLEL_CONFIGS)
 def test_sssp_bit_identical(family_fabric, serial_sssp, config):
     name, fabric = family_fabric
-    result = SSSPEngine(**config).route(fabric)
+    with warnings.catch_warnings():
+        # kernel="native" warns when numba is absent; the point here is
+        # that the *routes* are identical regardless.
+        warnings.simplefilter("ignore", RuntimeWarning)
+        result = SSSPEngine(**config).route(fabric)
     assert_same_routing(serial_sssp, result)
     assert result.stats["total_balancing_weight"] == serial_sssp.stats[
         "total_balancing_weight"
@@ -89,7 +109,9 @@ def test_sssp_bit_identical(family_fabric, serial_sssp, config):
 def test_dfsssp_bit_identical(family_fabric, serial_dfsssp, config):
     """Identical tables imply identical layers — asserted, not assumed."""
     _, fabric = family_fabric
-    result = DFSSSPEngine(**config).route(fabric)
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", RuntimeWarning)
+        result = DFSSSPEngine(**config).route(fabric)
     assert_same_routing(serial_dfsssp, result, layers=True)
     assert result.stats["layers_needed"] == serial_dfsssp.stats["layers_needed"]
 
@@ -161,3 +183,27 @@ def test_numpy_kernel_is_exact_oracle(params):
         np.testing.assert_array_equal(d_np, d_ref)
         np.testing.assert_array_equal(p_np, p_ref)
         update_weights_for_dest(fabric, dest, d_ref, p_ref, weights, is_term)
+
+
+@_slow
+@given(random_topo_params, st.booleans())
+def test_fast_weight_update_is_exact_oracle(params, count_switch_sources):
+    """The level-vectorized weight update equals the farthest-first
+    reference *per call* on the evolving weights of a real run, in both
+    source-counting modes."""
+    fabric = _fabric(params)
+    weights_ref = np.ones(fabric.num_channels, dtype=np.int64)
+    weights_fast = weights_ref.copy()
+    is_term = fabric.kinds == 1
+    for t in range(fabric.num_terminals):
+        dest = int(fabric.terminals[t])
+        dist, parent = dijkstra_to_dest(fabric, dest, weights_ref)
+        update_weights_for_dest(
+            fabric, dest, dist, parent, weights_ref, is_term,
+            count_switch_sources=count_switch_sources,
+        )
+        update_weights_for_dest_fast(
+            fabric, dest, dist, parent, weights_fast, is_term,
+            count_switch_sources=count_switch_sources,
+        )
+        np.testing.assert_array_equal(weights_fast, weights_ref)

@@ -35,7 +35,7 @@ def test_engine_rejects_bad_parallel_options():
         SSSPEngine(workers=-1)
     with pytest.raises(ValueError, match="batch"):
         SSSPEngine(workers=2, batch=0)
-    assert KERNELS == ("python", "numpy")
+    assert KERNELS == ("python", "numpy", "native")
 
 
 def test_numpy_kernel_matches_heap_on_uniform_weights(fabric):

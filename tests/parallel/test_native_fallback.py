@@ -1,0 +1,113 @@
+"""kernel="native" without numba: loud once, then bit-identical python.
+
+The native kernels (:mod:`repro.parallel.native`) treat numba as an
+optional accelerator, never a behaviour switch. This suite pins the
+degradation contract on a numba-less interpreter (the common case — CI
+runs a dedicated no-numba leg):
+
+* resolving ``kernel="native"`` emits exactly one :class:`RuntimeWarning`
+  naming numba and the ``repro[native]`` extra, and returns the python
+  reference kernel;
+* engines built with ``kernel="native"`` route bit-identically to
+  ``kernel="python"``, serial and through the process pool;
+* the probe is cached — no re-import attempt, no warning spam.
+
+When numba *is* installed these tests still pass (the fallback branch is
+simply skipped where marked), so the suite is safe on the native CI leg
+too.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro import topologies
+from repro.core import DFSSSPEngine, SSSPEngine
+from repro.core.sssp import dijkstra_to_dest
+from repro.parallel import native
+from repro.parallel.kernel import resolve_kernel
+
+NUMBA_PRESENT = native.numba_available()
+
+
+@pytest.fixture()
+def fresh_probe():
+    """Run a test against an un-probed native module, restoring after."""
+    native.reset_probe_for_tests()
+    yield
+    native.reset_probe_for_tests()
+
+
+@pytest.mark.skipif(NUMBA_PRESENT, reason="fallback branch needs numba absent")
+def test_resolve_native_warns_once_and_returns_python(fresh_probe):
+    with pytest.warns(RuntimeWarning, match="numba") as record:
+        fn = resolve_kernel("native")
+    assert fn is dijkstra_to_dest
+    assert len(record) == 1
+    assert "repro[native]" in str(record[0].message)
+
+    # The probe and the warning are both cached: resolving again is silent.
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        assert resolve_kernel("native") is dijkstra_to_dest
+
+
+@pytest.mark.skipif(NUMBA_PRESENT, reason="fallback branch needs numba absent")
+def test_engine_native_routes_identical_to_python(fresh_probe):
+    fabric = topologies.xgft(2, (4, 4), (1, 2))
+    base = SSSPEngine(kernel="python").route(fabric)
+    with pytest.warns(RuntimeWarning, match="falls back"):
+        nat = SSSPEngine(kernel="native").route(fabric)
+    np.testing.assert_array_equal(nat.tables.next_channel, base.tables.next_channel)
+    np.testing.assert_array_equal(nat.channel_weights, base.channel_weights)
+
+
+@pytest.mark.skipif(NUMBA_PRESENT, reason="fallback branch needs numba absent")
+def test_dfsssp_native_with_workers_identical(fresh_probe):
+    """Degradation also holds through the process pool: workers resolve
+    the kernel themselves (each child probes numba independently) and
+    still produce the serial python result."""
+    fabric = topologies.dragonfly(2, 2, 1)
+    base = DFSSSPEngine().route(fabric)
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", RuntimeWarning)
+        nat = DFSSSPEngine(kernel="native", workers=2).route(fabric)
+    np.testing.assert_array_equal(nat.tables.next_channel, base.tables.next_channel)
+    np.testing.assert_array_equal(nat.layered.path_layers, base.layered.path_layers)
+
+
+def test_native_is_a_known_kernel_everywhere():
+    """The kernel registry and both engines accept "native"."""
+    from repro.parallel.kernel import KERNELS
+
+    assert "native" in KERNELS
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", RuntimeWarning)
+        SSSPEngine(kernel="native")
+        DFSSSPEngine(kernel="native")
+    with pytest.raises(ValueError, match="kernel"):
+        SSSPEngine(kernel="fortran")
+
+
+def test_probe_is_cached():
+    native.reset_probe_for_tests()
+    first = native.numba_available()
+    assert native._STATE["checked"]
+    assert native.numba_available() == first
+
+
+@pytest.mark.skipif(NUMBA_PRESENT, reason="wrapper fallback needs numba absent")
+def test_wrapper_fallbacks_match_reference(fresh_probe):
+    """The module-level wrappers (used by the shm executor's hop columns)
+    degrade per call, not just via resolve_kernel."""
+    fabric = topologies.torus((3, 3), terminals_per_switch=1)
+    dest = int(fabric.terminals[0])
+    weights = np.ones(fabric.num_channels, dtype=np.int64)
+    d_ref, p_ref = dijkstra_to_dest(fabric, dest, weights)
+    with pytest.warns(RuntimeWarning, match="numba"):
+        d_nat, p_nat = native.dijkstra_to_dest_native(fabric, dest, weights)
+    np.testing.assert_array_equal(d_nat, d_ref)
+    np.testing.assert_array_equal(p_nat, p_ref)

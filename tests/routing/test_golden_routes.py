@@ -18,7 +18,13 @@ import json
 import numpy as np
 import pytest
 
-from tests.data.golden_gen import FABRICS, compute_golden, golden_path
+from tests.data.golden_gen import (
+    DIGEST_FABRICS,
+    FABRICS,
+    compute_golden,
+    compute_golden_digest,
+    golden_path,
+)
 
 MAX_DIFFS_SHOWN = 8
 
@@ -94,6 +100,41 @@ def test_routes_match_golden(topology):
                 )
     assert not problems, (
         "golden routes drifted (regenerate with "
+        "`PYTHONPATH=src python -m tests.data.golden_gen` if intentional):\n"
+        + "\n".join(problems)
+    )
+
+
+@pytest.mark.parametrize("topology", sorted(DIGEST_FABRICS))
+def test_routes_match_golden_digest(topology):
+    """The ~1k-endpoint pin: digests of the canonical array bytes.
+
+    When this fails alone, the drift is scale-dependent (batching,
+    sharding, kernel dispatch); when the small fixtures fail too, their
+    diff says what changed.
+    """
+    path = golden_path(topology)
+    assert path.is_file(), (
+        f"missing golden fixture {path}; run "
+        f"`PYTHONPATH=src python -m tests.data.golden_gen`"
+    )
+    golden = json.loads(path.read_text())
+    current = compute_golden_digest(topology)
+
+    for field in ("num_nodes", "num_terminals", "num_channels", "builder", "digest"):
+        assert current[field] == golden[field], (
+            f"{topology}: fabric {field} changed "
+            f"({current[field]!r} != golden {golden[field]!r})"
+        )
+    problems = [
+        f"{topology}/{engine}: {field} = {got[field]!r}, golden has {want[field]!r}"
+        for engine, want in golden["engines"].items()
+        for got in [current["engines"][engine]]
+        for field in want
+        if got.get(field) != want[field]
+    ]
+    assert not problems, (
+        "golden digests drifted (regenerate with "
         "`PYTHONPATH=src python -m tests.data.golden_gen` if intentional):\n"
         + "\n".join(problems)
     )
